@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cleanHistory = `{"index":0,"type":"ok","process":0,"value":[["append","x",1]]}
+{"index":1,"type":"ok","process":1,"value":[["append","x",2]]}
+{"index":2,"type":"ok","process":2,"value":[["r","x",[1,2]]]}
+`
+
+const g1aHistory = `{"index":0,"type":"fail","process":0,"value":[["append","x",1]]}
+{"index":1,"type":"ok","process":1,"value":[["r","x",[1]]]}
+`
+
+func TestCleanHistoryExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{write(t, cleanHistory)}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output missing verdict:\n%s", out.String())
+	}
+}
+
+func TestAnomalousHistoryExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-model", "read-committed", write(t, g1aHistory)},
+		strings.NewReader(""), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "G1a") {
+		t.Errorf("output missing G1a:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "aborted") {
+		t.Errorf("output missing explanation:\n%s", out.String())
+	}
+}
+
+func TestStdinInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-"}, strings.NewReader(cleanHistory), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestQuietSuppressesExplanations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-q", "-model", "read-committed", write(t, g1aHistory)},
+		strings.NewReader(""), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out.String(), "--- anomaly") {
+		t.Errorf("quiet mode printed explanations:\n%s", out.String())
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	// A write-skew history whose cycle should render as DOT.
+	h := `{"index":0,"type":"ok","process":0,"value":[["r","x",[]],["append","y",1]]}
+{"index":1,"type":"ok","process":1,"value":[["r","y",[]],["append","x",1]]}
+{"index":2,"type":"ok","process":2,"value":[["r","x",[1]],["r","y",[1]]]}
+`
+	var out, errb bytes.Buffer
+	code := run([]string{"-dot", "-model", "serializable", write(t, h)},
+		strings.NewReader(""), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "digraph elle") {
+		t.Errorf("missing DOT output:\n%s", out.String())
+	}
+}
+
+func TestRegisterWorkloadFlag(t *testing.T) {
+	h := `{"index":0,"type":"ok","process":0,"value":[["w","x",2],["r","x",1]]}
+{"index":1,"type":"ok","process":1,"value":[["w","x",1]]}
+`
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "register", "-model", "snapshot-isolation", write(t, h)},
+		strings.NewReader(""), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "internal") {
+		t.Errorf("register internal anomaly missing:\n%s", out.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // no file
+		{"-workload", "bogus", "x.jsonl"}, // bad workload
+		{"-model", "bogus", "x.jsonl"},    // bad model
+		{"/nonexistent/path.jsonl"},       // missing file
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, strings.NewReader(""), &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestMalformedInputExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{write(t, "not json\n")}, strings.NewReader(""), &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-model", "read-committed", write(t, g1aHistory)},
+		strings.NewReader(""), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), `"valid": false`) ||
+		!strings.Contains(out.String(), `"G1a"`) {
+		t.Errorf("JSON report wrong:\n%s", out.String())
+	}
+}
+
+func TestStatsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-stats", write(t, cleanHistory)}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "attempts") {
+		t.Errorf("stats missing:\n%s", out.String())
+	}
+}

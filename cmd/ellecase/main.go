@@ -1,0 +1,83 @@
+// Command ellecase runs the paper's §7 case studies against the in-memory
+// database with the corresponding fault injection, checks the resulting
+// history with Elle, and reports whether the run reproduced the anomaly
+// signature the paper documents for that system.
+//
+// Usage:
+//
+//	ellecase                  run all four campaigns
+//	ellecase -db tidb         run one campaign
+//	ellecase -db tidb -v      ... and print each anomaly's explanation
+//
+// Flags:
+//
+//	-db NAME     tidb | yugabyte | fauna | dgraph | all (default all)
+//	-clients N   concurrent client threads (default 10)
+//	-txns N      transactions per campaign (default 2000)
+//	-seed N      run seed (default 1)
+//	-v           print every anomaly explanation
+//
+// Exit status: 0 if every selected campaign reproduced its signature,
+// 1 otherwise, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/casestudy"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ellecase", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	db := fs.String("db", "all", "campaign: tidb, yugabyte, fauna, dgraph, or all")
+	clients := fs.Int("clients", 10, "concurrent client threads")
+	txns := fs.Int("txns", 2000, "transactions per campaign")
+	seed := fs.Int64("seed", 1, "run seed")
+	verbose := fs.Bool("v", false, "print every anomaly explanation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var scenarios []casestudy.Scenario
+	if *db == "all" {
+		scenarios = casestudy.Scenarios()
+	} else {
+		s, ok := casestudy.Find(*db)
+		if !ok {
+			fmt.Fprintf(stderr, "ellecase: unknown database %q (tidb, yugabyte, fauna, dgraph, all)\n", *db)
+			return 2
+		}
+		scenarios = []casestudy.Scenario{s}
+	}
+
+	cfg := casestudy.Config{Clients: *clients, Txns: *txns, Seed: *seed}
+	allGood := true
+	for _, s := range scenarios {
+		r := casestudy.Run(s, cfg)
+		fmt.Fprint(stdout, r.Report())
+		if *verbose {
+			for i, a := range r.Check.Anomalies {
+				fmt.Fprintf(stdout, "\n--- anomaly %d: %s ---\n", i+1, a.Type)
+				if a.Explanation != "" {
+					fmt.Fprintln(stdout, a.Explanation)
+				}
+			}
+		}
+		fmt.Fprintln(stdout)
+		if !r.Reproduced {
+			allGood = false
+		}
+	}
+	if !allGood {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleCampaign(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-db", "fauna", "-txns", "600", "-clients", "8"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s\n%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{"fauna", "§7.3", "internal", "reproduced"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestAllCampaigns(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-txns", "800"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, out.String())
+	}
+	for _, want := range []string{"tidb", "yugabyte", "fauna", "dgraph"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("campaign %q missing from output", want)
+		}
+	}
+}
+
+func TestVerboseExplanations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-db", "tidb", "-txns", "400", "-v"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "--- anomaly") {
+		t.Errorf("verbose output missing explanations:\n%s", out.String())
+	}
+}
+
+func TestUnknownDatabase(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-db", "oracle"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown database") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}

@@ -1,0 +1,140 @@
+// Command ellegen generates a transaction history against the in-memory
+// engine and writes it as JSON lines, ready for `elle` to check. It is
+// the recording half of the record/check pipeline: pick an isolation
+// level and (optionally) a named fault campaign, and pipe the result
+// into the checker.
+//
+//	ellegen -iso snapshot-isolation -faults tidb -txns 2000 | elle -model snapshot-isolation -
+//
+// Flags:
+//
+//	-workload KIND   list (default), register, set, or counter
+//	-iso LEVEL       read-uncommitted, read-committed, snapshot-isolation,
+//	                 serializable, strict-serializable (default)
+//	-faults NAME     none (default), tidb, yugabyte, fauna, dgraph, retry,
+//	                 stale, nilreads, dup
+//	-clients N       concurrent client threads (default 10)
+//	-txns N          transactions to run (default 1000)
+//	-keys N          active keys (default 5)
+//	-writes-per-key N  key retirement width (default 100)
+//	-abort P         spontaneous abort probability (default 0)
+//	-info P          lost-commit-ack probability (default 0)
+//	-timestamps      expose engine timestamps in op times
+//	-seed N          run seed (default 1)
+//	-o FILE          output path (default stdout)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ellegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "list", "workload: list, register, set, or counter")
+	iso := fs.String("iso", "strict-serializable", "engine isolation level")
+	faults := fs.String("faults", "none", "fault campaign: none, tidb, yugabyte, fauna, dgraph, retry, stale, nilreads, dup")
+	clients := fs.Int("clients", 10, "concurrent client threads")
+	txns := fs.Int("txns", 1000, "transactions to run")
+	keys := fs.Int("keys", 5, "active keys")
+	width := fs.Int("writes-per-key", 100, "writes per key before retirement")
+	abort := fs.Float64("abort", 0, "spontaneous abort probability")
+	info := fs.Float64("info", 0, "lost-commit-ack probability")
+	timestamps := fs.Bool("timestamps", false, "expose engine timestamps in op times")
+	seed := fs.Int64("seed", 1, "run seed")
+	out := fs.String("o", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var gw gen.Workload
+	var mw memdb.Workload
+	switch *workload {
+	case "list", "list-append":
+		gw, mw = gen.ListAppend, memdb.WorkloadList
+	case "register", "rw-register":
+		gw, mw = gen.Register, memdb.WorkloadRegister
+	case "set", "set-add":
+		gw, mw = gen.Set, memdb.WorkloadSet
+	case "counter":
+		gw, mw = gen.Counter, memdb.WorkloadCounter
+	default:
+		fmt.Fprintf(stderr, "ellegen: unknown workload %q\n", *workload)
+		return 2
+	}
+
+	var level memdb.Isolation
+	switch *iso {
+	case "read-uncommitted":
+		level = memdb.ReadUncommitted
+	case "read-committed":
+		level = memdb.ReadCommitted
+	case "snapshot-isolation", "si":
+		level = memdb.SnapshotIsolation
+	case "serializable":
+		level = memdb.Serializable
+	case "strict-serializable":
+		level = memdb.StrictSerializable
+	default:
+		fmt.Fprintf(stderr, "ellegen: unknown isolation %q\n", *iso)
+		return 2
+	}
+
+	var f memdb.Faults
+	switch *faults {
+	case "none", "":
+	case "tidb", "retry":
+		f = memdb.Faults{RetryStompProb: 0.4, RetryRebaseProb: 1}
+	case "yugabyte":
+		f = memdb.Faults{SkipReadValidationProb: 0.3}
+	case "fauna":
+		f = memdb.Faults{SkipOwnWriteProb: 0.1}
+	case "dgraph", "nilreads":
+		f = memdb.Faults{NilReadProb: 0.08}
+	case "stale":
+		f = memdb.Faults{StaleReadProb: 0.3}
+	case "dup":
+		f = memdb.Faults{DuplicateAppendProb: 0.1}
+	default:
+		fmt.Fprintf(stderr, "ellegen: unknown fault campaign %q\n", *faults)
+		return 2
+	}
+
+	g := gen.New(gen.Config{
+		Workload: gw, ActiveKeys: *keys, MaxWritesPerKey: *width,
+	}, *seed)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: *clients, Txns: *txns, Isolation: level, Faults: f,
+		Source: g, Seed: *seed, Workload: mw,
+		AbortProb: *abort, InfoProb: *info, ExposeTimestamps: *timestamps,
+	})
+
+	w := stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "ellegen: %v\n", err)
+			return 2
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := jsonhist.Encode(w, h); err != nil {
+		fmt.Fprintf(stderr, "ellegen: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "ellegen: wrote %d ops (%d transactions, %s, %s, faults=%s)\n",
+		h.Len(), *txns, *workload, level, *faults)
+	return 0
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/jsonhist"
+)
+
+func TestGenerateToStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-txns", "50", "-clients", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	h, err := jsonhist.Decode(&out, false)
+	if err != nil {
+		t.Fatalf("output is not a valid history: %v", err)
+	}
+	if got := len(h.Completions()); got != 50 {
+		t.Errorf("completions = %d", got)
+	}
+	if !strings.Contains(errb.String(), "wrote") {
+		t.Error("no summary on stderr")
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.jsonl")
+	var out, errb bytes.Buffer
+	code := run([]string{"-txns", "20", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("file empty")
+	}
+	if out.Len() != 0 {
+		t.Error("wrote to stdout despite -o")
+	}
+}
+
+func TestFaultCampaignsAccepted(t *testing.T) {
+	for _, f := range []string{"none", "tidb", "yugabyte", "fauna", "dgraph", "retry", "stale", "nilreads", "dup"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-txns", "10", "-faults", f}, &out, &errb); code != 0 {
+			t.Errorf("faults=%s: exit %d", f, code)
+		}
+	}
+}
+
+func TestWorkloadsAccepted(t *testing.T) {
+	for _, w := range []string{"list", "register", "set", "counter"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-txns", "10", "-workload", w, "-iso", "si"}, &out, &errb); code != 0 {
+			t.Errorf("workload=%s: exit %d", w, code)
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "bogus"},
+		{"-iso", "bogus"},
+		{"-faults", "bogus"},
+		{"-o", "/nonexistent/dir/x.jsonl", "-txns", "5"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestPipelineEndToEnd: ellegen output feeds the checker and the verdict
+// matches the injected faults.
+func TestPipelineEndToEnd(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-txns", "800", "-iso", "si", "-faults", "tidb", "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("generate failed: %s", errb.String())
+	}
+	h, err := jsonhist.Decode(&out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.OKs()) == 0 {
+		t.Fatal("no committed transactions")
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSmallSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-lengths", "100,200",
+		"-concurrencies", "1,2",
+		"-cap", "2s",
+		"-baseline-max-ops", "100",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	// Header + (2 lengths × 2 concurrencies elle) + (1 length × 2 knossos).
+	if len(lines) != 1+4+2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "checker,ops,concurrency") {
+		t.Errorf("header = %q", lines[0])
+	}
+	elle, knossos := 0, 0
+	for _, l := range lines[1:] {
+		switch {
+		case strings.HasPrefix(l, "elle,"):
+			elle++
+		case strings.HasPrefix(l, "knossos,"):
+			knossos++
+		default:
+			t.Errorf("unexpected row %q", l)
+		}
+	}
+	if elle != 4 || knossos != 2 {
+		t.Errorf("elle=%d knossos=%d", elle, knossos)
+	}
+	// Progress goes to stderr.
+	if !strings.Contains(errb.String(), "done:") {
+		t.Error("no progress on stderr")
+	}
+}
+
+func TestNoBaselineFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-lengths", "100", "-concurrencies", "1", "-no-baseline",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out.String(), "knossos") {
+		t.Error("baseline ran despite -no-baseline")
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-lengths", "abc"},
+		{"-lengths", "-5"},
+		{"-concurrencies", ""},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) exit = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Error("zero accepted")
+	}
+}

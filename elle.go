@@ -1,0 +1,186 @@
+// Package repro is the public API of this reproduction of Elle, the
+// black-box transactional isolation checker of Kingsbury & Alvaro,
+// "Elle: Inferring Isolation Anomalies from Experimental Observations"
+// (VLDB 2020).
+//
+// The package re-exports the library's stable surface from the internal
+// implementation packages, so downstream users interact with one import:
+//
+//	import elle "repro"
+//
+//	h := elle.MustHistory([]elle.Op{
+//	    elle.Txn(0, 0, elle.OK, elle.Append("x", 1)),
+//	    elle.Txn(1, 1, elle.OK, elle.ReadList("x", []int{1})),
+//	})
+//	res := elle.Check(h, elle.OptsFor(elle.ListAppend, elle.Serializable))
+//	fmt.Print(res.Summary())
+//
+// The five building blocks:
+//
+//   - Histories (Op, Mop, History): observations of a database, either
+//     compact (completions only) or complete (invoke/ok/fail/info pairs,
+//     as a real test harness records them).
+//   - Check: dependency inference + cycle search + anomaly
+//     classification against a claimed consistency model.
+//   - Workload generation (GenConfig, NewGen) and the in-memory engine
+//     (DB, Run) for producing histories to check.
+//   - The search baseline (CheckSerializable) used by the paper's
+//     Figure 4 comparison.
+//   - Serialization (DecodeHistory, EncodeHistory) in a JSON-lines
+//     format close to Jepsen's.
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/anomaly"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+	"repro/internal/op"
+	"repro/internal/serialcheck"
+)
+
+// Micro-operations and operations.
+type (
+	// Mop is one micro-operation: a read, write, append, add, or
+	// increment on a single object.
+	Mop = op.Mop
+	// Op is one observed operation: a transaction attempt or completion.
+	Op = op.Op
+	// OpType is the completion type of an observed operation.
+	OpType = op.Type
+	// History is a validated observation.
+	History = history.History
+)
+
+// Completion types.
+const (
+	Invoke = op.Invoke
+	OK     = op.OK
+	Fail   = op.Fail
+	Info   = op.Info
+)
+
+// Micro-op constructors.
+var (
+	Append    = op.Append
+	Add       = op.Add
+	Increment = op.Increment
+	Write     = op.Write
+	Read      = op.Read
+	ReadList  = op.ReadList
+	ReadReg   = op.ReadReg
+	ReadNil   = op.ReadNil
+	Txn       = op.Txn
+)
+
+// NewHistory validates ops and builds a History; MustHistory panics on
+// error. NewHistoryBuilder incrementally assembles complete histories.
+var (
+	NewHistory        = history.New
+	MustHistory       = history.MustNew
+	NewHistoryBuilder = history.NewBuilder
+)
+
+// Checking.
+type (
+	// CheckOpts configures a check; see OptsFor for model-appropriate
+	// defaults.
+	CheckOpts = core.Opts
+	// CheckResult is a check's outcome: verdict, anomalies with
+	// explanations, and the violated / surviving consistency models.
+	CheckResult = core.CheckResult
+	// Workload selects the dependency-inference strategy.
+	Workload = core.Workload
+	// Anomaly is one detected phenomenon.
+	Anomaly = anomaly.Anomaly
+	// AnomalyType names an anomaly family (G0, G1a, G-single, ...).
+	AnomalyType = anomaly.Type
+	// Model is an isolation / consistency model.
+	Model = consistency.Model
+)
+
+// Workloads.
+const (
+	ListAppend = core.ListAppend
+	Register   = core.Register
+	SetAdd     = core.SetAdd
+	Counter    = core.Counter
+)
+
+// Models, weakest to strongest.
+const (
+	ReadUncommitted     = consistency.ReadUncommitted
+	ReadCommitted       = consistency.ReadCommitted
+	RepeatableRead      = consistency.RepeatableRead
+	SnapshotIsolation   = consistency.SnapshotIsolation
+	Serializable        = consistency.Serializable
+	StrongSessionSI     = consistency.StrongSessionSI
+	StrongSessionSerial = consistency.StrongSessionSerial
+	StrictSerializable  = consistency.StrictSerializable
+)
+
+// Check analyzes a history under the given options.
+func Check(h *History, opts CheckOpts) *CheckResult { return core.Check(h, opts) }
+
+// OptsFor returns the options the paper's methodology implies for
+// checking workload w against claimed model m.
+func OptsFor(w Workload, m Model) CheckOpts { return core.OptsFor(w, m) }
+
+// Workload generation and the in-memory engine.
+type (
+	// GenConfig parameterizes random transaction generation.
+	GenConfig = gen.Config
+	// Gen produces transaction bodies with unique write arguments.
+	Gen = gen.Gen
+	// DB is the in-memory MVCC engine used as the system under test.
+	DB = memdb.DB
+	// DBTxn is one interactive transaction against a DB.
+	DBTxn = memdb.Txn
+	// Isolation selects the engine's concurrency control.
+	Isolation = memdb.Isolation
+	// Faults configures the engine's bug injection.
+	Faults = memdb.Faults
+	// RunConfig drives a simulated multi-client run.
+	RunConfig = memdb.RunConfig
+)
+
+// NewGen builds a generator; NewDB an engine; Run a seeded multi-client
+// simulation returning the observed history.
+var (
+	NewGen = gen.New
+	NewDB  = memdb.New
+	Run    = memdb.Run
+)
+
+// Engine isolation levels.
+const (
+	EngineReadUncommitted    = memdb.ReadUncommitted
+	EngineReadCommitted      = memdb.ReadCommitted
+	EngineSnapshotIsolation  = memdb.SnapshotIsolation
+	EngineSerializable       = memdb.Serializable
+	EngineStrictSerializable = memdb.StrictSerializable
+)
+
+// SerialCheckResult is the baseline checker's outcome.
+type SerialCheckResult = serialcheck.Result
+
+// CheckSerializable runs the Knossos-style search baseline with the
+// given time budget (zero = unbounded).
+func CheckSerializable(h *History, timeout time.Duration) *SerialCheckResult {
+	return serialcheck.Check(h, serialcheck.Opts{Timeout: timeout})
+}
+
+// DecodeHistory reads a JSON-lines history; register selects register
+// read decoding. EncodeHistory writes one.
+func DecodeHistory(r io.Reader, register bool) (*History, error) {
+	return jsonhist.Decode(r, register)
+}
+
+// EncodeHistory writes h as JSON lines.
+func EncodeHistory(w io.Writer, h *History) error { return jsonhist.Encode(w, h) }

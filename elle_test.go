@@ -1,0 +1,106 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	elle "repro"
+)
+
+// These tests exercise the public facade end to end, the way a
+// downstream user would: build or generate a history, check it, read the
+// verdict, serialize it, and run the baseline.
+
+func TestFacadeHandBuiltHistory(t *testing.T) {
+	h := elle.MustHistory([]elle.Op{
+		elle.Txn(0, 0, elle.OK, elle.Append("x", 1)),
+		elle.Txn(1, 1, elle.OK, elle.Append("x", 2)),
+		elle.Txn(2, 2, elle.OK, elle.ReadList("x", []int{1, 2})),
+	})
+	res := elle.Check(h, elle.OptsFor(elle.ListAppend, elle.Serializable))
+	if !res.Valid {
+		t.Fatalf("clean history invalid:\n%s", res.Summary())
+	}
+}
+
+func TestFacadeGenerateAndCheck(t *testing.T) {
+	g := elle.NewGen(elle.GenConfig{ActiveKeys: 4, MaxWritesPerKey: 30}, 9)
+	h := elle.Run(elle.RunConfig{
+		Clients:   8,
+		Txns:      500,
+		Isolation: elle.EngineSnapshotIsolation,
+		Faults:    elle.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1},
+		Source:    g,
+		Seed:      9,
+	})
+	opts := elle.OptsFor(elle.ListAppend, elle.SnapshotIsolation)
+	opts.DetectLostUpdates = true
+	res := elle.Check(h, opts)
+	if res.Valid {
+		t.Fatal("retry-faulted SI engine passed its SI claim")
+	}
+	if len(res.Anomalies) == 0 {
+		t.Fatal("no anomalies reported")
+	}
+	if len(res.Violated) == 0 || len(res.Strongest) == 0 {
+		t.Error("model report empty")
+	}
+	// Every anomaly carries an explanation.
+	for _, a := range res.Anomalies {
+		if a.Explanation == "" {
+			t.Errorf("anomaly %s has no explanation", a.Type)
+		}
+	}
+}
+
+func TestFacadeSerializationRoundTrip(t *testing.T) {
+	g := elle.NewGen(elle.GenConfig{}, 2)
+	h := elle.Run(elle.RunConfig{
+		Clients: 4, Txns: 100, Isolation: elle.EngineSerializable,
+		Source: g, Seed: 2,
+	})
+	var buf bytes.Buffer
+	if err := elle.EncodeHistory(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"type":"invoke"`) {
+		t.Error("encoded history missing invokes")
+	}
+	back, err := elle.DecodeHistory(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != h.Len() {
+		t.Fatalf("round trip %d != %d ops", back.Len(), h.Len())
+	}
+	res := elle.Check(back, elle.OptsFor(elle.ListAppend, elle.StrictSerializable))
+	if !res.Valid {
+		t.Fatalf("round-tripped clean history invalid: %v", res.AnomalyTypes())
+	}
+}
+
+func TestFacadeBaseline(t *testing.T) {
+	h := elle.MustHistory([]elle.Op{
+		elle.Txn(0, 0, elle.OK, elle.Append("x", 1)),
+		elle.Txn(1, 1, elle.OK, elle.ReadList("x", []int{1})),
+	})
+	r := elle.CheckSerializable(h, 5*time.Second)
+	if r.Outcome.String() != "serializable" {
+		t.Fatalf("baseline outcome = %v", r.Outcome)
+	}
+}
+
+func TestFacadeDirectEngineUse(t *testing.T) {
+	db := elle.NewDB(elle.EngineSerializable, elle.Faults{}, 1)
+	tx := db.Begin()
+	tx.Append("k", 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin()
+	if got := tx2.ReadList("k"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("read = %v", got)
+	}
+}

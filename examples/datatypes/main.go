@@ -1,0 +1,86 @@
+// Datatypes: the paper's §3 narrative as a runnable comparison.
+//
+// The same snapshot-isolated engine — which permits write skew — is
+// tested through each of Figure 1's four datatypes. Lists (traceable and
+// recoverable) expose the G2 cycles outright; sets see them too (their
+// elements are recoverable, though write-write order is not); registers
+// infer only partial version orders; counters, being unrecoverable,
+// cannot produce dependency cycles at all. This is why Elle's headline
+// workload is list append.
+//
+// Run with:
+//
+//	go run ./examples/datatypes
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/memdb"
+)
+
+type lane struct {
+	name     string
+	workload core.Workload
+	genW     gen.Workload
+	memW     memdb.Workload
+}
+
+func main() {
+	lanes := []lane{
+		{"list-append", core.ListAppend, gen.ListAppend, memdb.WorkloadList},
+		{"set-add", core.SetAdd, gen.Set, memdb.WorkloadSet},
+		{"rw-register", core.Register, gen.Register, memdb.WorkloadRegister},
+		{"counter", core.Counter, gen.Counter, memdb.WorkloadCounter},
+	}
+
+	fmt.Println("One engine (snapshot isolation, no faults), four datatypes.")
+	fmt.Println("Write skew is present; which datatype lets Elle see it?")
+	fmt.Println()
+	fmt.Printf("%-14s %-10s %-12s %s\n", "datatype", "G2 seen?", "SI holds?", "anomaly families")
+
+	for _, l := range lanes {
+		// Aggregate over seeds: anomaly incidence is probabilistic.
+		sawG2 := false
+		siHolds := true
+		families := map[anomaly.Type]bool{}
+		for seed := int64(0); seed < 8; seed++ {
+			g := gen.New(gen.Config{
+				Workload: l.genW, ActiveKeys: 5, MaxWritesPerKey: 40,
+			}, seed)
+			h := memdb.Run(memdb.RunConfig{
+				Clients: 10, Txns: 800,
+				Isolation: memdb.SnapshotIsolation,
+				Source:    g, Seed: seed, Workload: l.memW,
+			})
+			r := core.Check(h, core.OptsFor(l.workload, consistency.SnapshotIsolation))
+			for _, typ := range r.AnomalyTypes() {
+				families[typ] = true
+				if typ == anomaly.G2Item {
+					sawG2 = true
+				}
+			}
+			if !r.Valid {
+				siHolds = false
+			}
+		}
+		var names []string
+		for typ := range families {
+			names = append(names, string(typ))
+		}
+		if len(names) == 0 {
+			names = []string{"(none)"}
+		}
+		fmt.Printf("%-14s %-10v %-12v %v\n", l.name, sawG2, siHolds, names)
+	}
+
+	fmt.Println()
+	fmt.Println("Expected: lists and sets surface G2-item (write skew), which SI")
+	fmt.Println("permits, so the SI claim still holds everywhere; counters surface")
+	fmt.Println("nothing — increments are unrecoverable (§3), so no dependency")
+	fmt.Println("graph, and no cycles, can be inferred from them.")
+}

@@ -1,0 +1,202 @@
+// Package anomaly defines the catalogue of isolation anomalies Elle
+// reports: Adya's G0/G1/G2 cycle phenomena, the non-cycle phenomena
+// (aborted read, intermediate read, dirty update), and the additional
+// real-world phenomena of §6.1 (garbage reads, duplicate writes, internal
+// inconsistency), plus cyclic-version-order reports from the register
+// analyzer (§7.4).
+package anomaly
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/op"
+)
+
+// Type names one anomaly family.
+type Type string
+
+// Cycle anomalies (§6). The -process and -realtime variants are cycles
+// that require session or real-time edges to close, witnessing violations
+// of strong-session and strict models respectively.
+const (
+	// G0 is a cycle comprised entirely of write-write edges
+	// (write cycle / dirty write).
+	G0 Type = "G0"
+	// G1c is a cycle comprised of write-write and write-read edges
+	// (circular information flow).
+	G1c Type = "G1c"
+	// GSingle is a cycle with exactly one read-write edge (read skew).
+	GSingle Type = "G-single"
+	// G2Item is a cycle with one or more read-write edges (write skew
+	// and friends), over individual items.
+	G2Item Type = "G2-item"
+
+	G0Process      Type = "G0-process"
+	G1cProcess     Type = "G1c-process"
+	GSingleProcess Type = "G-single-process"
+	G2ItemProcess  Type = "G2-item-process"
+
+	G0Realtime      Type = "G0-realtime"
+	G1cRealtime     Type = "G1c-realtime"
+	GSingleRealtime Type = "G-single-realtime"
+	G2ItemRealtime  Type = "G2-item-realtime"
+
+	// -timestamp variants close their cycles through the database's own
+	// exposed transaction timestamps (§5.1): the DB's claimed ordering
+	// contradicts the observed reads, refuting snapshot isolation as the
+	// database itself defines it.
+	G0Timestamp      Type = "G0-timestamp"
+	G1cTimestamp     Type = "G1c-timestamp"
+	GSingleTimestamp Type = "G-single-timestamp"
+	G2ItemTimestamp  Type = "G2-item-timestamp"
+)
+
+// Non-cycle anomalies (§4.3.1) and the additional phenomena of §6.1.
+const (
+	// G1a is an aborted read: a committed transaction read a version
+	// written by an aborted transaction.
+	G1a Type = "G1a"
+	// G1b is an intermediate read: a committed transaction read a version
+	// from the middle of another transaction.
+	G1b Type = "G1b"
+	// DirtyUpdate is a committed write acting on an uncommitted version:
+	// information leaked from an aborted transaction into committed state.
+	DirtyUpdate Type = "dirty-update"
+	// LostUpdate is a committed write that vanished from the version
+	// history observed by later reads.
+	LostUpdate Type = "lost-update"
+	// GarbageRead is a read observing a value that was never written.
+	GarbageRead Type = "garbage-read"
+	// DuplicateElements is a read whose value contains the same element
+	// more than once: some write was applied twice.
+	DuplicateElements Type = "duplicate-elements"
+	// DuplicateAppends is a pair of writes of the same unique argument to
+	// the same key, which destroys recoverability.
+	DuplicateAppends Type = "duplicate-appends"
+	// Internal is an internal inconsistency: a transaction read a value
+	// incompatible with its own prior reads and writes.
+	Internal Type = "internal"
+	// IncompatibleOrder is an inconsistent observation: two committed
+	// reads of the same object disagree about its version history
+	// (neither is a prefix of the other), implying an aborted read in
+	// every interpretation.
+	IncompatibleOrder Type = "incompatible-order"
+	// CyclicVersionOrder is a cycle in the inferred version order of a
+	// single object, reported and discarded by the register analyzer so
+	// it cannot seed trivial transaction cycles.
+	CyclicVersionOrder Type = "cyclic-version-order"
+)
+
+// Severity buckets anomalies the way §4.3.2 discusses them: phenomena like
+// aborted reads are informally "worse" than dependency cycles, and
+// structural problems (garbage, duplicates) are worse still because they
+// undermine the analysis itself.
+type Severity int
+
+const (
+	// SevCycle marks dependency-cycle anomalies.
+	SevCycle Severity = iota
+	// SevDirty marks non-cycle isolation anomalies (aborted reads,
+	// intermediate reads, dirty updates, lost updates).
+	SevDirty
+	// SevStructural marks observations no clean interpretation can
+	// explain at all: garbage reads, duplicates, internal inconsistency.
+	SevStructural
+)
+
+// Severity returns the severity bucket for t.
+func (t Type) Severity() Severity {
+	switch t {
+	case G1a, G1b, DirtyUpdate, LostUpdate, IncompatibleOrder:
+		return SevDirty
+	case GarbageRead, DuplicateElements, DuplicateAppends, Internal, CyclicVersionOrder:
+		return SevStructural
+	default:
+		return SevCycle
+	}
+}
+
+// IsCycle reports whether t is witnessed by a dependency cycle.
+func (t Type) IsCycle() bool { return t.Severity() == SevCycle }
+
+// CycleType classifies a cycle per §6, given which edge kinds were allowed
+// in the search: a cycle of only ww edges is G0; adding wr makes it G1c;
+// exactly one rw makes it G-single; more rw edges make it G2-item. If the
+// cycle needed process or realtime edges to close, the variant reflects
+// the strongest extra order used.
+func CycleType(c graph.Cycle) Type {
+	rw, wr, ww, process, realtime, ts := 0, 0, 0, 0, 0, 0
+	for _, s := range c.Steps {
+		switch s.Via {
+		case graph.RW:
+			rw++
+		case graph.WR:
+			wr++
+		case graph.WW:
+			ww++
+		case graph.Process:
+			process++
+		case graph.Realtime:
+			realtime++
+		case graph.Timestamp:
+			ts++
+		}
+	}
+	var base Type
+	switch {
+	case rw == 1:
+		base = GSingle
+	case rw > 1:
+		base = G2Item
+	case wr > 0:
+		base = G1c
+	default:
+		base = G0
+	}
+	switch {
+	case realtime > 0:
+		return base + "-realtime"
+	case ts > 0:
+		return base + "-timestamp"
+	case process > 0:
+		return base + "-process"
+	default:
+		return base
+	}
+}
+
+// Anomaly is one detected phenomenon, with enough structure for both
+// programmatic use and a human-readable report.
+type Anomaly struct {
+	Type Type
+	// Cycle is the witness for cycle anomalies.
+	Cycle graph.Cycle
+	// Ops are the transactions involved, for non-cycle anomalies.
+	Ops []op.Op
+	// Key is the object involved, when the anomaly is key-local.
+	Key string
+	// Explanation is the human-readable justification, in the style of
+	// the paper's Figure 2.
+	Explanation string
+}
+
+// String renders a one-line summary.
+func (a Anomaly) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s", a.Type)
+	if a.Key != "" {
+		fmt.Fprintf(&b, " on key %s", a.Key)
+	}
+	if len(a.Cycle.Steps) > 0 {
+		fmt.Fprintf(&b, ": %s", a.Cycle.String())
+	} else if len(a.Ops) > 0 {
+		names := make([]string, len(a.Ops))
+		for i, o := range a.Ops {
+			names[i] = o.Name()
+		}
+		fmt.Fprintf(&b, ": %s", strings.Join(names, ", "))
+	}
+	return b.String()
+}

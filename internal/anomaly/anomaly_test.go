@@ -1,0 +1,95 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/op"
+)
+
+func TestSeverityBuckets(t *testing.T) {
+	cycles := []Type{G0, G1c, GSingle, G2Item, G0Realtime, GSingleProcess}
+	for _, typ := range cycles {
+		if typ.Severity() != SevCycle || !typ.IsCycle() {
+			t.Errorf("%s should be a cycle anomaly", typ)
+		}
+	}
+	dirty := []Type{G1a, G1b, DirtyUpdate, LostUpdate, IncompatibleOrder}
+	for _, typ := range dirty {
+		if typ.Severity() != SevDirty || typ.IsCycle() {
+			t.Errorf("%s should be a dirty anomaly", typ)
+		}
+	}
+	structural := []Type{GarbageRead, DuplicateElements, DuplicateAppends, Internal, CyclicVersionOrder}
+	for _, typ := range structural {
+		if typ.Severity() != SevStructural {
+			t.Errorf("%s should be structural", typ)
+		}
+	}
+}
+
+func mkCycle(kinds ...graph.Kind) graph.Cycle {
+	var steps []graph.Step
+	for i, k := range kinds {
+		steps = append(steps, graph.Step{From: i, To: (i + 1) % len(kinds), Via: k})
+	}
+	return graph.Cycle{Steps: steps}
+}
+
+func TestCycleTypeClassification(t *testing.T) {
+	cases := []struct {
+		kinds []graph.Kind
+		want  Type
+	}{
+		{[]graph.Kind{graph.WW, graph.WW}, G0},
+		{[]graph.Kind{graph.WW, graph.WR}, G1c},
+		{[]graph.Kind{graph.WR, graph.WR}, G1c},
+		{[]graph.Kind{graph.RW, graph.WW}, GSingle},
+		{[]graph.Kind{graph.RW, graph.WR, graph.WW}, GSingle},
+		{[]graph.Kind{graph.RW, graph.RW}, G2Item},
+		{[]graph.Kind{graph.WW, graph.WW, graph.Process}, G0Process},
+		{[]graph.Kind{graph.WR, graph.Process}, G1cProcess},
+		{[]graph.Kind{graph.RW, graph.Process}, GSingleProcess},
+		{[]graph.Kind{graph.RW, graph.RW, graph.Process}, G2ItemProcess},
+		{[]graph.Kind{graph.WW, graph.Realtime}, G0Realtime},
+		{[]graph.Kind{graph.WR, graph.Realtime}, G1cRealtime},
+		{[]graph.Kind{graph.RW, graph.Realtime}, GSingleRealtime},
+		{[]graph.Kind{graph.RW, graph.RW, graph.Realtime}, G2ItemRealtime},
+		// Realtime dominates process in the variant name.
+		{[]graph.Kind{graph.RW, graph.Process, graph.Realtime}, GSingleRealtime},
+		// Timestamp variants, dominated by realtime but dominating process.
+		{[]graph.Kind{graph.WW, graph.Timestamp}, G0Timestamp},
+		{[]graph.Kind{graph.RW, graph.Timestamp}, GSingleTimestamp},
+		{[]graph.Kind{graph.RW, graph.RW, graph.Timestamp}, G2ItemTimestamp},
+		{[]graph.Kind{graph.WR, graph.Timestamp, graph.Process}, G1cTimestamp},
+		{[]graph.Kind{graph.RW, graph.Timestamp, graph.Realtime}, GSingleRealtime},
+	}
+	for _, c := range cases {
+		if got := CycleType(mkCycle(c.kinds...)); got != c.want {
+			t.Errorf("CycleType(%v) = %s, want %s", c.kinds, got, c.want)
+		}
+	}
+}
+
+func TestAnomalyString(t *testing.T) {
+	a := Anomaly{
+		Type: G1a,
+		Key:  "x",
+		Ops: []op.Op{
+			op.Txn(3, 0, op.OK, op.ReadList("x", []int{1})),
+			op.Txn(1, 1, op.Fail, op.Append("x", 1)),
+		},
+	}
+	s := a.String()
+	for _, want := range []string{"G1a", "key x", "T3", "T1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %q", want, s)
+		}
+	}
+
+	c := Anomaly{Type: GSingle, Cycle: mkCycle(graph.RW, graph.WW)}
+	if !strings.Contains(c.String(), "-rw->") {
+		t.Errorf("cycle anomaly string = %q", c.String())
+	}
+}

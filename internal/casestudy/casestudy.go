@@ -1,0 +1,233 @@
+// Package casestudy reproduces §7 of the paper: four database bug
+// campaigns, each pairing a workload with the fault injection that
+// reproduces the client-visible signature of the real system's bug, plus
+// the anomaly families the paper reports Elle finding there.
+//
+//   - tidb (§7.1): snapshot isolation with the automatic
+//     retry-on-conflict mechanism enabled. Expected: G-single, lost
+//     updates, inconsistent observations (incompatible orders implying
+//     aborted reads).
+//   - yugabyte (§7.2): serializable engine whose reads sometimes come
+//     from stale timestamps after leader elections. Expected: G2 cycles
+//     with multiple anti-dependency edges, and no G-single/G1/G0.
+//   - fauna (§7.3): strict-serializable engine whose reads sometimes
+//     miss the transaction's own prior writes. Expected: internal
+//     inconsistencies (and inferred G2 from the polluted reads).
+//   - dgraph (§7.4): snapshot-isolated register store whose reads
+//     sometimes return nil after shard migration. Expected: internal
+//     anomalies, cyclic version orders (reported and discarded), and
+//     read skew.
+package casestudy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+)
+
+// Scenario describes one campaign.
+type Scenario struct {
+	// Name is the campaign's identifier: tidb, yugabyte, fauna, dgraph.
+	Name string
+	// Paper is the section reproduced.
+	Paper string
+	// Claimed is the model the real database claimed.
+	Claimed consistency.Model
+	// Workload picks the analyzer.
+	Workload core.Workload
+	// Isolation and Faults configure the engine.
+	Isolation memdb.Isolation
+	Faults    memdb.Faults
+	// Expected lists anomaly families the paper reports for this system.
+	// A run reproduces the case study when every family appears.
+	Expected []anomaly.Type
+	// Forbidden lists families the paper explicitly reports NOT seeing.
+	Forbidden []anomaly.Type
+	// DetectLostUpdates mirrors the paper's use of real-time knowledge
+	// for the TiDB lost-update reports.
+	DetectLostUpdates bool
+	// LinearizableKeys enables per-key real-time version inference for
+	// register workloads (Dgraph claimed per-key linearizability, §7.4).
+	LinearizableKeys bool
+	// NoReadAfterWrite shapes the workload so transactions never read a
+	// key they already wrote (see gen.Config.NoReadAfterWrite).
+	NoReadAfterWrite bool
+}
+
+// Scenarios returns the four campaigns in paper order.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:      "tidb",
+			Paper:     "§7.1",
+			Claimed:   consistency.SnapshotIsolation,
+			Workload:  core.ListAppend,
+			Isolation: memdb.SnapshotIsolation,
+			Faults:    memdb.Faults{RetryStompProb: 0.4, RetryRebaseProb: 1},
+			Expected: []anomaly.Type{
+				anomaly.GSingle, anomaly.LostUpdate, anomaly.IncompatibleOrder,
+			},
+			DetectLostUpdates: true,
+		},
+		{
+			Name:      "yugabyte",
+			Paper:     "§7.2",
+			Claimed:   consistency.Serializable,
+			Workload:  core.ListAppend,
+			Isolation: memdb.Serializable,
+			Faults:    memdb.Faults{SkipReadValidationProb: 0.3},
+			Expected:  []anomaly.Type{anomaly.G2Item},
+			Forbidden: []anomaly.Type{
+				anomaly.GSingle, anomaly.G1a, anomaly.G1b, anomaly.G1c, anomaly.G0,
+			},
+		},
+		{
+			Name:      "fauna",
+			Paper:     "§7.3",
+			Claimed:   consistency.StrictSerializable,
+			Workload:  core.ListAppend,
+			Isolation: memdb.StrictSerializable,
+			Faults:    memdb.Faults{SkipOwnWriteProb: 0.1},
+			Expected:  []anomaly.Type{anomaly.Internal},
+		},
+		{
+			Name:      "dgraph",
+			Paper:     "§7.4",
+			Claimed:   consistency.SnapshotIsolation,
+			Workload:  core.Register,
+			Isolation: memdb.SnapshotIsolation,
+			Faults:    memdb.Faults{NilReadProb: 0.08},
+			Expected: []anomaly.Type{
+				anomaly.Internal, anomaly.CyclicVersionOrder, anomaly.GSingle,
+			},
+			LinearizableKeys: true,
+		},
+	}
+}
+
+// Find returns the scenario with the given name.
+func Find(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// RunResult is the outcome of one campaign run.
+type RunResult struct {
+	Scenario Scenario
+	History  *history.History
+	Check    *core.CheckResult
+	// Reproduced reports whether every expected family appeared and no
+	// forbidden family did.
+	Reproduced bool
+	// MissingExpected and FoundForbidden explain a non-reproduction.
+	MissingExpected []anomaly.Type
+	FoundForbidden  []anomaly.Type
+}
+
+// Config sizes a campaign run.
+type Config struct {
+	Clients int
+	Txns    int
+	Seed    int64
+}
+
+// DefaultConfig mirrors the paper's test dimensions at laptop scale:
+// 10 client threads, a few thousand transactions.
+func DefaultConfig() Config { return Config{Clients: 10, Txns: 2000, Seed: 1} }
+
+// Run executes one campaign and checks its history.
+func Run(s Scenario, cfg Config) *RunResult {
+	if cfg.Clients <= 0 {
+		cfg = DefaultConfig()
+	}
+	wk := gen.ListAppend
+	register := false
+	if s.Workload == core.Register {
+		wk = gen.Register
+		register = true
+	}
+	g := gen.New(gen.Config{
+		Workload: wk, ActiveKeys: 5, MaxWritesPerKey: 60, MinOps: 1, MaxOps: 5,
+		NoReadAfterWrite: s.NoReadAfterWrite,
+	}, cfg.Seed)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: cfg.Clients, Txns: cfg.Txns,
+		Isolation: s.Isolation, Faults: s.Faults,
+		Source: g, Seed: cfg.Seed, Register: register,
+	})
+	opts := core.OptsFor(s.Workload, s.Claimed)
+	opts.DetectLostUpdates = s.DetectLostUpdates
+	if s.LinearizableKeys {
+		opts.RegisterOpts.LinearizableKeys = true
+	}
+	res := core.Check(h, opts)
+
+	found := map[anomaly.Type]bool{}
+	for _, typ := range res.AnomalyTypes() {
+		found[typ] = true
+	}
+	out := &RunResult{Scenario: s, History: h, Check: res, Reproduced: true}
+	for _, want := range s.Expected {
+		if !found[want] {
+			out.MissingExpected = append(out.MissingExpected, want)
+			out.Reproduced = false
+		}
+	}
+	for _, bad := range s.Forbidden {
+		if found[bad] {
+			out.FoundForbidden = append(out.FoundForbidden, bad)
+			out.Reproduced = false
+		}
+	}
+	return out
+}
+
+// Report renders a human-readable campaign summary.
+func (r *RunResult) Report() string {
+	s := r.Scenario
+	out := fmt.Sprintf("=== %s (%s) — claimed %s, engine %s ===\n",
+		s.Name, s.Paper, s.Claimed, s.Isolation)
+	out += fmt.Sprintf("history: %d ops (%d committed)\n",
+		len(r.History.Completions()), len(r.History.OKs()))
+	counts := map[anomaly.Type]int{}
+	for _, a := range r.Check.Anomalies {
+		counts[a.Type]++
+	}
+	var types []string
+	for typ := range counts {
+		types = append(types, string(typ))
+	}
+	sort.Strings(types)
+	out += "anomalies:\n"
+	if len(types) == 0 {
+		out += "  (none)\n"
+	}
+	for _, typ := range types {
+		out += fmt.Sprintf("  %-22s × %d\n", typ, counts[anomaly.Type(typ)])
+	}
+	if r.Reproduced {
+		out += fmt.Sprintf("reproduced the %s signature: expected families all present", s.Paper)
+		if len(s.Forbidden) > 0 {
+			out += ", forbidden families absent"
+		}
+		out += "\n"
+	} else {
+		if len(r.MissingExpected) > 0 {
+			out += fmt.Sprintf("MISSING expected families: %v\n", r.MissingExpected)
+		}
+		if len(r.FoundForbidden) > 0 {
+			out += fmt.Sprintf("FOUND forbidden families: %v\n", r.FoundForbidden)
+		}
+	}
+	return out
+}

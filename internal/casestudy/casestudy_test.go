@@ -1,0 +1,124 @@
+package casestudy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+)
+
+// Each campaign must reproduce its paper section's anomaly signature.
+// Seeds and sizes are fixed, so these tests are deterministic.
+
+func runByName(t *testing.T, name string, cfg Config) *RunResult {
+	t.Helper()
+	s, ok := Find(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	r := Run(s, cfg)
+	if !r.Reproduced {
+		t.Fatalf("%s not reproduced: missing %v, forbidden %v\n%s\ntypes: %v",
+			name, r.MissingExpected, r.FoundForbidden, r.Report(), r.Check.AnomalyTypes())
+	}
+	return r
+}
+
+func TestTiDBCampaign(t *testing.T) {
+	r := runByName(t, "tidb", Config{Clients: 10, Txns: 1500, Seed: 1})
+	// TiDB claimed SI; the check must refute it.
+	if r.Check.Valid {
+		t.Error("tidb campaign passed its claimed SI level")
+	}
+}
+
+func TestYugaByteCampaign(t *testing.T) {
+	r := runByName(t, "yugabyte", Config{Clients: 10, Txns: 1500, Seed: 3})
+	if r.Check.Valid {
+		t.Error("yugabyte campaign passed its claimed serializable level")
+	}
+	// The paper: every cycle involved multiple anti-dependencies.
+	for _, a := range r.Check.Anomalies {
+		if a.Type == anomaly.G2Item && len(a.Cycle.Steps) > 0 {
+			rw := a.Cycle.CountVia(2 /* graph.RW */)
+			if rw < 2 {
+				t.Errorf("G2 witness with %d rw edges; expected ≥ 2", rw)
+			}
+		}
+	}
+}
+
+func TestFaunaCampaign(t *testing.T) {
+	r := runByName(t, "fauna", Config{Clients: 10, Txns: 1200, Seed: 2})
+	if r.Check.Valid {
+		t.Error("fauna campaign passed its claimed strict-serializable level")
+	}
+}
+
+func TestDgraphCampaign(t *testing.T) {
+	r := runByName(t, "dgraph", Config{Clients: 10, Txns: 1500, Seed: 2})
+	if r.Check.Valid {
+		t.Error("dgraph campaign passed its claimed SI level")
+	}
+}
+
+func TestScenarioLookup(t *testing.T) {
+	for _, want := range []string{"tidb", "yugabyte", "fauna", "dgraph"} {
+		if _, ok := Find(want); !ok {
+			t.Errorf("scenario %s missing", want)
+		}
+	}
+	if _, ok := Find("oracle"); ok {
+		t.Error("unknown scenario found")
+	}
+	if got := len(Scenarios()); got != 4 {
+		t.Errorf("scenario count = %d", got)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	s, _ := Find("tidb")
+	r := Run(s, Config{Clients: 6, Txns: 400, Seed: 1})
+	rep := r.Report()
+	for _, want := range []string{"tidb", "§7.1", "anomalies:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestNonReproducedReporting(t *testing.T) {
+	// A scenario whose expectations cannot be met (forbidding an anomaly
+	// the fault guarantees) must report the discrepancy rather than
+	// claiming success.
+	s, _ := Find("tidb")
+	s.Expected = []anomaly.Type{anomaly.G0} // retry faults never produce G0
+	s.Forbidden = []anomaly.Type{anomaly.LostUpdate}
+	r := Run(s, Config{Clients: 8, Txns: 600, Seed: 1})
+	if r.Reproduced {
+		t.Fatal("impossible expectations reported as reproduced")
+	}
+	if len(r.MissingExpected) != 1 || r.MissingExpected[0] != anomaly.G0 {
+		t.Errorf("MissingExpected = %v", r.MissingExpected)
+	}
+	if len(r.FoundForbidden) != 1 || r.FoundForbidden[0] != anomaly.LostUpdate {
+		t.Errorf("FoundForbidden = %v", r.FoundForbidden)
+	}
+	rep := r.Report()
+	if !strings.Contains(rep, "MISSING") || !strings.Contains(rep, "FOUND forbidden") {
+		t.Errorf("report hides the failure:\n%s", rep)
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Clients != 10 || cfg.Txns != 2000 {
+		t.Errorf("DefaultConfig = %+v", cfg)
+	}
+	// A zero config must fall back to defaults rather than running nothing.
+	s, _ := Find("fauna")
+	r := Run(s, Config{})
+	if got := len(r.History.Completions()); got != cfg.Txns {
+		t.Errorf("zero config ran %d txns, want %d", got, cfg.Txns)
+	}
+}

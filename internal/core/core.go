@@ -1,0 +1,329 @@
+// Package core is the public face of the Elle checker: it accepts an
+// observed history and an expected consistency model, runs the
+// workload-appropriate dependency inference, augments the graph with
+// process and real-time orders where the model warrants them, searches for
+// cycles, classifies every anomaly, and reports which isolation models the
+// observation rules out — each with a human-readable explanation in the
+// style of the paper's Figure 2.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/anomaly"
+	"repro/internal/consistency"
+	"repro/internal/counter"
+	"repro/internal/explain"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/listappend"
+	"repro/internal/op"
+	"repro/internal/rwregister"
+	"repro/internal/setadd"
+	"repro/internal/txngraph"
+)
+
+// Workload selects the dependency-inference strategy.
+type Workload uint8
+
+const (
+	// ListAppend analyzes histories over append-only lists — the paper's
+	// traceable, recoverable workload, and its most precise analysis.
+	ListAppend Workload = iota
+	// Register analyzes histories over read-write registers with the
+	// partial version-order inference of §5.2.
+	Register
+	// SetAdd analyzes histories over grow-only sets: exact wr and rw
+	// dependencies, but no write-write inference (§3).
+	SetAdd
+	// Counter analyzes histories over increment-only counters: bounds
+	// and session-monotonicity checks only (§3).
+	Counter
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	switch w {
+	case Register:
+		return "rw-register"
+	case SetAdd:
+		return "set-add"
+	case Counter:
+		return "counter"
+	default:
+		return "list-append"
+	}
+}
+
+// Opts configures a check.
+type Opts struct {
+	// Workload selects the analyzer; default ListAppend.
+	Workload Workload
+	// Model is the consistency model the database under test claims.
+	// Default: strict-serializable.
+	Model consistency.Model
+	// ProcessEdges merges per-process session order into the dependency
+	// graph before cycle search.
+	ProcessEdges bool
+	// RealtimeEdges merges the real-time precedence order into the
+	// dependency graph before cycle search.
+	RealtimeEdges bool
+	// TimestampEdges merges the database's own claimed transaction
+	// timestamps (carried in Op.Time, §5.1) into the dependency graph.
+	// Only meaningful when the system under test exposes start/commit
+	// timestamps; off by default.
+	TimestampEdges bool
+	// DetectLostUpdates enables the real-time lost-update inference for
+	// list-append histories (see listappend.Opts).
+	DetectLostUpdates bool
+	// RegisterOpts configures the register analyzer's version-order
+	// inference rules.
+	RegisterOpts rwregister.Opts
+}
+
+// OptsFor returns the options the paper's methodology implies for
+// checking workload w against model m: real-time edges (and lost-update
+// detection) for strict models, session edges for strong-session and
+// stricter models, and every register inference rule for register
+// workloads.
+func OptsFor(w Workload, m consistency.Model) Opts {
+	strict := m == consistency.StrictSerializable
+	session := strict ||
+		m == consistency.StrongSessionSerial ||
+		m == consistency.StrongSessionSI
+	ro := rwregister.DefaultOpts()
+	ro.LinearizableKeys = strict
+	return Opts{
+		Workload:          w,
+		Model:             m,
+		ProcessEdges:      session,
+		RealtimeEdges:     strict,
+		DetectLostUpdates: strict,
+		RegisterOpts:      ro,
+	}
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Model == "" {
+		o.Model = consistency.StrictSerializable
+	}
+	return o
+}
+
+// Stats summarizes the analysis for reporting and benchmarks.
+type Stats struct {
+	Ops       int // completion ops analyzed
+	Nodes     int // transactions in the dependency graph
+	Edges     int // distinct dependency adjacencies
+	SCCs      int // strongly connected components with ≥ 2 transactions
+	ExtraKind graph.KindSet
+}
+
+// CheckResult is the outcome of a check.
+type CheckResult struct {
+	// Valid reports whether the observation is consistent with Expected:
+	// no detected anomaly rules it out.
+	Valid bool
+	// Expected is the model the check was performed against.
+	Expected consistency.Model
+	// Anomalies lists every detected anomaly, structural first, then
+	// dirty phenomena, then cycles, each with an explanation.
+	Anomalies []anomaly.Anomaly
+	// Violated lists every model the detected anomalies rule out.
+	Violated []consistency.Model
+	// Strongest lists the maximal models the observation may satisfy.
+	Strongest []consistency.Model
+	// Graph is the final dependency graph searched for cycles.
+	Graph *graph.Graph
+	// Explainer renders additional cycles against this analysis.
+	Explainer *explain.Explainer
+	Stats     Stats
+}
+
+// AnomalyTypes returns the distinct anomaly types found, sorted.
+func (r *CheckResult) AnomalyTypes() []anomaly.Type {
+	set := map[anomaly.Type]bool{}
+	for _, a := range r.Anomalies {
+		set[a.Type] = true
+	}
+	out := make([]anomaly.Type, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HasAnomaly reports whether any anomaly of type t was found.
+func (r *CheckResult) HasAnomaly(t anomaly.Type) bool {
+	for _, a := range r.Anomalies {
+		if a.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Summary renders a short multi-line report.
+func (r *CheckResult) Summary() string {
+	var b strings.Builder
+	if r.Valid {
+		fmt.Fprintf(&b, "OK: no anomalies rule out %s\n", r.Expected)
+	} else {
+		fmt.Fprintf(&b, "INVALID under %s\n", r.Expected)
+	}
+	fmt.Fprintf(&b, "  %d ops, %d nodes, %d edges, %d cyclic components\n",
+		r.Stats.Ops, r.Stats.Nodes, r.Stats.Edges, r.Stats.SCCs)
+	if len(r.Anomalies) > 0 {
+		counts := map[anomaly.Type]int{}
+		for _, a := range r.Anomalies {
+			counts[a.Type]++
+		}
+		b.WriteString("  anomalies:")
+		for _, t := range r.AnomalyTypes() {
+			fmt.Fprintf(&b, " %s×%d", t, counts[t])
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "  may satisfy: %s\n", joinModels(r.Strongest))
+	}
+	return b.String()
+}
+
+func joinModels(ms []consistency.Model) string {
+	if len(ms) == 0 {
+		return "(nothing)"
+	}
+	parts := make([]string, len(ms))
+	for i, m := range ms {
+		parts[i] = string(m)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Check analyzes h under opts. It never modifies h.
+func Check(h *history.History, opts Opts) *CheckResult {
+	opts = opts.withDefaults()
+
+	var (
+		g     *graph.Graph
+		anoms []anomaly.Anomaly
+		expl  *explain.Explainer
+	)
+	switch opts.Workload {
+	case Register:
+		an := rwregister.Analyze(h, opts.RegisterOpts)
+		g, anoms = an.Graph, an.Anomalies
+		expl = &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders}
+	case SetAdd:
+		an := setadd.Analyze(h)
+		g, anoms = an.Graph, an.Anomalies
+		expl = &explain.Explainer{Ops: an.Ops}
+	case Counter:
+		an := counter.Analyze(h)
+		g, anoms = graph.New(), an.Anomalies
+		ops := map[int]op.Op{}
+		for _, o := range h.Completions() {
+			ops[o.Index] = o
+		}
+		expl = &explain.Explainer{Ops: ops}
+	default:
+		an := listappend.Analyze(h, listappend.Opts{DetectLostUpdates: opts.DetectLostUpdates})
+		g, anoms = an.Graph, an.Anomalies
+		expl = &explain.Explainer{Ops: an.Ops, ListOrders: an.VersionOrders}
+	}
+
+	var extra graph.KindSet
+	if opts.ProcessEdges {
+		g.Merge(txngraph.ProcessGraph(h))
+		extra |= graph.Process.Mask()
+	}
+	if opts.RealtimeEdges {
+		g.Merge(txngraph.RealtimeGraph(h))
+		extra |= graph.Realtime.Mask()
+	}
+	if opts.TimestampEdges {
+		g.Merge(txngraph.TimestampGraph(h))
+		extra |= graph.Timestamp.Mask()
+	}
+
+	cycles := findAnomalousCycles(g, extra)
+	for _, c := range cycles {
+		anoms = append(anoms, anomaly.Anomaly{
+			Type:        anomaly.CycleType(c),
+			Cycle:       c,
+			Explanation: expl.Cycle(c),
+		})
+	}
+	sortAnomalies(anoms)
+
+	types := make([]anomaly.Type, len(anoms))
+	for i, a := range anoms {
+		types[i] = a.Type
+	}
+	violated := consistency.Violated(types)
+	res := &CheckResult{
+		Valid:     consistency.Holds(opts.Model, types),
+		Expected:  opts.Model,
+		Anomalies: anoms,
+		Violated:  violated,
+		Strongest: consistency.Strongest(types),
+		Graph:     g,
+		Explainer: expl,
+		Stats: Stats{
+			Ops:       len(h.Completions()),
+			Nodes:     g.NumNodes(),
+			Edges:     g.NumEdges(),
+			SCCs:      len(g.SCCs(graph.KSDep | extra)),
+			ExtraKind: extra,
+		},
+	}
+	return res
+}
+
+// findAnomalousCycles runs the §6 searches, from most to least specific,
+// deduplicating cycles that multiple searches find: G0 over ww edges, G1c
+// over ww+wr, G-single with exactly one rw, and G2 with one or more rw.
+// Extra ordering edges (process, realtime) participate in every search;
+// CycleType downgrades cycles that need them to the -process / -realtime
+// variants.
+func findAnomalousCycles(g *graph.Graph, extra graph.KindSet) []graph.Cycle {
+	seen := map[string]bool{}
+	var out []graph.Cycle
+	add := func(cs []graph.Cycle) {
+		for _, c := range cs {
+			sig := cycleSignature(c)
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, c)
+			}
+		}
+	}
+	add(g.FindCycles(graph.KSWW | extra))
+	add(g.FindCycles(graph.KSWWWR | extra))
+	add(g.FindCyclesWithExactlyOne(graph.RW, graph.KSWWWR|extra))
+	add(g.FindCyclesWithAtLeastOne(graph.RW, graph.KSDep|extra))
+	return out
+}
+
+// cycleSignature canonicalizes a cycle by its sorted node set; two
+// witnesses over the same transactions are considered the same finding.
+func cycleSignature(c graph.Cycle) string {
+	nodes := c.Nodes()
+	sort.Ints(nodes)
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.String()
+}
+
+func sortAnomalies(as []anomaly.Anomaly) {
+	sort.SliceStable(as, func(i, j int) bool {
+		if as[i].Type.Severity() != as[j].Type.Severity() {
+			return as[i].Type.Severity() > as[j].Type.Severity()
+		}
+		return as[i].Type < as[j].Type
+	})
+}

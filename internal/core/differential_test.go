@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/op"
+	"repro/internal/serialcheck"
+)
+
+// Differential testing against the exhaustive search baseline: on small
+// histories where the baseline completes, Elle must never report a
+// serializability-refuting anomaly that the baseline can explain away.
+// (The converse — the baseline rejecting histories Elle passes — is
+// permitted: Elle is sound, not complete.)
+
+func ellePureDeps(h *history.History) *CheckResult {
+	// Pure Adya dependencies only: no process/realtime edges, no
+	// lost-update heuristic — exactly what "not serializable" means.
+	return Check(h, Opts{Workload: ListAppend, Model: consistency.Serializable})
+}
+
+func TestDifferentialAgainstBaseline(t *testing.T) {
+	faultMenu := []memdb.Faults{
+		{},
+		{RetryStompProb: 1},
+		{RetryRebaseProb: 1},
+		{SkipReadValidationProb: 0.5},
+		{SkipOwnWriteProb: 0.3},
+		{DuplicateAppendProb: 0.2},
+		{StaleReadProb: 0.5},
+	}
+	isoMenu := []memdb.Isolation{
+		memdb.StrictSerializable,
+		memdb.SnapshotIsolation,
+		memdb.ReadCommitted,
+		memdb.ReadUncommitted,
+	}
+	rng := rand.New(rand.NewSource(2024))
+	incomplete := 0
+	for trial := 0; trial < 60; trial++ {
+		seed := rng.Int63()
+		iso := isoMenu[rng.Intn(len(isoMenu))]
+		f := faultMenu[rng.Intn(len(faultMenu))]
+		g := gen.New(gen.Config{ActiveKeys: 3, MaxWritesPerKey: 20, MaxOps: 3}, seed)
+		h := memdb.Run(memdb.RunConfig{
+			Clients: 3, Txns: 40, Isolation: iso, Faults: f,
+			Source: g, Seed: seed, AbortProb: 0.1,
+		})
+
+		base := serialcheck.Check(h, serialcheck.Opts{Timeout: 5 * time.Second})
+		if base.Outcome == serialcheck.Unknown {
+			continue // baseline timed out; nothing to compare
+		}
+		res := ellePureDeps(h)
+
+		if !res.Valid && base.Outcome == serialcheck.Serializable {
+			t.Fatalf("trial %d (iso=%v faults=%+v seed=%d): Elle refuted serializability (%v) but the exhaustive search found a witness order %v\n%s",
+				trial, iso, f, seed, res.AnomalyTypes(), base.Order, res.Anomalies[0].Explanation)
+		}
+		if res.Valid && base.Outcome == serialcheck.NotSerializable {
+			incomplete++ // allowed: Elle is sound, not complete
+		}
+	}
+	t.Logf("incompleteness observed on %d/60 trials (allowed)", incomplete)
+}
+
+// TestAnalyzerRobustness fuzzes the analyzers with structurally arbitrary
+// histories: random mops, random outcomes, contradictory reads. Nothing
+// may panic, and verdicts must be deterministic.
+func TestAnalyzerRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	keys := []string{"a", "b", "c"}
+	randomMop := func() op.Mop {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(6) {
+		case 0:
+			return op.Append(k, rng.Intn(10))
+		case 1:
+			return op.Write(k, rng.Intn(10))
+		case 2:
+			var v []int
+			for j := 0; j < rng.Intn(4); j++ {
+				v = append(v, rng.Intn(10))
+			}
+			return op.ReadList(k, v)
+		case 3:
+			return op.ReadReg(k, rng.Intn(10))
+		case 4:
+			return op.ReadNil(k)
+		default:
+			return op.Read(k)
+		}
+	}
+	types := []op.Type{op.OK, op.OK, op.OK, op.Fail, op.Info}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(20)
+		ops := make([]op.Op, n)
+		for i := range ops {
+			mops := make([]op.Mop, 1+rng.Intn(4))
+			for j := range mops {
+				mops[j] = randomMop()
+			}
+			ops[i] = op.Txn(i, rng.Intn(4), types[rng.Intn(len(types))], mops...)
+		}
+		h := history.MustNew(ops)
+		for _, w := range []Workload{ListAppend, Register, SetAdd, Counter} {
+			r1 := Check(h, OptsFor(w, consistency.StrictSerializable))
+			r2 := Check(h, OptsFor(w, consistency.StrictSerializable))
+			if r1.Valid != r2.Valid || len(r1.Anomalies) != len(r2.Anomalies) {
+				t.Fatalf("trial %d workload %v: nondeterministic verdict", trial, w)
+			}
+		}
+	}
+}

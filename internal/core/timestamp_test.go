@@ -1,0 +1,145 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/consistency"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/op"
+)
+
+// Tests for §5.1 timestamp inference: when a database exposes transaction
+// start and commit timestamps, Elle can build the time-precedes order of
+// Adya's snapshot-isolation formalization and find cycles against it.
+
+// tsHistory builds the canonical contradiction: T0 and T1 overlap in real
+// time (no realtime edge), but the database's own timestamps say T0
+// committed (ts 20) before T1 started (ts 30) — and yet T1 did not
+// observe T0's append.
+func tsHistory() *history.History {
+	return history.MustNew([]op.Op{
+		{Index: 0, Process: 0, Type: op.Invoke, Time: 10,
+			Mops: []op.Mop{op.Append("x", 1)}},
+		{Index: 1, Process: 1, Type: op.Invoke, Time: 30,
+			Mops: []op.Mop{op.Read("x")}},
+		{Index: 2, Process: 0, Type: op.OK, Time: 20,
+			Mops: []op.Mop{op.Append("x", 1)}},
+		{Index: 3, Process: 1, Type: op.OK, Time: 40,
+			Mops: []op.Mop{op.ReadList("x", []int{})}},
+	})
+}
+
+func TestTimestampCycleDetection(t *testing.T) {
+	h := tsHistory()
+	// A reader proving x = [1] eventually, so the rw edge exists.
+	ops := append(h.Ops,
+		op.Op{Index: 4, Process: 2, Type: op.Invoke, Time: 50,
+			Mops: []op.Mop{op.Read("x")}},
+		op.Op{Index: 5, Process: 2, Type: op.OK, Time: 60,
+			Mops: []op.Mop{op.ReadList("x", []int{1})}},
+	)
+	h = history.MustNew(ops)
+
+	opts := Opts{
+		Workload:       ListAppend,
+		Model:          consistency.SnapshotIsolation,
+		TimestampEdges: true,
+	}
+	r := Check(h, opts)
+	if r.Valid {
+		t.Fatalf("timestamp contradiction checked as SI:\n%s", r.Summary())
+	}
+	found := false
+	for _, typ := range r.AnomalyTypes() {
+		if strings.HasSuffix(string(typ), "-timestamp") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a -timestamp cycle, found %v", r.AnomalyTypes())
+	}
+	// Without timestamp edges the same history passes SI: the
+	// transactions are concurrent in real time.
+	r2 := Check(h, Opts{Workload: ListAppend, Model: consistency.SnapshotIsolation})
+	if !r2.Valid {
+		t.Fatalf("history should pass SI without timestamp edges: %v", r2.AnomalyTypes())
+	}
+}
+
+func TestTimestampViolatesSIFamilyOnly(t *testing.T) {
+	types := []anomaly.Type{anomaly.GSingleTimestamp}
+	if consistency.Holds(consistency.SnapshotIsolation, types) {
+		t.Error("timestamp G-single should refute SI")
+	}
+	if consistency.Holds(consistency.Serializable, types) {
+		t.Error("timestamp G-single should refute serializability (it implies SI)")
+	}
+	if !consistency.Holds(consistency.ReadCommitted, types) {
+		t.Error("timestamp G-single should not refute read committed")
+	}
+	if !consistency.Holds(consistency.RepeatableRead, types) {
+		t.Error("timestamp cycles say nothing about repeatable read")
+	}
+}
+
+func TestTimestampEdgesSoundOnHonestClock(t *testing.T) {
+	// When timestamps agree with the actual serialization (our engine's
+	// commit order), enabling them adds no anomalies. Simulated by a
+	// sequential history whose times equal its indices.
+	h := history.MustNew([]op.Op{
+		{Index: 0, Process: 0, Type: op.Invoke, Time: 1, Mops: []op.Mop{op.Append("x", 1)}},
+		{Index: 1, Process: 0, Type: op.OK, Time: 2, Mops: []op.Mop{op.Append("x", 1)}},
+		{Index: 2, Process: 1, Type: op.Invoke, Time: 3, Mops: []op.Mop{op.Read("x")}},
+		{Index: 3, Process: 1, Type: op.OK, Time: 4, Mops: []op.Mop{op.ReadList("x", []int{1})}},
+	})
+	r := Check(h, Opts{Workload: ListAppend, Model: consistency.SnapshotIsolation, TimestampEdges: true})
+	if !r.Valid {
+		t.Fatalf("honest clock produced anomalies: %v", r.AnomalyTypes())
+	}
+}
+
+func TestTimestampCycleTypeClassification(t *testing.T) {
+	// CycleType must downgrade ts-closed cycles to the -timestamp
+	// variants, with realtime taking precedence when both appear.
+	// (Covered in unit form in internal/anomaly; this is the integration
+	// sanity check via the explainer's Via labels.)
+	h := tsHistory()
+	ops := append(h.Ops,
+		op.Op{Index: 4, Process: 2, Type: op.Invoke, Time: 50, Mops: []op.Mop{op.Read("x")}},
+		op.Op{Index: 5, Process: 2, Type: op.OK, Time: 60, Mops: []op.Mop{op.ReadList("x", []int{1})}},
+	)
+	h = history.MustNew(ops)
+	r := Check(h, Opts{Workload: ListAppend, Model: consistency.SnapshotIsolation, TimestampEdges: true})
+	for _, a := range r.Anomalies {
+		if strings.HasSuffix(string(a.Type), "-timestamp") {
+			if !strings.Contains(a.Explanation, "contradiction") {
+				t.Errorf("timestamp cycle explanation incomplete:\n%s", a.Explanation)
+			}
+		}
+	}
+}
+
+// TestTimestampSoundnessOnEngine: with the engine exposing honest
+// timestamps, enabling timestamp edges introduces no anomalies across
+// seeds — the claimed order and the actual order agree.
+func TestTimestampSoundnessOnEngine(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		g := gen.New(gen.Config{ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
+		h := memdb.Run(memdb.RunConfig{
+			Clients: 10, Txns: 400, Isolation: memdb.StrictSerializable,
+			Source: g, Seed: seed, ExposeTimestamps: true,
+			AbortProb: 0.1, InfoProb: 0.05,
+		})
+		opts := OptsFor(ListAppend, consistency.StrictSerializable)
+		opts.TimestampEdges = true
+		r := Check(h, opts)
+		if len(r.Anomalies) != 0 {
+			t.Fatalf("seed %d: timestamp edges caused false positives: %v\n%s",
+				seed, r.AnomalyTypes(), r.Anomalies[0].Explanation)
+		}
+	}
+}

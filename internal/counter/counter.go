@@ -1,0 +1,142 @@
+// Package counter implements Elle's (deliberately weak) analysis for
+// increment-only counters (§3 of the paper). Counters are traceable in
+// the trivial sense that their version history is (0, 1, 2, ...) under
+// unit increments, but they are *not recoverable*: no read can tell which
+// increment produced a given value, so no write-read, write-write, or
+// read-write dependencies can be inferred. What remains checkable:
+//
+//   - Bounds: every committed read must lie between the sum of definitely
+//     committed increments visible in some interpretation and the sum of
+//     all possibly-committed increments. Reads outside those bounds are
+//     impossible in every interpretation.
+//   - Session monotonicity: with only non-negative increments, a single
+//     process must never observe the counter go backwards.
+//
+// These checks find real bugs (stale or garbage reads) but cannot
+// discriminate cycle anomalies — which is exactly the paper's argument
+// for richer datatypes.
+package counter
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// Analysis is the result of counter checking.
+type Analysis struct {
+	// Anomalies found (garbage reads, non-monotonic session reads).
+	Anomalies []anomaly.Anomaly
+	// Bounds per key: the [lo, hi] envelope of possible counter values
+	// over the whole history.
+	Bounds map[string][2]int
+}
+
+// Analyze checks a counter history.
+func Analyze(h *history.History) *Analysis {
+	// Possible value envelope per key, over all interpretations: an
+	// increment by a committed or indeterminate transaction may or may
+	// not be visible to any given read (we have no ordering), so the
+	// envelope spans from the sum of negative deltas to the sum of
+	// positive deltas among possibly-committed increments.
+	lo := map[string]int{}
+	hi := map[string]int{}
+	allNonNegative := map[string]bool{}
+	keys := map[string]bool{}
+	for _, o := range h.Completions() {
+		for _, m := range o.Mops {
+			if m.F != op.FIncrement {
+				continue
+			}
+			keys[m.Key] = true
+			if _, ok := allNonNegative[m.Key]; !ok {
+				allNonNegative[m.Key] = true
+			}
+			if m.Arg < 0 {
+				allNonNegative[m.Key] = false
+			}
+			if !o.MayHaveCommitted() {
+				continue
+			}
+			if m.Arg >= 0 {
+				hi[m.Key] += m.Arg
+			} else {
+				lo[m.Key] += m.Arg
+			}
+		}
+	}
+
+	a := &Analysis{Bounds: map[string][2]int{}}
+	sortedKeys := make([]string, 0, len(keys))
+	for k := range keys {
+		sortedKeys = append(sortedKeys, k)
+	}
+	sort.Strings(sortedKeys)
+	for _, k := range sortedKeys {
+		a.Bounds[k] = [2]int{lo[k], hi[k]}
+	}
+
+	// Bounds check on every committed read.
+	for _, o := range h.OKs() {
+		for _, m := range o.Mops {
+			if m.F != op.FRead || !m.RegKnown {
+				continue
+			}
+			v := 0
+			if !m.RegNil {
+				v = m.Reg
+			}
+			l, hb := lo[m.Key], hi[m.Key]
+			if v < l || v > hb {
+				a.Anomalies = append(a.Anomalies, anomaly.Anomaly{
+					Type: anomaly.GarbageRead,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read counter %s = %d, outside the possible envelope [%d, %d] of all attempted increments",
+						o.Name(), m.Key, v, l, hb),
+				})
+			}
+		}
+	}
+
+	// Session monotonicity for non-negative counters: a process's
+	// successive observations must not decrease.
+	for _, procOps := range h.ByProcess() {
+		last := map[string]int{}
+		lastOp := map[string]op.Op{}
+		for _, o := range procOps {
+			if o.Type != op.OK {
+				continue
+			}
+			for _, m := range o.Mops {
+				if m.F != op.FRead || !m.RegKnown {
+					continue
+				}
+				if !allNonNegative[m.Key] {
+					continue
+				}
+				v := 0
+				if !m.RegNil {
+					v = m.Reg
+				}
+				if prev, seen := last[m.Key]; seen && v < prev {
+					a.Anomalies = append(a.Anomalies, anomaly.Anomaly{
+						Type: anomaly.Internal,
+						Ops:  []op.Op{lastOp[m.Key], o},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"process %d observed counter %s fall from %d (%s) to %d (%s) despite only non-negative increments: a non-monotonic session read",
+							o.Process, m.Key, prev, lastOp[m.Key].Name(), v, o.Name()),
+					})
+				}
+				last[m.Key] = v
+				lastOp[m.Key] = o
+			}
+		}
+	}
+	return a
+}

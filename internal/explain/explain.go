@@ -1,0 +1,234 @@
+// Package explain renders anomaly witnesses as human-readable
+// counterexamples, reproducing the paper's Figure 2 (a textual explanation
+// of each dependency edge around a cycle and why the cycle is a
+// contradiction) and Figure 3 (the same cycle as a Graphviz plot with
+// wr / rw / ww / rt / process edge labels).
+package explain
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/op"
+)
+
+// Explainer renders cycles against the ops and version orders of one
+// analysis.
+type Explainer struct {
+	// Ops maps transaction ids to their completion ops.
+	Ops map[int]op.Op
+	// ListOrders maps keys to inferred element orders (list-append).
+	ListOrders map[string][]int
+	// RegOrders maps keys to the direct edges of the inferred register
+	// version order, as "u" -> "v" value strings with "nil" for the
+	// initial version (rw-register workloads).
+	RegOrders map[string][][2]string
+}
+
+// Cycle renders a Figure 2-style explanation: the transactions involved,
+// then one line per edge justifying the dependency, ending with the
+// contradiction.
+func (e *Explainer) Cycle(c graph.Cycle) string {
+	var b strings.Builder
+	b.WriteString("Let:\n")
+	for _, n := range c.Nodes() {
+		fmt.Fprintf(&b, "  %s\n", e.Ops[n].String())
+	}
+	b.WriteString("\nThen:\n")
+	for i, s := range c.Steps {
+		reason := e.edgeReason(s)
+		if i == len(c.Steps)-1 {
+			fmt.Fprintf(&b, "  - However, %s < %s, because %s: a contradiction!\n",
+				e.name(s.From), e.name(s.To), reason)
+		} else {
+			fmt.Fprintf(&b, "  - %s < %s, because %s.\n",
+				e.name(s.From), e.name(s.To), reason)
+		}
+	}
+	return b.String()
+}
+
+func (e *Explainer) name(n int) string {
+	if o, ok := e.Ops[n]; ok {
+		return o.Name()
+	}
+	return fmt.Sprintf("T%d", n)
+}
+
+// edgeReason justifies one dependency edge in terms of the values the
+// transactions read and wrote.
+func (e *Explainer) edgeReason(s graph.Step) string {
+	from, to := e.Ops[s.From], e.Ops[s.To]
+	switch s.Via {
+	case graph.WR:
+		if key, elem, ok := e.wrWitness(from, to); ok {
+			return fmt.Sprintf("%s observed %s's append of %d to key %s",
+				to.Name(), from.Name(), elem, key)
+		}
+		if key, v, ok := e.wrRegWitness(from, to); ok {
+			return fmt.Sprintf("%s observed %s's write of %d to key %s",
+				to.Name(), from.Name(), v, key)
+		}
+		return fmt.Sprintf("%s read a version %s installed", to.Name(), from.Name())
+	case graph.RW:
+		if key, elem, ok := e.rwWitness(from, to); ok {
+			return fmt.Sprintf("%s did not observe %s's append of %d to key %s",
+				from.Name(), to.Name(), elem, key)
+		}
+		if key, prev, next, ok := e.rwRegWitness(from, to); ok {
+			return fmt.Sprintf("%s read key %s = %s, which %s overwrote with %s",
+				from.Name(), key, prev, to.Name(), next)
+		}
+		return fmt.Sprintf("%s read a version which %s overwrote", from.Name(), to.Name())
+	case graph.WW:
+		if key, e1, e2, ok := e.wwWitness(from, to); ok {
+			return fmt.Sprintf("%s appended %d after %s appended %d to key %s",
+				to.Name(), e2, from.Name(), e1, key)
+		}
+		return fmt.Sprintf("%s overwrote a version %s installed", to.Name(), from.Name())
+	case graph.Process:
+		return fmt.Sprintf("process %d executed %s before %s",
+			from.Process, from.Name(), to.Name())
+	case graph.Realtime:
+		return fmt.Sprintf("%s completed before %s was invoked", from.Name(), to.Name())
+	case graph.Timestamp:
+		return fmt.Sprintf("the database's own timestamps say %s committed before %s began",
+			from.Name(), to.Name())
+	default:
+		return fmt.Sprintf("%s precedes %s in the inferred version order", from.Name(), to.Name())
+	}
+}
+
+// wrWitness finds a key and element proving a list (or set) wr edge:
+// preferentially the final element of a read `from` appended (the
+// list-append wr definition), falling back to any observed element (the
+// set-add definition).
+func (e *Explainer) wrWitness(from, to op.Op) (string, int, bool) {
+	for _, m := range to.Mops {
+		if !m.ListKnown() || len(m.List) == 0 {
+			continue
+		}
+		last := m.List[len(m.List)-1]
+		for _, w := range from.Mops {
+			if w.F == op.FAppend && w.Key == m.Key && w.Arg == last {
+				return m.Key, last, true
+			}
+		}
+	}
+	for _, m := range to.Mops {
+		if !m.ListKnown() {
+			continue
+		}
+		for _, elem := range m.List {
+			for _, w := range from.Mops {
+				if w.IsWrite() && w.F != op.FWrite && w.Key == m.Key && w.Arg == elem {
+					return m.Key, elem, true
+				}
+			}
+		}
+	}
+	return "", 0, false
+}
+
+func (e *Explainer) wrRegWitness(from, to op.Op) (string, int, bool) {
+	for _, m := range to.Mops {
+		if m.F != op.FRead || !m.RegKnown || m.RegNil {
+			continue
+		}
+		for _, w := range from.Mops {
+			if w.F == op.FWrite && w.Key == m.Key && w.Arg == m.Reg {
+				return m.Key, m.Reg, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// rwWitness finds a key and element proving an rw edge: `from` read a
+// version of key k that did not yet include `to`'s append.
+func (e *Explainer) rwWitness(from, to op.Op) (string, int, bool) {
+	for _, m := range from.Mops {
+		if !m.ListKnown() {
+			continue
+		}
+		order, ok := e.ListOrders[m.Key]
+		if !ok || len(m.List) >= len(order) {
+			continue
+		}
+		next := order[len(m.List)]
+		for _, w := range to.Mops {
+			if w.F == op.FAppend && w.Key == m.Key && w.Arg == next {
+				return m.Key, next, true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// rwRegWitness proves a register rw edge: `from` read version prev of a
+// key whose inferred successor next was written by `to`.
+func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok bool) {
+	for _, m := range from.Mops {
+		if m.F != op.FRead || !m.RegKnown {
+			continue
+		}
+		observed := "nil"
+		if !m.RegNil {
+			observed = fmt.Sprintf("%d", m.Reg)
+		}
+		for _, edge := range e.RegOrders[m.Key] {
+			if edge[0] != observed {
+				continue
+			}
+			for _, w := range to.Mops {
+				if w.F == op.FWrite && w.Key == m.Key && fmt.Sprintf("%d", w.Arg) == edge[1] {
+					return m.Key, observed, edge[1], true
+				}
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+// wwWitness finds a key and adjacent elements proving a ww edge.
+func (e *Explainer) wwWitness(from, to op.Op) (string, int, int, bool) {
+	for key, order := range e.ListOrders {
+		for i := 0; i+1 < len(order); i++ {
+			e1, e2 := order[i], order[i+1]
+			if appends(from, key, e1) && appends(to, key, e2) {
+				return key, e1, e2, true
+			}
+		}
+	}
+	return "", 0, 0, false
+}
+
+func appends(o op.Op, key string, elem int) bool {
+	for _, m := range o.Mops {
+		if m.F == op.FAppend && m.Key == key && m.Arg == elem {
+			return true
+		}
+	}
+	return false
+}
+
+// DOT renders the cycle as a Graphviz digraph in the style of Figure 3:
+// one node per transaction (labeled with its ops) and one arrow per
+// dependency, labeled wr, rw, ww, rt, or process.
+func (e *Explainer) DOT(c graph.Cycle) string {
+	var b strings.Builder
+	b.WriteString("digraph elle {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range c.Nodes() {
+		o := e.Ops[n]
+		label := strings.ReplaceAll(o.String(), `"`, `\"`)
+		fmt.Fprintf(&b, "  t%d [label=\"%s\"];\n", n, label)
+	}
+	for _, s := range c.Steps {
+		fmt.Fprintf(&b, "  t%d -> t%d [label=\"%s\"];\n", s.From, s.To, s.Via)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Package gen generates random transaction workloads the way the paper's
+// evaluation does (§7): transactions of 1–10 micro-operations comprised of
+// random reads and writes over a rotating pool of objects, with unique
+// write arguments so that versions are recoverable, and a configurable
+// number of writes per object before a key is retired and a fresh one
+// introduced (1 write/key stresses object creation; 1024 writes/key lets
+// anomalies span long periods).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/op"
+)
+
+// Workload selects which micro-ops the generator emits.
+type Workload uint8
+
+const (
+	// ListAppend emits append and list-read mops.
+	ListAppend Workload = iota
+	// Register emits blind-write and register-read mops.
+	Register
+	// Set emits unique-element add and set-read mops.
+	Set
+	// Counter emits small increments and counter-read mops.
+	Counter
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Workload selects list-append (default) or register mops.
+	Workload Workload
+	// ActiveKeys is how many objects are live at any point in time
+	// (the paper used "a handful" up to 100). Default 5.
+	ActiveKeys int
+	// MaxWritesPerKey retires a key after this many writes (paper: 1 to
+	// 1024). Default 100, the Figure 4 setting.
+	MaxWritesPerKey int
+	// MinOps and MaxOps bound the mops per transaction (paper: 1–10;
+	// Figure 4 used 1–5). Defaults 1 and 5.
+	MinOps, MaxOps int
+	// ReadRatio is the probability each mop is a read. Default 0.5.
+	ReadRatio float64
+	// NoReadAfterWrite suppresses reads of keys the transaction has
+	// already written. Useful for workloads modeling engines whose read
+	// and write paths diverge (the YugaByte campaign), where a
+	// read-after-write would conflate the two paths.
+	NoReadAfterWrite bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ActiveKeys <= 0 {
+		c.ActiveKeys = 5
+	}
+	if c.MaxWritesPerKey <= 0 {
+		c.MaxWritesPerKey = 100
+	}
+	if c.MinOps <= 0 {
+		c.MinOps = 1
+	}
+	if c.MaxOps < c.MinOps {
+		c.MaxOps = c.MinOps + 4
+	}
+	if c.ReadRatio <= 0 || c.ReadRatio >= 1 {
+		c.ReadRatio = 0.5
+	}
+	return c
+}
+
+// Gen produces transaction bodies. It is not safe for concurrent use.
+type Gen struct {
+	cfg     Config
+	rng     *rand.Rand
+	active  []string       // live keys
+	writes  map[string]int // writes so far per live key
+	nextKey int            // next fresh key id
+	nextArg int            // global unique write argument
+}
+
+// New builds a generator with the given seed.
+func New(cfg Config, seed int64) *Gen {
+	cfg = cfg.withDefaults()
+	g := &Gen{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)),
+		writes: map[string]int{},
+	}
+	for len(g.active) < cfg.ActiveKeys {
+		g.addKey()
+	}
+	return g
+}
+
+func (g *Gen) addKey() {
+	k := fmt.Sprintf("%d", g.nextKey)
+	g.nextKey++
+	g.active = append(g.active, k)
+	g.writes[k] = 0
+}
+
+// retire replaces the key at position i with a fresh one.
+func (g *Gen) retire(i int) {
+	delete(g.writes, g.active[i])
+	k := fmt.Sprintf("%d", g.nextKey)
+	g.nextKey++
+	g.active[i] = k
+	g.writes[k] = 0
+}
+
+// Next returns the mops of one transaction. Write arguments are unique
+// across the whole run, which is what makes versions recoverable
+// (§4.2.3: "we can ensure the first criterion by picking unique values").
+func (g *Gen) Next() []op.Mop {
+	n := g.cfg.MinOps + g.rng.Intn(g.cfg.MaxOps-g.cfg.MinOps+1)
+	mops := make([]op.Mop, 0, n)
+	written := map[string]bool{}
+	for i := 0; i < n; i++ {
+		ki := g.rng.Intn(len(g.active))
+		key := g.active[ki]
+		if g.rng.Float64() < g.cfg.ReadRatio {
+			if g.cfg.NoReadAfterWrite && written[key] {
+				continue
+			}
+			mops = append(mops, op.Read(key))
+			continue
+		}
+		written[key] = true
+		g.nextArg++
+		arg := g.nextArg
+		switch g.cfg.Workload {
+		case Register:
+			mops = append(mops, op.Write(key, arg))
+		case Set:
+			mops = append(mops, op.Add(key, arg))
+		case Counter:
+			// Counters need no unique arguments (they are unrecoverable
+			// regardless, §3); small deltas keep values readable.
+			mops = append(mops, op.Increment(key, 1+arg%3))
+		default:
+			mops = append(mops, op.Append(key, arg))
+		}
+		g.writes[key]++
+		if g.writes[key] >= g.cfg.MaxWritesPerKey {
+			g.retire(ki)
+		}
+	}
+	return mops
+}
+
+// Keys returns the currently active keys (for tests).
+func (g *Gen) Keys() []string {
+	out := make([]string, len(g.active))
+	copy(out, g.active)
+	return out
+}

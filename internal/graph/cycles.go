@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"sort"
+	"strings"
+)
+
+// Step is one edge of a cycle witness: From depends-on... To via the kinds
+// in Label; Via is the single kind the search actually used, which is what
+// classification and explanation report.
+type Step struct {
+	From, To int
+	Label    KindSet
+	Via      Kind
+}
+
+// Cycle is a closed walk witnessing an anomaly: Steps[i].To ==
+// Steps[i+1].From and the last step returns to Steps[0].From.
+type Cycle struct {
+	Steps []Step
+}
+
+// Nodes returns the transaction ids around the cycle, starting at
+// Steps[0].From, without repeating the first node at the end.
+func (c Cycle) Nodes() []int {
+	out := make([]int, len(c.Steps))
+	for i, s := range c.Steps {
+		out[i] = s.From
+	}
+	return out
+}
+
+// CountVia returns how many steps were traversed via kind k.
+func (c Cycle) CountVia(k Kind) int {
+	n := 0
+	for _, s := range c.Steps {
+		if s.Via == k {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the cycle as "T1 -ww-> T2 -rw-> T1".
+func (c Cycle) String() string {
+	if len(c.Steps) == 0 {
+		return "(empty cycle)"
+	}
+	var b strings.Builder
+	for _, s := range c.Steps {
+		b.WriteString("T")
+		b.WriteString(itoa(s.From))
+		b.WriteString(" -")
+		b.WriteString(s.Via.String())
+		b.WriteString("-> ")
+	}
+	b.WriteString("T")
+	b.WriteString(itoa(c.Steps[0].From))
+	return b.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// FindCycles searches the subgraph of edges intersecting mask and returns
+// one short cycle per strongly connected component, found by breadth-first
+// search from that component's smallest node. This implements the plain
+// cycle searches of §6 (G0 with mask=ww; G1c with mask=ww|wr; G2 candidates
+// with the full mask).
+func (g *Graph) FindCycles(mask KindSet) []Cycle {
+	var out []Cycle
+	for _, scc := range g.sortedSCCs(mask) {
+		in := memberSet(scc)
+		if c, ok := g.bfsCycle(scc[0], scc[0], mask, in, Step{}); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FindCyclesWithExactlyOne returns, per SCC, a cycle containing exactly one
+// edge traversed via kind one, with every other step traversed via rest.
+// This is the paper's G-single search: partition the graph, follow exactly
+// one read-write edge, then complete the cycle using only write-write and
+// write-read edges.
+func (g *Graph) FindCyclesWithExactlyOne(one Kind, rest KindSet) []Cycle {
+	full := one.Mask() | rest
+	var out []Cycle
+	for _, scc := range g.sortedSCCs(full) {
+		in := memberSet(scc)
+		if c, ok := g.cycleWithOne(scc, in, one, rest); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (g *Graph) cycleWithOne(scc []int, in map[int]bool, one Kind, rest KindSet) (Cycle, bool) {
+	for _, u := range scc {
+		var found Cycle
+		ok := false
+		g.OutSorted(u, one.Mask(), func(v int, label KindSet) {
+			if ok || !in[v] {
+				return
+			}
+			first := Step{From: u, To: v, Label: label, Via: one}
+			if v == u {
+				return // self-edges are never stored, but be safe
+			}
+			if c, hit := g.bfsCycle(v, u, rest, in, first); hit {
+				found, ok = c, true
+			}
+		})
+		if ok {
+			return found, true
+		}
+	}
+	return Cycle{}, false
+}
+
+// FindCyclesWithAtLeastOne returns, per SCC of the masked graph, a cycle
+// containing at least one edge of kind req (the G2 search: one or more
+// anti-dependency edges, with any other dependencies completing the cycle).
+func (g *Graph) FindCyclesWithAtLeastOne(req Kind, mask KindSet) []Cycle {
+	full := req.Mask() | mask
+	var out []Cycle
+	for _, scc := range g.sortedSCCs(full) {
+		in := memberSet(scc)
+		found := false
+		for _, u := range scc {
+			if found {
+				break
+			}
+			g.OutSorted(u, req.Mask(), func(v int, label KindSet) {
+				if found || !in[v] {
+					return
+				}
+				first := Step{From: u, To: v, Label: label, Via: req}
+				if c, hit := g.bfsCycle(v, u, full, in, first); hit {
+					out = append(out, c)
+					found = true
+				}
+			})
+		}
+	}
+	return out
+}
+
+// bfsCycle finds a shortest path from start to goal using edges
+// intersecting mask and restricted to nodes in the member set, then closes
+// it into a cycle. If prefix is a non-zero Step, it is prepended (its From
+// must be goal and its To must be start). When start == goal the search
+// looks for a non-trivial loop back to goal.
+func (g *Graph) bfsCycle(start, goal int, mask KindSet, in map[int]bool, prefix Step) (Cycle, bool) {
+	type cameFrom struct {
+		prev int
+		via  Kind
+		lab  KindSet
+	}
+	parent := map[int]cameFrom{}
+	queue := []int{start}
+	visited := map[int]bool{start: true}
+	reached := false
+	for len(queue) > 0 && !reached {
+		u := queue[0]
+		queue = queue[1:]
+		g.OutSorted(u, mask, func(v int, label KindSet) {
+			if reached || !in[v] {
+				return
+			}
+			if v == goal {
+				parent[goal] = cameFrom{prev: u, via: firstKind(label, mask), lab: label}
+				reached = true
+				return
+			}
+			if !visited[v] {
+				visited[v] = true
+				parent[v] = cameFrom{prev: u, via: firstKind(label, mask), lab: label}
+				queue = append(queue, v)
+			}
+		})
+	}
+	if !reached {
+		return Cycle{}, false
+	}
+	// Reconstruct goal <- ... <- start.
+	var rev []Step
+	at := goal
+	for {
+		cf := parent[at]
+		rev = append(rev, Step{From: cf.prev, To: at, Label: cf.lab, Via: cf.via})
+		at = cf.prev
+		if at == start {
+			break
+		}
+	}
+	steps := make([]Step, 0, len(rev)+1)
+	if prefix.From != prefix.To || prefix.Label != 0 {
+		steps = append(steps, prefix)
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		steps = append(steps, rev[i])
+	}
+	return Cycle{Steps: steps}, true
+}
+
+// firstKind picks the lowest-numbered kind present in both label and mask.
+// Dependency kinds are declared before ordering kinds, so explanations
+// prefer ww/wr/rw labels over process/realtime when an edge carries both.
+func firstKind(label, mask KindSet) Kind {
+	for k := Kind(0); k < numKinds; k++ {
+		if label.Has(k) && mask.Has(k) {
+			return k
+		}
+	}
+	return 0
+}
+
+func (g *Graph) sortedSCCs(mask KindSet) [][]int {
+	sccs := g.SCCs(mask)
+	for _, scc := range sccs {
+		sort.Ints(scc)
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+func memberSet(nodes []int) map[int]bool {
+	in := make(map[int]bool, len(nodes))
+	for _, n := range nodes {
+		in[n] = true
+	}
+	return in
+}

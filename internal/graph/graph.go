@@ -1,0 +1,258 @@
+// Package graph provides the labeled dependency-graph substrate Elle
+// searches for anomalies (§6 of the paper): a directed multigraph over
+// observed transactions whose edges carry dependency kinds (ww, wr, rw,
+// process, realtime, version), strongly connected components via an
+// iterative Tarjan, and breadth-first searches for short cycles with
+// particular edge-kind properties.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is a single dependency relationship between two transactions.
+type Kind uint8
+
+const (
+	// WW: Tj installed the version of some object following Ti's (§4.1.4).
+	WW Kind = iota
+	// WR: Tj read a version Ti installed.
+	WR
+	// RW: Ti read a version and Tj installed its successor
+	// (an anti-dependency).
+	RW
+	// Process: Ti and Tj were executed, in that order, by the same
+	// single-threaded client process (§5.1).
+	Process
+	// Realtime: Ti completed before Tj was invoked (§5.1).
+	Realtime
+	// Version: an object-version ordering edge used by the register
+	// analyzer's version graphs (§5.2), not a transaction dependency.
+	Version
+	// Timestamp: the database's own claimed transaction ordering — Ti's
+	// exposed commit timestamp preceded Tj's start timestamp (§5.1,
+	// the time-precedes order of Adya's snapshot-isolation
+	// formalization).
+	Timestamp
+	numKinds = 7
+)
+
+// String returns the short edge label used in explanations and DOT output.
+func (k Kind) String() string {
+	switch k {
+	case WW:
+		return "ww"
+	case WR:
+		return "wr"
+	case RW:
+		return "rw"
+	case Process:
+		return "process"
+	case Realtime:
+		return "rt"
+	case Version:
+		return "version"
+	case Timestamp:
+		return "ts"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// KindSet is a bitmask of Kinds.
+type KindSet uint8
+
+// Mask returns the singleton set {k}.
+func (k Kind) Mask() KindSet { return 1 << k }
+
+// Union returns s ∪ t.
+func (s KindSet) Union(t KindSet) KindSet { return s | t }
+
+// Has reports whether k ∈ s.
+func (s KindSet) Has(k Kind) bool { return s&(1<<k) != 0 }
+
+// Intersects reports whether s ∩ t is non-empty.
+func (s KindSet) Intersects(t KindSet) bool { return s&t != 0 }
+
+// Kinds lists the members of s in declaration order.
+func (s KindSet) Kinds() []Kind {
+	var out []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if s.Has(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// String renders s as "ww|rw".
+func (s KindSet) String() string {
+	parts := make([]string, 0, numKinds)
+	for _, k := range s.Kinds() {
+		parts = append(parts, k.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+// Dependency edge-set shorthands used by the anomaly definitions of §6.
+var (
+	// KSWW is the G0 search mask: write dependencies only.
+	KSWW = WW.Mask()
+	// KSWWWR is the G1c search mask: write and read dependencies.
+	KSWWWR = WW.Mask() | WR.Mask()
+	// KSDep is the full Adya dependency mask.
+	KSDep = WW.Mask() | WR.Mask() | RW.Mask()
+	// KSOrders is the additional-orders mask (§5.1).
+	KSOrders = Process.Mask() | Realtime.Mask()
+)
+
+// Graph is a directed multigraph over int-identified nodes (transaction
+// indices). Parallel edges of different kinds between the same pair are
+// merged into one adjacency entry with a KindSet label.
+type Graph struct {
+	ids   map[int]int32 // external node id -> dense id
+	nodes []int         // dense id -> external node id
+	adj   []map[int32]KindSet
+	edges int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{ids: map[int]int32{}}
+}
+
+// Ensure adds node n if absent and returns its dense id.
+func (g *Graph) Ensure(n int) int32 {
+	if id, ok := g.ids[n]; ok {
+		return id
+	}
+	id := int32(len(g.nodes))
+	g.ids[n] = id
+	g.nodes = append(g.nodes, n)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddEdge records a dependency of the given kind from node a to node b,
+// creating the nodes as needed. Self-edges are ignored: per Adya's
+// footnote, a transaction never depends on itself in a serialization graph.
+func (g *Graph) AddEdge(a, b int, k Kind) {
+	if a == b {
+		g.Ensure(a)
+		return
+	}
+	ai, bi := g.Ensure(a), g.Ensure(b)
+	if g.adj[ai] == nil {
+		g.adj[ai] = map[int32]KindSet{}
+	}
+	prev, existed := g.adj[ai][bi]
+	g.adj[ai][bi] = prev | k.Mask()
+	if !existed {
+		g.edges++
+	}
+}
+
+// Merge adds every node and edge of o into g.
+func (g *Graph) Merge(o *Graph) {
+	for ai, out := range o.adj {
+		a := o.nodes[ai]
+		g.Ensure(a)
+		for bi, ks := range out {
+			b := o.nodes[bi]
+			for _, k := range ks.Kinds() {
+				g.AddEdge(a, b, k)
+			}
+		}
+	}
+	for _, n := range o.nodes {
+		g.Ensure(n)
+	}
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the count of distinct (a, b) adjacencies.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Nodes returns the external node ids in insertion order.
+func (g *Graph) Nodes() []int {
+	out := make([]int, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// HasNode reports whether n is in the graph.
+func (g *Graph) HasNode(n int) bool {
+	_, ok := g.ids[n]
+	return ok
+}
+
+// Label returns the kind set on edge a→b, or 0 if absent.
+func (g *Graph) Label(a, b int) KindSet {
+	ai, ok := g.ids[a]
+	if !ok {
+		return 0
+	}
+	bi, ok := g.ids[b]
+	if !ok {
+		return 0
+	}
+	return g.adj[ai][bi]
+}
+
+// Out calls f for every out-edge of node a whose label intersects mask.
+// Iteration order is unspecified.
+func (g *Graph) Out(a int, mask KindSet, f func(b int, label KindSet)) {
+	ai, ok := g.ids[a]
+	if !ok {
+		return
+	}
+	for bi, ks := range g.adj[ai] {
+		if ks.Intersects(mask) {
+			f(g.nodes[bi], ks)
+		}
+	}
+}
+
+// OutSorted is Out with callbacks in ascending node order; used where
+// deterministic traversal matters (explanations, tests).
+func (g *Graph) OutSorted(a int, mask KindSet, f func(b int, label KindSet)) {
+	ai, ok := g.ids[a]
+	if !ok {
+		return
+	}
+	targets := make([]int32, 0, len(g.adj[ai]))
+	for bi, ks := range g.adj[ai] {
+		if ks.Intersects(mask) {
+			targets = append(targets, bi)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return g.nodes[targets[i]] < g.nodes[targets[j]] })
+	for _, bi := range targets {
+		f(g.nodes[bi], g.adj[ai][bi])
+	}
+}
+
+// Filter returns a new graph containing only edges whose label intersects
+// mask (labels are narrowed to the intersection). All nodes are preserved.
+func (g *Graph) Filter(mask KindSet) *Graph {
+	out := New()
+	for _, n := range g.nodes {
+		out.Ensure(n)
+	}
+	for ai, adj := range g.adj {
+		a := g.nodes[ai]
+		for bi, ks := range adj {
+			if inter := ks & mask; inter != 0 {
+				b := g.nodes[bi]
+				for _, k := range inter.Kinds() {
+					out.AddEdge(a, b, k)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package graph
+
+// SCCs computes the strongly connected components of the subgraph induced
+// by edges whose label intersects mask, using an iterative Tarjan so that
+// histories of hundreds of thousands of transactions don't overflow the
+// goroutine stack. Components are returned as slices of external node ids;
+// only components that can contain a cycle (size ≥ 2) are returned, since
+// self-edges are never stored.
+//
+// Tarjan's algorithm runs in O(nodes + edges) time (§2 of the paper cites
+// this as the reason cycle detection is tractable).
+func (g *Graph) SCCs(mask KindSet) [][]int {
+	n := len(g.nodes)
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		next    int32
+		stack   []int32 // Tarjan's component stack
+		sccs    [][]int
+		callers []frame // explicit DFS stack
+	)
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callers = callers[:0]
+		callers = append(callers, frame{v: int32(root)})
+		for len(callers) > 0 {
+			f := &callers[len(callers)-1]
+			v := f.v
+			if f.out == nil {
+				// First visit.
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+				f.out = g.neighbors(v, mask)
+			}
+			if f.i < len(f.out) {
+				w := f.out[f.i]
+				f.i++
+				switch {
+				case index[w] == unvisited:
+					callers = append(callers, frame{v: w, parent: v})
+				case onStack[w]:
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// All neighbors done: maybe emit a component, then return.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, g.nodes[w])
+					if w == v {
+						break
+					}
+				}
+				if len(comp) >= 2 {
+					sccs = append(sccs, comp)
+				}
+			}
+			callers = callers[:len(callers)-1]
+			if len(callers) > 0 {
+				p := callers[len(callers)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+type frame struct {
+	v      int32
+	parent int32
+	out    []int32
+	i      int
+}
+
+// neighbors returns the dense ids reachable from v via edges intersecting
+// mask. The nil slice sentinel matters to frame initialization, so an
+// empty result is returned as a non-nil empty slice.
+func (g *Graph) neighbors(v int32, mask KindSet) []int32 {
+	out := make([]int32, 0, len(g.adj[v]))
+	for w, ks := range g.adj[v] {
+		if ks.Intersects(mask) {
+			out = append(out, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package history models an observation (§4.2.1 of the Elle paper): the
+// experimentally-accessible record of every transaction a set of client
+// processes executed against a database.
+//
+// A history is a flat, index-ordered sequence of ops. Two layouts are
+// supported:
+//
+//   - Complete histories interleave Invoke ops with their OK/Fail/Info
+//     completions, exactly as a Jepsen run records them. Invoke/completion
+//     pairs carry the same Process; a process has at most one outstanding
+//     invocation, which is what makes real-time inference possible.
+//
+//   - Compact histories contain completions only (common in tests and
+//     hand-built examples). Each op is treated as invoking and completing
+//     atomically at its own index.
+//
+// The package validates structural well-formedness, pairs invocations with
+// completions, and exposes the derived views every analyzer needs: the
+// completion list, per-process sequences, and the invoke/complete index
+// mapping used to build the real-time precedence order.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/op"
+)
+
+// History is a validated observation.
+type History struct {
+	// Ops is the full event sequence sorted by Index.
+	Ops []op.Op
+
+	// complete[i] holds, for the invoke op at Ops position i, the position
+	// of its completion (or -1). For compact histories it is nil.
+	completion []int
+	invocation []int
+	compact    bool
+}
+
+// An Error describes a structural problem that makes an observation
+// unusable, such as two concurrent invocations by one process.
+type Error struct {
+	Index int
+	Msg   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("history: op index %d: %s", e.Index, e.Msg)
+}
+
+// New validates ops and builds a History. Ops may be given in any order;
+// they are sorted by Index. If no op has type Invoke, the history is
+// treated as compact.
+//
+// New returns an error if indices repeat, if a process has two outstanding
+// invocations, or if a completion arrives for a process with no outstanding
+// invocation.
+func New(ops []op.Op) (*History, error) {
+	sorted := make([]op.Op, len(ops))
+	copy(sorted, ops)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+
+	hasInvoke := false
+	for i := range sorted {
+		if i > 0 && sorted[i].Index == sorted[i-1].Index {
+			return nil, &Error{Index: sorted[i].Index, Msg: "duplicate index"}
+		}
+		if sorted[i].Type == op.Invoke {
+			hasInvoke = true
+		}
+	}
+
+	h := &History{Ops: sorted, compact: !hasInvoke}
+	if h.compact {
+		return h, nil
+	}
+
+	h.completion = make([]int, len(sorted))
+	h.invocation = make([]int, len(sorted))
+	for i := range h.completion {
+		h.completion[i] = -1
+		h.invocation[i] = -1
+	}
+	open := map[int]int{} // process -> position of outstanding invoke
+	for i, o := range sorted {
+		if o.Type == op.Invoke {
+			if prev, ok := open[o.Process]; ok {
+				return nil, &Error{Index: o.Index,
+					Msg: fmt.Sprintf("process %d invoked while op index %d is outstanding", o.Process, sorted[prev].Index)}
+			}
+			open[o.Process] = i
+			continue
+		}
+		inv, ok := open[o.Process]
+		if !ok {
+			return nil, &Error{Index: o.Index,
+				Msg: fmt.Sprintf("completion for process %d with no outstanding invocation", o.Process)}
+		}
+		delete(open, o.Process)
+		h.completion[inv] = i
+		h.invocation[i] = inv
+	}
+	// Invocations still open at the end of the history are treated as
+	// crashed clients; Jepsen records an Info for them, but we tolerate a
+	// truncated tail.
+	return h, nil
+}
+
+// MustNew is New but panics on error; for tests and examples.
+func MustNew(ops []op.Op) *History {
+	h, err := New(ops)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Compact reports whether the history contains completions only.
+func (h *History) Compact() bool { return h.compact }
+
+// Len returns the number of ops (including invokes).
+func (h *History) Len() int { return len(h.Ops) }
+
+// Completions returns the completion ops (OK, Fail, and Info), in index
+// order. These are the units of analysis: each one is an observed
+// transaction Tˆi.
+func (h *History) Completions() []op.Op {
+	out := make([]op.Op, 0, len(h.Ops))
+	for _, o := range h.Ops {
+		if o.Type != op.Invoke {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// OKs returns the committed transactions in index order.
+func (h *History) OKs() []op.Op {
+	var out []op.Op
+	for _, o := range h.Ops {
+		if o.Type == op.OK {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Span returns the invoke and completion indices bounding the transaction
+// completed at position pos within Ops. For compact histories (or
+// unpaired ops) both bounds equal the op's own index.
+func (h *History) Span(pos int) (invokeIdx, completeIdx int) {
+	o := h.Ops[pos]
+	if h.compact || o.Type == op.Invoke {
+		return o.Index, o.Index
+	}
+	if inv := h.invocation[pos]; inv >= 0 {
+		return h.Ops[inv].Index, o.Index
+	}
+	return o.Index, o.Index
+}
+
+// ByProcess groups completion ops by process, preserving index order
+// within each process. The per-process sequences define the process
+// (session) order of §5.1.
+func (h *History) ByProcess() map[int][]op.Op {
+	out := map[int][]op.Op{}
+	for _, o := range h.Ops {
+		if o.Type != op.Invoke {
+			out[o.Process] = append(out[o.Process], o)
+		}
+	}
+	return out
+}
+
+// MaxIndex returns the largest op index, or -1 for an empty history.
+func (h *History) MaxIndex() int {
+	if len(h.Ops) == 0 {
+		return -1
+	}
+	return h.Ops[len(h.Ops)-1].Index
+}
+
+// Builder incrementally assembles a history, assigning indices and
+// (logical) times automatically. It is safe for single-goroutine use; the
+// memdb recorder wraps it with a mutex.
+type Builder struct {
+	ops  []op.Op
+	next int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Append adds o with the next index and a logical time equal to that
+// index, returning the assigned index.
+func (b *Builder) Append(o op.Op) int {
+	o.Index = b.next
+	if o.Time == 0 {
+		o.Time = int64(b.next)
+	}
+	b.next++
+	b.ops = append(b.ops, o)
+	return o.Index
+}
+
+// Invoke records an invocation for process with the given mops.
+func (b *Builder) Invoke(process int, mops []op.Mop) int {
+	return b.Append(op.Op{Process: process, Type: op.Invoke, Mops: mops})
+}
+
+// Complete records a completion of the given type for process.
+func (b *Builder) Complete(process int, t op.Type, mops []op.Mop) int {
+	return b.Append(op.Op{Process: process, Type: t, Mops: mops})
+}
+
+// History validates and returns the built history.
+func (b *Builder) History() (*History, error) { return New(b.ops) }
+
+// MustHistory is History but panics on error.
+func (b *Builder) MustHistory() *History {
+	h, err := b.History()
+	if err != nil {
+		panic(err)
+	}
+	return h
+}

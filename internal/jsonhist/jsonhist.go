@@ -1,0 +1,233 @@
+// Package jsonhist reads and writes histories as JSON lines, one op per
+// line, in a format close to Jepsen's EDN histories:
+//
+//	{"index":0,"type":"invoke","process":0,"value":[["append",3,1],["r",4,null]]}
+//	{"index":1,"type":"ok","process":0,"value":[["append",3,1],["r",4,[1,2]]]}
+//
+// Micro-ops are 3-element arrays [fun, key, value]. For reads, the value
+// is null (unknown), a list of ints (list read), or an int / null-marker
+// for register reads; for writes it is the written int. Keys may be
+// strings or numbers.
+package jsonhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// rawOp is the wire form of one op.
+type rawOp struct {
+	Index   int               `json:"index"`
+	Type    string            `json:"type"`
+	Process int               `json:"process"`
+	Time    int64             `json:"time,omitempty"`
+	Value   []json.RawMessage `json:"value"`
+}
+
+// Decode reads a JSON-lines history. Blank lines are skipped. The
+// register flag selects register read decoding (value is an int or null)
+// over list read decoding (value is an array or null).
+func Decode(r io.Reader, register bool) (*history.History, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	var ops []op.Op
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(trimSpace(text)) == 0 {
+			continue
+		}
+		var raw rawOp
+		if err := json.Unmarshal(text, &raw); err != nil {
+			return nil, fmt.Errorf("jsonhist: line %d: %w", line, err)
+		}
+		o, err := decodeOp(raw, register)
+		if err != nil {
+			return nil, fmt.Errorf("jsonhist: line %d: %w", line, err)
+		}
+		ops = append(ops, o)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("jsonhist: %w", err)
+	}
+	return history.New(ops)
+}
+
+func decodeOp(raw rawOp, register bool) (op.Op, error) {
+	var t op.Type
+	switch raw.Type {
+	case "invoke":
+		t = op.Invoke
+	case "ok":
+		t = op.OK
+	case "fail":
+		t = op.Fail
+	case "info":
+		t = op.Info
+	default:
+		return op.Op{}, fmt.Errorf("unknown op type %q", raw.Type)
+	}
+	o := op.Op{Index: raw.Index, Process: raw.Process, Time: raw.Time, Type: t}
+	for i, rm := range raw.Value {
+		m, err := decodeMop(rm, register, t)
+		if err != nil {
+			return op.Op{}, fmt.Errorf("mop %d: %w", i, err)
+		}
+		o.Mops = append(o.Mops, m)
+	}
+	return o, nil
+}
+
+func decodeMop(rm json.RawMessage, register bool, t op.Type) (op.Mop, error) {
+	var parts []json.RawMessage
+	if err := json.Unmarshal(rm, &parts); err != nil {
+		return op.Mop{}, err
+	}
+	if len(parts) != 3 {
+		return op.Mop{}, fmt.Errorf("micro-op must have 3 elements, has %d", len(parts))
+	}
+	var fun string
+	if err := json.Unmarshal(parts[0], &fun); err != nil {
+		return op.Mop{}, fmt.Errorf("fun: %w", err)
+	}
+	key, err := decodeKey(parts[1])
+	if err != nil {
+		return op.Mop{}, fmt.Errorf("key: %w", err)
+	}
+	switch fun {
+	case "append", "add", "increment", "w":
+		var arg int
+		if err := json.Unmarshal(parts[2], &arg); err != nil {
+			return op.Mop{}, fmt.Errorf("write argument: %w", err)
+		}
+		switch fun {
+		case "append":
+			return op.Append(key, arg), nil
+		case "add":
+			return op.Add(key, arg), nil
+		case "increment":
+			return op.Increment(key, arg), nil
+		default:
+			return op.Write(key, arg), nil
+		}
+	case "r":
+		if isNull(parts[2]) {
+			// A null register read in a completed (ok) op means the read
+			// observed the initial nil version; anywhere else the result
+			// is simply unknown. Null list reads are always unknown —
+			// an observed empty list is encoded as [].
+			if register && t == op.OK {
+				return op.ReadNil(key), nil
+			}
+			return op.Read(key), nil
+		}
+		if register {
+			var v int
+			if err := json.Unmarshal(parts[2], &v); err != nil {
+				return op.Mop{}, fmt.Errorf("register read value: %w", err)
+			}
+			return op.ReadReg(key, v), nil
+		}
+		var list []int
+		if err := json.Unmarshal(parts[2], &list); err != nil {
+			return op.Mop{}, fmt.Errorf("list read value: %w", err)
+		}
+		return op.ReadList(key, list), nil
+	default:
+		return op.Mop{}, fmt.Errorf("unknown micro-op fun %q", fun)
+	}
+}
+
+func decodeKey(rm json.RawMessage) (string, error) {
+	var s string
+	if err := json.Unmarshal(rm, &s); err == nil {
+		return s, nil
+	}
+	var n int64
+	if err := json.Unmarshal(rm, &n); err == nil {
+		return strconv.FormatInt(n, 10), nil
+	}
+	return "", fmt.Errorf("key must be a string or integer: %s", string(rm))
+}
+
+func isNull(rm json.RawMessage) bool {
+	t := trimSpace(rm)
+	return string(t) == "null"
+}
+
+func trimSpace(b []byte) []byte {
+	start, end := 0, len(b)
+	for start < end && (b[start] == ' ' || b[start] == '\t' || b[start] == '\r' || b[start] == '\n') {
+		start++
+	}
+	for end > start && (b[end-1] == ' ' || b[end-1] == '\t' || b[end-1] == '\r' || b[end-1] == '\n') {
+		end--
+	}
+	return b[start:end]
+}
+
+// Encode writes h as JSON lines.
+func Encode(w io.Writer, h *history.History) error {
+	bw := bufio.NewWriter(w)
+	for _, o := range h.Ops {
+		raw := rawOp{
+			Index:   o.Index,
+			Process: o.Process,
+			Time:    o.Time,
+			Type:    o.Type.String(),
+		}
+		for _, m := range o.Mops {
+			rm, err := encodeMop(m, o.Type)
+			if err != nil {
+				return err
+			}
+			raw.Value = append(raw.Value, rm)
+		}
+		line, err := json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func encodeMop(m op.Mop, t op.Type) (json.RawMessage, error) {
+	var fun string
+	var val any
+	switch m.F {
+	case op.FAppend:
+		fun, val = "append", m.Arg
+	case op.FAdd:
+		fun, val = "add", m.Arg
+	case op.FIncrement:
+		fun, val = "increment", m.Arg
+	case op.FWrite:
+		fun, val = "w", m.Arg
+	case op.FRead:
+		fun = "r"
+		switch {
+		case m.List != nil:
+			val = m.List
+		case m.RegKnown && !m.RegNil:
+			val = m.Reg
+		default:
+			val = nil
+		}
+	default:
+		return nil, fmt.Errorf("jsonhist: cannot encode fun %v", m.F)
+	}
+	return json.Marshal([]any{fun, m.Key, val})
+}

@@ -1,0 +1,115 @@
+package listappend
+
+import (
+	"fmt"
+
+	"repro/internal/anomaly"
+	"repro/internal/op"
+)
+
+// checkInternal verifies each committed transaction against its own reads
+// and writes (§6.1, "internal inconsistency"): within one transaction, a
+// read of key k must equal the transaction's previously observed value of
+// k extended by any of its own intervening appends; before the first read,
+// an observed value must at least end with whatever the transaction has
+// itself appended so far.
+//
+// FaunaDB's index bug (§7.3) — a transaction appending 6 to key 0 and then
+// reading nil — is the canonical violation.
+func (a *analyzer) checkInternal() {
+	for _, o := range a.oks {
+		a.checkInternalOp(o)
+	}
+}
+
+// keyModel tracks what a transaction must believe about one key.
+type keyModel struct {
+	// known is true once the transaction has read the key, fixing the
+	// full expected value.
+	known bool
+	// value is the full expected value when known.
+	value []int
+	// appended holds the transaction's own appends since the last read
+	// (or since the start, if it has never read the key). When !known,
+	// any observed value must end with exactly these elements.
+	appended []int
+}
+
+func (a *analyzer) checkInternalOp(o op.Op) {
+	models := map[string]*keyModel{}
+	model := func(k string) *keyModel {
+		m, ok := models[k]
+		if !ok {
+			m = &keyModel{}
+			models[k] = m
+		}
+		return m
+	}
+	for _, mop := range o.Mops {
+		m := model(mop.Key)
+		switch mop.F {
+		case op.FAppend:
+			if m.known {
+				m.value = append(m.value, mop.Arg)
+			} else {
+				m.appended = append(m.appended, mop.Arg)
+			}
+		case op.FRead:
+			if !mop.ListKnown() {
+				continue
+			}
+			observed := mop.List
+			if m.known {
+				if !equalInts(observed, m.value) {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.Internal,
+						Ops:  []op.Op{o},
+						Key:  mop.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s as %s, but its own prior reads and appends imply the value must be %s: an internal inconsistency",
+							o.Name(), mop.Key, op.FormatList(observed), op.FormatList(m.value)),
+					})
+				}
+			} else if !endsWith(observed, m.appended) {
+				a.report(anomaly.Anomaly{
+					Type: anomaly.Internal,
+					Ops:  []op.Op{o},
+					Key:  mop.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s as %s, which does not end with its own prior appends %s: an internal inconsistency",
+						o.Name(), mop.Key, op.FormatList(observed), op.FormatList(m.appended)),
+				})
+			}
+			// Whatever was observed is the transaction's view from here on.
+			m.known = true
+			m.value = append([]int(nil), observed...)
+			m.appended = nil
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// endsWith reports whether v ends with suffix.
+func endsWith(v, suffix []int) bool {
+	if len(suffix) > len(v) {
+		return false
+	}
+	off := len(v) - len(suffix)
+	for i, e := range suffix {
+		if v[off+i] != e {
+			return false
+		}
+	}
+	return true
+}

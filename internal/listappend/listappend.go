@@ -1,0 +1,527 @@
+// Package listappend implements Elle's most powerful analysis (§3–§4 of
+// the paper): inference of an Adya-style dependency graph from observed
+// transactions over append-only lists.
+//
+// Lists are traceable: a read of [1 2 3] proves the object took on the
+// versions [], [1], [1 2], [1 2 3] in exactly that order. When every
+// appended element is unique, versions are also recoverable: each observed
+// version maps to exactly one write in exactly one observed transaction.
+// Together these let us reconstruct a prefix of the version order ≪x for
+// every object from the longest committed read, and from it the
+// write-write, write-read, and read-write dependencies of every
+// transaction whose writes were observed.
+//
+// The analyzer also detects every non-cycle anomaly of §4.3.1 and §6.1:
+// aborted reads (G1a), intermediate reads (G1b), dirty updates, garbage
+// reads, duplicate writes, internal inconsistencies, and inconsistent
+// observations (incompatible orders).
+package listappend
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// Opts configures the analysis.
+type Opts struct {
+	// DetectLostUpdates enables the real-time lost-update inference: a
+	// committed append whose element is missing from a longest read whose
+	// transaction was invoked after the append's transaction completed.
+	// This inference leans on real-time order, which Adya's formalism
+	// does not grant (§2), so it is only sound against databases claiming
+	// a real-time-consistent model; the core checker enables it when
+	// checking strong-session or strict models.
+	DetectLostUpdates bool
+}
+
+// Analysis is the result of dependency inference over one history.
+type Analysis struct {
+	// Graph holds the inferred ww, wr, and rw edges (the IDSG of §4.3.2,
+	// before process/real-time augmentation).
+	Graph *graph.Graph
+	// Anomalies are the non-cycle anomalies discovered during inference.
+	Anomalies []anomaly.Anomaly
+	// VersionOrders maps each key to the inferred order of its elements:
+	// the trace of the longest committed read, a prefix of ≪x. The
+	// initial (empty) version is implicit.
+	VersionOrders map[string][]int
+	// Ops indexes every analyzed completion op by op index.
+	Ops map[int]op.Op
+}
+
+type elemKey struct {
+	key  string
+	elem int
+}
+
+// analyzer carries the indices built over one history.
+type analyzer struct {
+	opts Opts
+	h    *history.History
+
+	ops      map[int]op.Op // completion ops by index
+	oks      []op.Op
+	fails    []op.Op
+	infos    []op.Op
+	spanOf   map[int][2]int // op index -> [invoke index, complete index]
+	attempts map[elemKey][]int
+	// writer maps each recoverable element to the op index of the unique
+	// non-aborted attempt that wrote it. Aborted writers are tracked
+	// separately for G1a / dirty-update detection.
+	writer       map[elemKey]int
+	failedWriter map[elemKey]int
+	anomalies    []anomaly.Anomaly
+}
+
+// Analyze infers the dependency graph and non-cycle anomalies for h.
+func Analyze(h *history.History, opts Opts) *Analysis {
+	a := &analyzer{
+		opts:         opts,
+		h:            h,
+		ops:          map[int]op.Op{},
+		spanOf:       map[int][2]int{},
+		attempts:     map[elemKey][]int{},
+		writer:       map[elemKey]int{},
+		failedWriter: map[elemKey]int{},
+	}
+	for pos, o := range h.Ops {
+		if o.Type == op.Invoke {
+			continue
+		}
+		a.ops[o.Index] = o
+		inv, comp := h.Span(pos)
+		a.spanOf[o.Index] = [2]int{inv, comp}
+		switch o.Type {
+		case op.OK:
+			a.oks = append(a.oks, o)
+		case op.Fail:
+			a.fails = append(a.fails, o)
+		case op.Info:
+			a.infos = append(a.infos, o)
+		}
+	}
+	a.indexWrites()
+	a.checkInternal()
+	a.checkReadStructure()
+	orders := a.versionOrders()
+	g := a.buildGraph(orders)
+	a.checkAbortedAndIntermediate(orders)
+	if opts.DetectLostUpdates {
+		a.checkLostUpdates(orders)
+	}
+	return &Analysis{
+		Graph:         g,
+		Anomalies:     a.anomalies,
+		VersionOrders: orders,
+		Ops:           a.ops,
+	}
+}
+
+// indexWrites builds the attempt and recoverable-writer indices, reporting
+// duplicate appends (which destroy recoverability, §4.2.3).
+func (a *analyzer) indexWrites() {
+	var keys []elemKey
+	for _, o := range a.ops {
+		for _, m := range o.Mops {
+			if m.F != op.FAppend {
+				continue
+			}
+			ek := elemKey{m.Key, m.Arg}
+			if len(a.attempts[ek]) == 0 {
+				keys = append(keys, ek)
+			}
+			a.attempts[ek] = append(a.attempts[ek], o.Index)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key < keys[j].key
+		}
+		return keys[i].elem < keys[j].elem
+	})
+	for _, ek := range keys {
+		idxs := a.attempts[ek]
+		if len(idxs) > 1 {
+			sort.Ints(idxs)
+			ops := make([]op.Op, len(idxs))
+			for i, ix := range idxs {
+				ops[i] = a.ops[ix]
+			}
+			a.report(anomaly.Anomaly{
+				Type: anomaly.DuplicateAppends,
+				Ops:  ops,
+				Key:  ek.key,
+				Explanation: fmt.Sprintf(
+					"element %d was appended to key %s by %d distinct transactions; appends must be unique for versions to be recoverable",
+					ek.elem, ek.key, len(idxs)),
+			})
+			continue
+		}
+		w := a.ops[idxs[0]]
+		if w.Type == op.Fail {
+			a.failedWriter[ek] = w.Index
+		} else {
+			a.writer[ek] = w.Index
+		}
+	}
+}
+
+// checkReadStructure validates each committed read value: no duplicate
+// elements, and no garbage elements that were never appended by any
+// attempted transaction.
+func (a *analyzer) checkReadStructure() {
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if !m.ListKnown() {
+				continue
+			}
+			seen := make(map[int]bool, len(m.List))
+			for _, e := range m.List {
+				if seen[e] {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.DuplicateElements,
+						Ops:  []op.Op{o},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s as %s, which contains element %d more than once: some append was applied multiple times",
+							o.Name(), m.Key, op.FormatList(m.List), e),
+					})
+					break
+				}
+				seen[e] = true
+			}
+			for _, e := range m.List {
+				if !a.attempted(elemKey{m.Key, e}) {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.GarbageRead,
+						Ops:  []op.Op{o},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s as %s, but element %d was never appended by any transaction",
+							o.Name(), m.Key, op.FormatList(m.List), e),
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// attempted reports whether any op (including unpaired invocations from
+// crashed clients) tried to append ek.elem to ek.key.
+func (a *analyzer) attempted(ek elemKey) bool {
+	if len(a.attempts[ek]) > 0 {
+		return true
+	}
+	// Crashed clients leave an invoke with no completion; their appends
+	// may still have taken effect and are not garbage.
+	for _, o := range a.h.Ops {
+		if o.Type != op.Invoke {
+			continue
+		}
+		if _, done := a.ops[o.Index]; done {
+			continue
+		}
+		for _, m := range o.Mops {
+			if m.F == op.FAppend && m.Key == ek.key && m.Arg == ek.elem {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// versionOrders infers, for each key, the trace of the longest clean
+// committed read — a prefix of ≪x (§4.3.2) — and reports incompatible
+// orders: pairs of committed reads neither of which is a prefix of the
+// other, which imply an aborted read in every interpretation (§4.3.1,
+// "Inconsistent Observations").
+func (a *analyzer) versionOrders() map[string][]int {
+	type read struct {
+		o op.Op
+		v []int
+	}
+	byKey := map[string][]read{}
+	var keys []string
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if !m.ListKnown() || hasDuplicates(m.List) {
+				continue
+			}
+			if len(byKey[m.Key]) == 0 {
+				keys = append(keys, m.Key)
+			}
+			byKey[m.Key] = append(byKey[m.Key], read{o, m.List})
+		}
+	}
+	sort.Strings(keys)
+
+	orders := make(map[string][]int, len(byKey))
+	for _, k := range keys {
+		reads := byKey[k]
+		longest := reads[0]
+		for _, r := range reads[1:] {
+			if len(r.v) > len(longest.v) {
+				longest = r
+			}
+		}
+		for _, r := range reads {
+			if !op.IsPrefix(r.v, longest.v) {
+				a.report(anomaly.Anomaly{
+					Type: anomaly.IncompatibleOrder,
+					Ops:  []op.Op{r.o, longest.o},
+					Key:  k,
+					Explanation: fmt.Sprintf(
+						"%s read key %s as %s but %s read it as %s; neither is a prefix of the other, so at least one observed an aborted version",
+						r.o.Name(), k, op.FormatList(r.v),
+						longest.o.Name(), op.FormatList(longest.v)),
+				})
+			}
+		}
+		orders[k] = longest.v
+	}
+	return orders
+}
+
+// buildGraph emits the inferred serialization graph of §4.3.2 from the
+// version orders and the recoverable-writer index.
+func (a *analyzer) buildGraph(orders map[string][]int) *graph.Graph {
+	g := graph.New()
+	// Every transaction that may have committed is a vertex, even if it
+	// has no edges; cycle search ignores isolated vertices.
+	for _, o := range a.oks {
+		g.Ensure(o.Index)
+	}
+
+	// ww: consecutive recoverable writers along each version order.
+	for _, so := range sortedOrders(orders) {
+		for i := 0; i+1 < len(so.elems); i++ {
+			wi, oki := a.writer[elemKey{so.key, so.elems[i]}]
+			wj, okj := a.writer[elemKey{so.key, so.elems[i+1]}]
+			if oki && okj {
+				g.AddEdge(wi, wj, graph.WW)
+			}
+		}
+	}
+
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if !m.ListKnown() || hasDuplicates(m.List) {
+				continue
+			}
+			elems, ok := orders[m.Key]
+			if !ok || !op.IsPrefix(m.List, elems) {
+				// Incompatible reads were already reported; don't let
+				// them seed bogus edges.
+				continue
+			}
+			// wr: the writer of the last element of the observed version
+			// installed the version this read observed.
+			if n := len(m.List); n > 0 {
+				if w, ok := a.writer[elemKey{m.Key, m.List[n-1]}]; ok {
+					g.AddEdge(w, o.Index, graph.WR)
+				}
+			}
+			// rw: the writer of the next element in ≪x overwrote the
+			// version this read observed.
+			if len(m.List) < len(elems) {
+				next := elems[len(m.List)]
+				if w, ok := a.writer[elemKey{m.Key, next}]; ok {
+					g.AddEdge(o.Index, w, graph.RW)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// checkAbortedAndIntermediate finds G1a (reads of versions containing
+// elements written by aborted transactions), G1b (reads whose final
+// element was an intermediate write), and dirty updates (committed writes
+// acting on aborted state) along the inferred version orders.
+func (a *analyzer) checkAbortedAndIntermediate(orders map[string][]int) {
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if !m.ListKnown() {
+				continue
+			}
+			for _, e := range m.List {
+				if w, ok := a.failedWriter[elemKey{m.Key, e}]; ok {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.G1a,
+						Ops:  []op.Op{o, a.ops[w]},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s as %s, but element %d was appended by %s, which aborted: an aborted read",
+							o.Name(), m.Key, op.FormatList(m.List), e, a.ops[w].Name()),
+					})
+				}
+			}
+			if n := len(m.List); n > 0 {
+				last := m.List[n-1]
+				if w, ok := a.writer[elemKey{m.Key, last}]; ok && w != o.Index {
+					wo := a.ops[w]
+					if finalAppend(wo, m.Key) != last {
+						a.report(anomaly.Anomaly{
+							Type: anomaly.G1b,
+							Ops:  []op.Op{o, wo},
+							Key:  m.Key,
+							Explanation: fmt.Sprintf(
+								"%s read key %s as %s, whose final element %d was an intermediate append of %s (its final append to %s was %d): an intermediate read",
+								o.Name(), m.Key, op.FormatList(m.List), last, wo.Name(), m.Key, finalAppend(wo, m.Key)),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	// Dirty updates: along each trace, an element from an aborted
+	// transaction followed by an element from a committed one means
+	// committed state incorporates aborted state (§4.1.5, "Via Traces").
+	for _, so := range sortedOrders(orders) {
+		for i := 0; i+1 < len(so.elems); i++ {
+			fw, failed := a.failedWriter[elemKey{so.key, so.elems[i]}]
+			if !failed {
+				continue
+			}
+			for j := i + 1; j < len(so.elems); j++ {
+				if cw, ok := a.writer[elemKey{so.key, so.elems[j]}]; ok && a.ops[cw].Type == op.OK {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.DirtyUpdate,
+						Ops:  []op.Op{a.ops[fw], a.ops[cw]},
+						Key:  so.key,
+						Explanation: fmt.Sprintf(
+							"key %s's version history %s includes element %d from aborted %s, later built upon by committed %s: a dirty update",
+							so.key, op.FormatList(so.elems), so.elems[i], a.ops[fw].Name(), a.ops[cw].Name()),
+					})
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkLostUpdates reports committed appends that are absent from a
+// longest read invoked strictly after the append's transaction completed.
+func (a *analyzer) checkLostUpdates(orders map[string][]int) {
+	// Locate the longest read op per key (the one whose value is the
+	// version order) and its invocation index.
+	type longRead struct {
+		o      op.Op
+		invoke int
+		set    map[int]bool
+	}
+	longReads := map[string]longRead{}
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if !m.ListKnown() {
+				continue
+			}
+			elems, ok := orders[m.Key]
+			if !ok || len(m.List) != len(elems) || !op.IsPrefix(m.List, elems) {
+				continue
+			}
+			if _, have := longReads[m.Key]; have {
+				continue
+			}
+			set := make(map[int]bool, len(elems))
+			for _, e := range elems {
+				set[e] = true
+			}
+			longReads[m.Key] = longRead{o: o, invoke: a.spanOf[o.Index][0], set: set}
+		}
+	}
+	// Index committed appends by key once; scanning all transactions per
+	// key would make this check quadratic in history length.
+	type keyAppend struct {
+		o         op.Op
+		elem      int
+		completed int
+	}
+	appendsByKey := map[string][]keyAppend{}
+	for _, w := range a.oks {
+		for _, m := range w.Mops {
+			if m.F == op.FAppend {
+				appendsByKey[m.Key] = append(appendsByKey[m.Key],
+					keyAppend{o: w, elem: m.Arg, completed: a.spanOf[w.Index][1]})
+			}
+		}
+	}
+	var keys []string
+	for k := range longReads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		lr := longReads[k]
+		for _, ka := range appendsByKey[k] {
+			if ka.o.Index == lr.o.Index || ka.completed >= lr.invoke || lr.set[ka.elem] {
+				continue
+			}
+			a.report(anomaly.Anomaly{
+				Type: anomaly.LostUpdate,
+				Ops:  []op.Op{ka.o, lr.o},
+				Key:  k,
+				Explanation: fmt.Sprintf(
+					"%s committed an append of %d to key %s before %s began, yet %s read %s without it: the update was lost",
+					ka.o.Name(), ka.elem, k, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, k)].List)),
+			})
+		}
+	}
+}
+
+func readPos(o op.Op, key string) int {
+	for i, m := range o.Mops {
+		if m.F == op.FRead && m.Key == key && m.List != nil {
+			return i
+		}
+	}
+	return 0
+}
+
+func (a *analyzer) report(an anomaly.Anomaly) {
+	a.anomalies = append(a.anomalies, an)
+}
+
+// finalAppend returns the last element o appended to key, or the zero
+// value if o never appended to key.
+func finalAppend(o op.Op, key string) int {
+	last := 0
+	for _, m := range o.Mops {
+		if m.F == op.FAppend && m.Key == key {
+			last = m.Arg
+		}
+	}
+	return last
+}
+
+func hasDuplicates(v []int) bool {
+	seen := make(map[int]bool, len(v))
+	for _, e := range v {
+		if seen[e] {
+			return true
+		}
+		seen[e] = true
+	}
+	return false
+}
+
+type keyedOrder struct {
+	key   string
+	elems []int
+}
+
+func sortedOrders(orders map[string][]int) []keyedOrder {
+	out := make([]keyedOrder, 0, len(orders))
+	for k, v := range orders {
+		out = append(out, keyedOrder{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

@@ -1,0 +1,131 @@
+package memdb
+
+// This file adds the paper's two weaker datatypes (Figure 1) to the
+// engine: grow-only sets and integer counters. Both are commutative:
+// concurrent writes never conflict with each other (as in real databases
+// with native set/counter types), so snapshot-isolation's
+// first-committer-wins does not apply to them. Serializable read
+// validation still covers keys read through them.
+//
+// They exist so the datatype-ablation experiments can run the same bug
+// campaigns over registers, sets, counters, and lists and compare what
+// each analyzer can detect — the paper's §3 argument made executable.
+
+import "sort"
+
+// AddSet adds an element to a set key (buffered until commit).
+func (t *Txn) AddSet(key string, elem int) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t.setAdds == nil {
+		t.setAdds = map[string][]int{}
+	}
+	t.setAdds[key] = append(t.setAdds[key], elem)
+}
+
+// ReadSet returns the observed set contents, sorted ascending.
+func (t *Txn) ReadSet(key string) []int {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t.readKeys[key] = true
+	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
+		return []int{}
+	}
+	base := db.visibleSet(key, t.readTS())
+	merged := make(map[int]bool, len(base)+4)
+	for _, e := range base {
+		merged[e] = true
+	}
+	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
+	if !skipOwn {
+		for _, e := range t.setAdds[key] {
+			merged[e] = true
+		}
+	}
+	out := make([]int, 0, len(merged))
+	for e := range merged {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Inc adds delta to a counter key (buffered until commit).
+func (t *Txn) Inc(key string, delta int) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t.ctrIncs == nil {
+		t.ctrIncs = map[string]int{}
+	}
+	t.ctrIncs[key] += delta
+}
+
+// ReadCounter returns the observed counter value.
+func (t *Txn) ReadCounter(key string) int {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t.readKeys[key] = true
+	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
+		return 0
+	}
+	v := db.visibleCounter(key, t.readTS())
+	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
+	if !skipOwn {
+		v += t.ctrIncs[key]
+	}
+	return v
+}
+
+// visibleSet returns the committed set contents at snapTS. Sets are
+// stored as their cumulative sorted contents per version.
+func (db *DB) visibleSet(key string, snapTS int64) []int {
+	vs := db.sets[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].ts <= snapTS {
+			return vs[i].list
+		}
+	}
+	return nil
+}
+
+// visibleCounter returns the committed counter value at snapTS.
+func (db *DB) visibleCounter(key string, snapTS int64) int {
+	vs := db.counters[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].ts <= snapTS {
+			return vs[i].reg
+		}
+	}
+	return 0
+}
+
+// commitCollections installs buffered set adds and counter increments.
+// Both are commutative, so they merge with the latest committed state
+// rather than replacing it. Called with db.mu held, after ts increment.
+func (t *Txn) commitCollections(now int64) {
+	db := t.db
+	for key, elems := range t.setAdds {
+		cur := db.visibleSet(key, now)
+		merged := make(map[int]bool, len(cur)+len(elems))
+		for _, e := range cur {
+			merged[e] = true
+		}
+		for _, e := range elems {
+			merged[e] = true
+		}
+		out := make([]int, 0, len(merged))
+		for e := range merged {
+			out = append(out, e)
+		}
+		sort.Ints(out)
+		db.sets[key] = append(db.sets[key], version{ts: now, list: out})
+	}
+	for key, delta := range t.ctrIncs {
+		cur := db.visibleCounter(key, now)
+		db.counters[key] = append(db.counters[key], version{ts: now, reg: cur + delta})
+	}
+}

@@ -1,0 +1,197 @@
+// Package memdb is the system under test for this reproduction: an
+// in-memory multi-version database with interactive transactions,
+// pluggable isolation levels, and the fault injectors needed to reproduce
+// the anomaly signatures of the paper's four case studies (§7.1–§7.4).
+//
+// Lists are stored the way the case-study databases actually stored them:
+// as whole values rewritten by read-modify-write (the paper's systems
+// encoded lists as CONCAT over TEXT columns). That choice is what makes
+// TiDB-style retry-on-conflict lose updates: a retried transaction
+// rewrites the whole list from a stale snapshot, erasing concurrent
+// appends.
+//
+// Isolation levels:
+//
+//   - ReadUncommitted: writes are applied to shared state as they execute;
+//     aborts leave them in place (dirty reads, aborted reads, G1b).
+//   - ReadCommitted: each read sees the latest committed version; commits
+//     apply blindly (lost updates, G-single).
+//   - SnapshotIsolation: reads from the transaction's start snapshot;
+//     first-committer-wins on write sets (write skew remains: G2).
+//   - Serializable / StrictSerializable: snapshot reads plus read-set
+//     validation at commit (OCC). Commit order equals real-time order, so
+//     the engine is in fact strict-serializable; both names are accepted.
+package memdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+)
+
+// Isolation selects the concurrency-control discipline.
+type Isolation uint8
+
+const (
+	// ReadUncommitted applies writes immediately and never rolls back.
+	ReadUncommitted Isolation = iota
+	// ReadCommitted reads the latest committed state at each operation.
+	ReadCommitted
+	// SnapshotIsolation reads from a start snapshot with
+	// first-committer-wins writes.
+	SnapshotIsolation
+	// Serializable adds read-set validation to snapshot isolation.
+	Serializable
+	// StrictSerializable behaves identically to Serializable in this
+	// engine: commits are serialized under a global lock, so the commit
+	// order is the real-time order.
+	StrictSerializable
+)
+
+// String names the isolation level.
+func (i Isolation) String() string {
+	switch i {
+	case ReadUncommitted:
+		return "read-uncommitted"
+	case ReadCommitted:
+		return "read-committed"
+	case SnapshotIsolation:
+		return "snapshot-isolation"
+	case Serializable:
+		return "serializable"
+	case StrictSerializable:
+		return "strict-serializable"
+	default:
+		return "isolation(?)"
+	}
+}
+
+// Faults configures bug injection. Probabilities are per-operation and
+// evaluated with the DB's seeded RNG, so runs are reproducible.
+type Faults struct {
+	// RetryStompProb reproduces half of TiDB's automatic transaction
+	// retry (§7.1): a conflicting commit re-applies its buffered writes
+	// from the stale snapshot, erasing concurrent updates (lost update).
+	RetryStompProb float64
+	// RetryRebaseProb reproduces the other half: a conflicting commit
+	// re-executes its writes on top of the latest committed state while
+	// the client keeps the reads from its original snapshot (read skew).
+	RetryRebaseProb float64
+	// SkipReadValidationProb reproduces YugaByte's stale read timestamps
+	// (§7.2): with this probability a transaction on a serializable
+	// engine commits without validating its read set — i.e. it ran at
+	// snapshot isolation. Since SI still enforces first-committer-wins,
+	// the resulting anomalies are exactly the paper's signature: G2
+	// cycles with multiple anti-dependency edges and no G-single/G1/G0.
+	SkipReadValidationProb float64
+	// StaleReadProb rewinds a transaction's entire read snapshot a few
+	// commits into the past (reads stay internally consistent; writes
+	// still base and validate on the true snapshot). A blunter variant
+	// of the YugaByte fault, kept for ablation benchmarks: it produces
+	// G-single as well as G2.
+	StaleReadProb float64
+	// SkipOwnWriteProb reproduces FaunaDB's index bug (§7.3): a read
+	// fails to observe the transaction's own buffered writes.
+	SkipOwnWriteProb float64
+	// NilReadProb reproduces Dgraph's shard-migration bug (§7.4): a read
+	// returns the initial (empty/nil) state regardless of history.
+	NilReadProb float64
+	// DuplicateAppendProb applies an append twice at the storage layer,
+	// as a client/storage retry would (§6.1, duplicate writes).
+	DuplicateAppendProb float64
+}
+
+// ErrConflict is returned by Commit when concurrency-control validation
+// fails; the transaction has been rolled back.
+var ErrConflict = errors.New("memdb: transaction conflict")
+
+// version is one installed value of a key: a whole list or register state.
+type version struct {
+	ts   int64
+	list []int // list keys
+	reg  int   // register keys
+	nil_ bool  // register initial state
+}
+
+// DB is the shared store.
+type DB struct {
+	mu       sync.Mutex
+	iso      Isolation
+	faults   Faults
+	rng      *rand.Rand
+	ts       int64
+	lists    map[string][]version
+	regs     map[string][]version
+	sets     map[string][]version
+	counters map[string][]version
+}
+
+// New creates a database at the given isolation level. Faults fire using
+// the seeded RNG, making whole runs reproducible.
+func New(iso Isolation, faults Faults, seed int64) *DB {
+	return &DB{
+		iso:      iso,
+		faults:   faults,
+		rng:      rand.New(rand.NewSource(seed)),
+		lists:    map[string][]version{},
+		regs:     map[string][]version{},
+		sets:     map[string][]version{},
+		counters: map[string][]version{},
+	}
+}
+
+// Isolation returns the configured level.
+func (db *DB) Isolation() Isolation { return db.iso }
+
+// CurrentTS returns the engine's current commit timestamp counter; the
+// runner exposes it to clients when RunConfig.ExposeTimestamps is set.
+func (db *DB) CurrentTS() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ts
+}
+
+// FinalLists returns the final committed value of every list key: the
+// engine's ground truth, for comparing against checker inferences.
+func (db *DB) FinalLists() map[string][]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string][]int, len(db.lists))
+	for k, vs := range db.lists {
+		if len(vs) > 0 {
+			v := vs[len(vs)-1].list
+			cp := make([]int, len(v))
+			copy(cp, v)
+			out[k] = cp
+		}
+	}
+	return out
+}
+
+// visibleList returns the newest version of key with ts <= snapTS, or an
+// empty value.
+func (db *DB) visibleList(key string, snapTS int64) []int {
+	vs := db.lists[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].ts <= snapTS {
+			return vs[i].list
+		}
+	}
+	return nil
+}
+
+// visibleReg returns the newest register version with ts <= snapTS.
+func (db *DB) visibleReg(key string, snapTS int64) (int, bool) {
+	vs := db.regs[key]
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i].ts <= snapTS {
+			return vs[i].reg, false
+		}
+	}
+	return 0, true
+}
+
+// newerThan reports whether key has any version with ts > since.
+func newerThan(vs []version, since int64) bool {
+	return len(vs) > 0 && vs[len(vs)-1].ts > since
+}

@@ -1,0 +1,217 @@
+package memdb
+
+import (
+	"math/rand"
+
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// TxnSource supplies transaction bodies; satisfied by *gen.Gen.
+type TxnSource interface {
+	Next() []op.Mop
+}
+
+// Workload selects the read semantics the runner uses for read mops; it
+// must match the TxnSource's write mops.
+type Workload uint8
+
+const (
+	// WorkloadList reads append-only lists.
+	WorkloadList Workload = iota
+	// WorkloadRegister reads registers.
+	WorkloadRegister
+	// WorkloadSet reads grow-only sets.
+	WorkloadSet
+	// WorkloadCounter reads counters.
+	WorkloadCounter
+)
+
+// RunConfig drives a simulated multi-client run against one DB.
+type RunConfig struct {
+	// Clients is the number of concurrent logical client threads
+	// (the paper ran 10–30 client threads; Figure 4 sweeps 1–100).
+	Clients int
+	// Txns is the total number of transaction attempts across clients.
+	Txns int
+	// Isolation selects the engine's concurrency control.
+	Isolation Isolation
+	// Faults configures bug injection.
+	Faults Faults
+	// Source generates transaction bodies.
+	Source TxnSource
+	// Seed makes the whole run — scheduling, faults, outcomes —
+	// reproducible.
+	Seed int64
+	// AbortProb makes a client abandon a transaction before commit.
+	AbortProb float64
+	// InfoProb simulates a lost commit acknowledgement: the client
+	// records an indeterminate (info) result; the commit itself may or
+	// may not have happened. As in Jepsen, the client thread then moves
+	// to a fresh logical process, so logical concurrency grows over time.
+	InfoProb float64
+	// ExposeTimestamps stamps invoke ops with the engine's timestamp at
+	// transaction start and completion ops with the timestamp after
+	// commit, simulating a database that exposes transaction timestamps
+	// to clients (§5.1). Times are offset by one so the zero value never
+	// collides with the builder's defaulting.
+	ExposeTimestamps bool
+	// Register selects register read semantics for read mops; a legacy
+	// shorthand for Workload = WorkloadRegister.
+	Register bool
+	// Workload selects read semantics (default WorkloadList).
+	Workload Workload
+}
+
+// Run simulates cfg.Clients single-threaded clients executing cfg.Txns
+// transactions against a fresh DB, interleaving at micro-op granularity
+// under a seeded scheduler, and returns the observed history (complete,
+// with invoke/completion pairs).
+//
+// Determinism: every random choice (scheduling, fault firing, outcomes)
+// flows from cfg.Seed, so a run is exactly reproducible — which the test
+// suite and benchmarks rely on.
+func Run(cfg RunConfig) *history.History {
+	h, _ := RunOnDB(cfg)
+	return h
+}
+
+// RunOnDB is Run but also returns the engine, so callers (tests,
+// ground-truth comparisons) can inspect the final committed state.
+func RunOnDB(cfg RunConfig) (*history.History, *DB) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Register {
+		cfg.Workload = WorkloadRegister
+	}
+	db := New(cfg.Isolation, cfg.Faults, cfg.Seed+1)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := history.NewBuilder()
+
+	type client struct {
+		process int
+		txn     *Txn
+		mops    []op.Mop // template (reads unknown)
+		results []op.Mop // filled as we execute
+		step    int
+	}
+	clients := make([]*client, cfg.Clients)
+	nextProcess := 0
+	for i := range clients {
+		clients[i] = &client{process: nextProcess}
+		nextProcess++
+	}
+
+	started := 0
+	active := 0
+	for {
+		// Pick a random client.
+		c := clients[rng.Intn(len(clients))]
+		if c.txn == nil {
+			if started >= cfg.Txns {
+				if active == 0 {
+					break
+				}
+				continue
+			}
+			// Begin a new transaction.
+			c.mops = cfg.Source.Next()
+			c.results = make([]op.Mop, len(c.mops))
+			copy(c.results, c.mops)
+			c.step = 0
+			if cfg.ExposeTimestamps {
+				b.Append(op.Op{Process: c.process, Type: op.Invoke,
+					Mops: c.mops, Time: db.CurrentTS() + 1})
+			} else {
+				b.Invoke(c.process, c.mops)
+			}
+			c.txn = db.Begin()
+			started++
+			active++
+			continue
+		}
+
+		if c.step < len(c.mops) {
+			m := c.mops[c.step]
+			c.results[c.step] = executeMop(c.txn, m, cfg.Workload)
+			c.step++
+			continue
+		}
+
+		// All mops done: decide the outcome.
+		active--
+		complete := func(t op.Type, mops []op.Mop) {
+			if cfg.ExposeTimestamps {
+				b.Append(op.Op{Process: c.process, Type: t,
+					Mops: mops, Time: db.CurrentTS() + 1})
+			} else {
+				b.Complete(c.process, t, mops)
+			}
+		}
+		switch {
+		case cfg.AbortProb > 0 && rng.Float64() < cfg.AbortProb:
+			c.txn.Abort()
+			complete(op.Fail, c.mops)
+		case cfg.InfoProb > 0 && rng.Float64() < cfg.InfoProb:
+			// The commit was sent but the acknowledgement lost.
+			if rng.Intn(2) == 0 {
+				_ = c.txn.Commit()
+			} else {
+				c.txn.Abort()
+			}
+			complete(op.Info, c.mops)
+			// The client thread abandons this process, as Jepsen does.
+			c.process = nextProcess
+			nextProcess++
+		default:
+			if err := c.txn.Commit(); err != nil {
+				complete(op.Fail, c.mops)
+			} else {
+				complete(op.OK, c.results)
+			}
+		}
+		c.txn = nil
+	}
+	return b.MustHistory(), db
+}
+
+// executeMop runs one micro-op against the transaction and returns the
+// completed mop with its observed value filled in.
+func executeMop(t *Txn, m op.Mop, w Workload) op.Mop {
+	switch m.F {
+	case op.FAppend:
+		t.Append(m.Key, m.Arg)
+		return m
+	case op.FWrite:
+		t.WriteReg(m.Key, m.Arg)
+		return m
+	case op.FAdd:
+		t.AddSet(m.Key, m.Arg)
+		return m
+	case op.FIncrement:
+		t.Inc(m.Key, m.Arg)
+		return m
+	case op.FRead:
+		switch w {
+		case WorkloadRegister:
+			v, isNil := t.ReadReg(m.Key)
+			if isNil {
+				return op.ReadNil(m.Key)
+			}
+			return op.ReadReg(m.Key, v)
+		case WorkloadSet:
+			return op.ReadList(m.Key, t.ReadSet(m.Key))
+		case WorkloadCounter:
+			return op.ReadReg(m.Key, t.ReadCounter(m.Key))
+		default:
+			v := t.ReadList(m.Key)
+			if v == nil {
+				v = []int{}
+			}
+			return op.ReadList(m.Key, v)
+		}
+	default:
+		return m
+	}
+}

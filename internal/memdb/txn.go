@@ -1,0 +1,293 @@
+package memdb
+
+// Txn is one interactive transaction. Transactions are not safe for
+// concurrent use by multiple goroutines; the DB itself is.
+type Txn struct {
+	db        *DB
+	startTS   int64
+	staleBack int64 // stale-read fault: reads rewound this many commits
+	skipRead  bool  // YugaByte fault: commit skips read validation
+	done      bool
+
+	// Per-key list state. The read pin (what the client is shown) and
+	// the write base (what commit installs under) are tracked separately
+	// because the YugaByte fault (§7.2) makes the read path diverge from
+	// the write path: stale reads must not rebase the transaction's
+	// read-modify-writes, or every stale read would also be a lost
+	// update, which is not that bug's signature.
+	lists map[string]*listState
+
+	readKeys map[string]bool // keys read, for serializable validation
+	regBuf   map[string]int
+	regWrote map[string]bool
+	setAdds  map[string][]int // buffered set adds (commutative)
+	ctrIncs  map[string]int   // buffered counter increments (commutative)
+}
+
+type listState struct {
+	pin      []int // value shown to reads (possibly stale), sans own appends
+	pinned   bool
+	base     []int // true-snapshot value commit installs under
+	based    bool
+	appended []int // own appends, in order (duplicates included)
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := &Txn{
+		db:       db,
+		startTS:  db.ts,
+		lists:    map[string]*listState{},
+		readKeys: map[string]bool{},
+		regBuf:   map[string]int{},
+		regWrote: map[string]bool{},
+	}
+	if db.faults.StaleReadProb > 0 && db.rng.Float64() < db.faults.StaleReadProb {
+		t.staleBack = int64(1 + db.rng.Intn(3))
+	}
+	if db.faults.SkipReadValidationProb > 0 && db.rng.Float64() < db.faults.SkipReadValidationProb {
+		t.skipRead = true
+	}
+	return t
+}
+
+func (t *Txn) list(key string) *listState {
+	s, ok := t.lists[key]
+	if !ok {
+		s = &listState{}
+		t.lists[key] = s
+	}
+	return s
+}
+
+// snapshotTS returns the timestamp writes base on: the start snapshot for
+// SI and serializable levels, the current state otherwise. Called with
+// db.mu held.
+func (t *Txn) snapshotTS() int64 {
+	switch t.db.iso {
+	case SnapshotIsolation, Serializable, StrictSerializable:
+		return t.startTS
+	default:
+		return t.db.ts
+	}
+}
+
+// readTS returns the timestamp reads observe: the snapshot, possibly
+// rewound by the YugaByte stale-timestamp fault. Called with db.mu held.
+func (t *Txn) readTS() int64 {
+	ts := t.snapshotTS() - t.staleBack
+	if ts < 0 {
+		return 0
+	}
+	return ts
+}
+
+// ReadList performs a list read mop.
+func (t *Txn) ReadList(key string) []int {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t.readKeys[key] = true
+
+	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
+		return nil
+	}
+	if db.iso == ReadUncommitted {
+		// Shared state already contains everyone's writes.
+		return cloneInts(db.visibleList(key, db.ts))
+	}
+
+	s := t.list(key)
+	if len(s.appended) > 0 {
+		// A read of a key this transaction already appended to is served
+		// from the write path (as a SQL SELECT sees the transaction's own
+		// uncommitted row version), never from a stale pin.
+		if db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb {
+			// FaunaDB (§7.3): the transaction's own appends are missing.
+			return cloneInts(s.base)
+		}
+		return concat(s.base, s.appended)
+	}
+	if !s.pinned {
+		// The pin may be stale (YugaByte, §7.2); the write base, set in
+		// Append, never is.
+		s.pin = cloneInts(db.visibleList(key, t.readTS()))
+		s.pinned = true
+	}
+	if db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb {
+		return cloneInts(s.pin)
+	}
+	return cloneInts(s.pin)
+}
+
+// Append performs a list-append mop: a read-modify-write on the whole
+// list value, as the case-study databases implemented it.
+func (t *Txn) Append(key string, elem int) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	dup := db.faults.DuplicateAppendProb > 0 && db.rng.Float64() < db.faults.DuplicateAppendProb
+
+	if db.iso == ReadUncommitted {
+		// Apply immediately to shared state.
+		cur := cloneInts(db.visibleList(key, db.ts))
+		cur = append(cur, elem)
+		if dup {
+			cur = append(cur, elem)
+		}
+		db.ts++
+		db.lists[key] = append(db.lists[key], version{ts: db.ts, list: cur})
+		return
+	}
+
+	s := t.list(key)
+	if !s.based {
+		s.base = cloneInts(db.visibleList(key, t.snapshotTS()))
+		s.based = true
+	}
+	s.appended = append(s.appended, elem)
+	if dup {
+		s.appended = append(s.appended, elem)
+	}
+}
+
+// ReadReg performs a register read mop, returning (value, isNil).
+func (t *Txn) ReadReg(key string) (int, bool) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t.readKeys[key] = true
+
+	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
+		return 0, true
+	}
+	if db.iso == ReadUncommitted {
+		return db.visibleReg(key, db.ts)
+	}
+	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
+	if t.regWrote[key] && !skipOwn {
+		return t.regBuf[key], false
+	}
+	return db.visibleReg(key, t.readTS())
+}
+
+// WriteReg performs a blind register write mop.
+func (t *Txn) WriteReg(key string, v int) {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	if db.iso == ReadUncommitted {
+		db.ts++
+		db.regs[key] = append(db.regs[key], version{ts: db.ts, reg: v})
+		return
+	}
+	t.regBuf[key] = v
+	t.regWrote[key] = true
+}
+
+// Commit attempts to commit, applying the level's validation rules.
+// On ErrConflict the transaction is finished and its effects (under
+// buffered levels) discarded.
+func (t *Txn) Commit() error {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t.done {
+		return nil
+	}
+	t.done = true
+
+	if db.iso == ReadUncommitted {
+		return nil // already applied
+	}
+
+	conflict := false
+	switch db.iso {
+	case SnapshotIsolation, Serializable, StrictSerializable:
+		// First-committer-wins on the write set only; reads are
+		// validated separately (and only) by the serializable levels,
+		// which is what leaves write skew possible under SI.
+		for key, s := range t.lists {
+			if len(s.appended) > 0 && newerThan(db.lists[key], t.startTS) {
+				conflict = true
+			}
+		}
+		for key := range t.regWrote {
+			if newerThan(db.regs[key], t.startTS) {
+				conflict = true
+			}
+		}
+	}
+	if (db.iso == Serializable || db.iso == StrictSerializable) && !t.skipRead {
+		for key := range t.readKeys {
+			if newerThan(db.lists[key], t.startTS) || newerThan(db.regs[key], t.startTS) ||
+				newerThan(db.sets[key], t.startTS) || newerThan(db.counters[key], t.startTS) {
+				conflict = true
+			}
+		}
+	}
+
+	rebase := false
+	if conflict {
+		// TiDB's automatic retries (§7.1). A "stomp" re-applies the
+		// buffered writes from the stale snapshot, erasing concurrent
+		// updates (lost update). A "rebase" re-executes the writes on
+		// top of the latest committed state while the client keeps its
+		// original snapshot reads (read skew: G-single).
+		switch {
+		case db.faults.RetryStompProb > 0 && db.rng.Float64() < db.faults.RetryStompProb:
+			// Install stale buffers below.
+		case db.faults.RetryRebaseProb > 0 && db.rng.Float64() < db.faults.RetryRebaseProb:
+			rebase = true
+		default:
+			return ErrConflict
+		}
+	}
+
+	db.ts++
+	now := db.ts
+	for key, s := range t.lists {
+		if len(s.appended) == 0 {
+			continue
+		}
+		base := s.base
+		if rebase {
+			base = db.visibleList(key, db.ts-1)
+		}
+		db.lists[key] = append(db.lists[key], version{ts: now, list: concat(base, s.appended)})
+	}
+	for key := range t.regWrote {
+		db.regs[key] = append(db.regs[key], version{ts: now, reg: t.regBuf[key]})
+	}
+	t.commitCollections(now)
+	return nil
+}
+
+// Abort abandons the transaction. Under read uncommitted the damage is
+// already done — writes stay, simulating a database that fails to roll
+// back (the source of G1a and dirty updates in the fault campaigns).
+func (t *Txn) Abort() {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	t.done = true
+}
+
+func cloneInts(xs []int) []int {
+	if xs == nil {
+		return nil
+	}
+	out := make([]int, len(xs))
+	copy(out, xs)
+	return out
+}
+
+func concat(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

@@ -1,0 +1,191 @@
+package op
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the example objects of the paper's Figure 1:
+//
+//	Object    Versions  x_init  Writes
+//	Register  any       nil     w(xi, a) -> (a, nil)
+//	Counter   integers  0       w(xi, a) -> (xi+a, nil)
+//	Set       sets      {}      w(xi, a) -> (xi ∪ {a}, nil)
+//	List      lists     []      w([e1..en], a) -> ([e1..en, a], nil)
+//
+// Version is the common value representation used by the in-memory database
+// and by the analyzers' internal-consistency models. Every object's version
+// is representable as (Nil?, Int, Elems): registers use Nil/Int, counters
+// use Int, sets and lists use Elems.
+
+// ObjectKind identifies one of the paper's four example datatypes.
+type ObjectKind uint8
+
+const (
+	// KindRegister is a last-writer-wins register; writes blindly replace.
+	KindRegister ObjectKind = iota
+	// KindCounter is an integer counter; writes increment.
+	KindCounter
+	// KindSet is a grow-only set; writes add a unique element.
+	KindSet
+	// KindList is an append-only list; writes append a unique element.
+	// Lists are the paper's traceable object: every version has exactly
+	// one trace, so reads reveal the full version history.
+	KindList
+)
+
+// String returns the datatype's name.
+func (k ObjectKind) String() string {
+	switch k {
+	case KindRegister:
+		return "register"
+	case KindCounter:
+		return "counter"
+	case KindSet:
+		return "set"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// WriteFun returns the micro-op function that mutates objects of kind k.
+func (k ObjectKind) WriteFun() Fun {
+	switch k {
+	case KindRegister:
+		return FWrite
+	case KindCounter:
+		return FIncrement
+	case KindSet:
+		return FAdd
+	default:
+		return FAppend
+	}
+}
+
+// Traceable reports whether every version of an object of kind k has
+// exactly one trace (§4.1.6). Only lists are traceable: a list value
+// [1 2 3] proves x took on the versions [], [1], [1 2], [1 2 3] in exactly
+// that order.
+func (k ObjectKind) Traceable() bool { return k == KindList }
+
+// Version is a value of one of the example objects. The zero Version of a
+// register is distinguished from a written value via Nil.
+type Version struct {
+	Kind  ObjectKind
+	Nil   bool  // register only: true for the initial, unwritten version
+	Int   int   // register value or counter total
+	Elems []int // set or list elements (sets kept in insertion order)
+}
+
+// InitVersion returns the initial version x_init for kind k.
+func InitVersion(k ObjectKind) Version {
+	switch k {
+	case KindRegister:
+		return Version{Kind: k, Nil: true}
+	case KindCounter:
+		return Version{Kind: k}
+	default:
+		return Version{Kind: k, Elems: []int{}}
+	}
+}
+
+// Apply performs the object's write operation with argument a and returns
+// the successor version. Per Figure 1, every write returns nil to the
+// client, so Apply has no return value beyond the new version. Apply never
+// mutates v.
+func (v Version) Apply(a int) Version {
+	switch v.Kind {
+	case KindRegister:
+		return Version{Kind: v.Kind, Int: a}
+	case KindCounter:
+		return Version{Kind: v.Kind, Int: v.Int + a}
+	default:
+		elems := make([]int, len(v.Elems), len(v.Elems)+1)
+		copy(elems, v.Elems)
+		return Version{Kind: v.Kind, Elems: append(elems, a)}
+	}
+}
+
+// Equal reports whether two versions are the same value. Set versions
+// compare as sets; list versions compare element-wise in order.
+func (v Version) Equal(w Version) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindRegister:
+		return v.Nil == w.Nil && (v.Nil || v.Int == w.Int)
+	case KindCounter:
+		return v.Int == w.Int
+	case KindSet:
+		if len(v.Elems) != len(w.Elems) {
+			return false
+		}
+		a, b := sortedCopy(v.Elems), sortedCopy(w.Elems)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		if len(v.Elems) != len(w.Elems) {
+			return false
+		}
+		for i := range v.Elems {
+			if v.Elems[i] != w.Elems[i] {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// String renders the version: "nil", "7", "{1 2}", or "[1 2 3]".
+func (v Version) String() string {
+	switch v.Kind {
+	case KindRegister:
+		if v.Nil {
+			return "nil"
+		}
+		return fmt.Sprintf("%d", v.Int)
+	case KindCounter:
+		return fmt.Sprintf("%d", v.Int)
+	case KindSet:
+		s := sortedCopy(v.Elems)
+		out := "{"
+		for i, e := range s {
+			if i > 0 {
+				out += " "
+			}
+			out += fmt.Sprintf("%d", e)
+		}
+		return out + "}"
+	default:
+		return FormatList(v.Elems)
+	}
+}
+
+func sortedCopy(xs []int) []int {
+	s := make([]int, len(xs))
+	copy(s, xs)
+	sort.Ints(s)
+	return s
+}
+
+// IsPrefix reports whether a is a prefix of b. It is the traceability
+// test for list versions: if every committed read of x is a prefix of the
+// longest read, the observation is consistent (§4.2.1).
+func IsPrefix(a, b []int) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

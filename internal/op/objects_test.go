@@ -1,0 +1,152 @@
+package op
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure1Semantics checks each object's write semantics against the
+// table in the paper's Figure 1.
+func TestFigure1Semantics(t *testing.T) {
+	// Register: w(xi, a) -> (a, nil); x_init = nil.
+	reg := InitVersion(KindRegister)
+	if !reg.Nil {
+		t.Error("register init should be nil")
+	}
+	reg = reg.Apply(5)
+	if reg.Nil || reg.Int != 5 {
+		t.Errorf("register after w(5): %v", reg)
+	}
+	reg = reg.Apply(9)
+	if reg.Int != 9 {
+		t.Errorf("register writes should blindly replace: %v", reg)
+	}
+
+	// Counter: w(xi, a) -> (xi + a, nil); x_init = 0.
+	ctr := InitVersion(KindCounter)
+	if ctr.Int != 0 {
+		t.Error("counter init should be 0")
+	}
+	ctr = ctr.Apply(3).Apply(4)
+	if ctr.Int != 7 {
+		t.Errorf("counter after +3, +4: %v", ctr)
+	}
+
+	// Set: w(xi, a) -> (xi ∪ {a}, nil); x_init = {}.
+	set := InitVersion(KindSet)
+	if len(set.Elems) != 0 {
+		t.Error("set init should be empty")
+	}
+	set = set.Apply(2).Apply(1)
+	if set.String() != "{1 2}" {
+		t.Errorf("set = %s", set)
+	}
+
+	// List: w([e1..en], a) -> ([e1..en, a], nil); x_init = [].
+	list := InitVersion(KindList)
+	list = list.Apply(1).Apply(2).Apply(3)
+	if list.String() != "[1 2 3]" {
+		t.Errorf("list = %s", list)
+	}
+}
+
+func TestVersionEqual(t *testing.T) {
+	a := InitVersion(KindSet).Apply(1).Apply(2)
+	b := InitVersion(KindSet).Apply(2).Apply(1)
+	if !a.Equal(b) {
+		t.Error("sets should compare order-free")
+	}
+	la := InitVersion(KindList).Apply(1).Apply(2)
+	lb := InitVersion(KindList).Apply(2).Apply(1)
+	if la.Equal(lb) {
+		t.Error("lists should compare in order")
+	}
+	if la.Equal(a) {
+		t.Error("different kinds never equal")
+	}
+	r1, r2 := InitVersion(KindRegister), InitVersion(KindRegister)
+	if !r1.Equal(r2) {
+		t.Error("nil registers should be equal")
+	}
+	if r1.Equal(r2.Apply(0)) {
+		t.Error("nil register should differ from written 0")
+	}
+}
+
+func TestApplyDoesNotMutate(t *testing.T) {
+	v := InitVersion(KindList).Apply(1)
+	w := v.Apply(2)
+	if len(v.Elems) != 1 {
+		t.Errorf("Apply mutated its receiver: %v", v)
+	}
+	if len(w.Elems) != 2 {
+		t.Errorf("Apply result wrong: %v", w)
+	}
+	// Appending to v again must not clobber w's storage.
+	u := v.Apply(3)
+	if w.Elems[1] != 2 {
+		t.Errorf("aliasing: w = %v after building u = %v", w.Elems, u.Elems)
+	}
+}
+
+func TestObjectKindStringsAndWriteFuns(t *testing.T) {
+	cases := []struct {
+		k    ObjectKind
+		name string
+		fun  Fun
+	}{
+		{KindRegister, "register", FWrite},
+		{KindCounter, "counter", FIncrement},
+		{KindSet, "set", FAdd},
+		{KindList, "list", FAppend},
+	}
+	for _, c := range cases {
+		if c.k.String() != c.name {
+			t.Errorf("%v.String() = %q", c.k, c.k.String())
+		}
+		if c.k.WriteFun() != c.fun {
+			t.Errorf("%v.WriteFun() = %v", c.k, c.k.WriteFun())
+		}
+	}
+	if KindRegister.Traceable() || KindSet.Traceable() || KindCounter.Traceable() {
+		t.Error("only lists are traceable")
+	}
+	if !KindList.Traceable() {
+		t.Error("lists must be traceable")
+	}
+}
+
+// TestListTraceability is the property that makes list append the paper's
+// workload of choice: applying any sequence of unique appends yields a
+// version whose value *is* its trace.
+func TestListTraceability(t *testing.T) {
+	prop := func(raw []int) bool {
+		// Make elements unique by position.
+		v := InitVersion(KindList)
+		for i := range raw {
+			v = v.Apply(i)
+		}
+		if len(v.Elems) != len(raw) {
+			return false
+		}
+		for i := range raw {
+			if v.Elems[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCounterCommutativity documents why counters are unrecoverable
+// (§3): distinct increment orders yield identical versions.
+func TestCounterCommutativity(t *testing.T) {
+	a := InitVersion(KindCounter).Apply(1).Apply(2)
+	b := InitVersion(KindCounter).Apply(2).Apply(1)
+	if !a.Equal(b) {
+		t.Error("increments must commute")
+	}
+}

@@ -1,0 +1,278 @@
+// Package op defines the vocabulary of observed database operations used
+// throughout Elle: micro-operations (reads, writes, appends) grouped into
+// transactions, and the four completion types a client can observe
+// (invoke, ok, fail, info).
+//
+// The model follows §4.1 of Kingsbury & Alvaro, "Elle: Inferring Isolation
+// Anomalies from Experimental Observations" (VLDB 2020): an observed
+// operation is an operation whose versions and return values may be unknown.
+// A transaction whose commit outcome is unknown (e.g. a timeout) is recorded
+// with type Info; it may have committed in some interpretations and aborted
+// in others.
+package op
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Fun identifies the function of a micro-operation.
+type Fun uint8
+
+const (
+	// FRead observes the current version of an object and returns it.
+	FRead Fun = iota
+	// FWrite blindly replaces the current version of a register.
+	FWrite
+	// FAppend appends a unique element to the end of a list object.
+	FAppend
+	// FAdd adds a unique element to a set object.
+	FAdd
+	// FIncrement adds an integer to a counter object.
+	FIncrement
+)
+
+// String returns the Jepsen-style keyword for f.
+func (f Fun) String() string {
+	switch f {
+	case FRead:
+		return "r"
+	case FWrite:
+		return "w"
+	case FAppend:
+		return "append"
+	case FAdd:
+		return "add"
+	case FIncrement:
+		return "increment"
+	default:
+		return fmt.Sprintf("fun(%d)", uint8(f))
+	}
+}
+
+// IsWrite reports whether f mutates its object.
+func (f Fun) IsWrite() bool { return f != FRead }
+
+// Mop is a single micro-operation within a transaction: one read, write,
+// append, add, or increment applied to one object (identified by Key).
+//
+// Exactly which result fields are meaningful depends on Fun and on the
+// workload:
+//
+//   - FAppend/FAdd/FIncrement/FWrite use Arg as the written value.
+//   - FRead of a list object stores the observed list in List; a nil List
+//     means the result is unknown (e.g. on an invoke), while an empty,
+//     non-nil List means the database returned the empty list.
+//   - FRead of a register or counter stores the observed value in Reg;
+//     RegKnown distinguishes "observed nil / zero" from "unknown".
+type Mop struct {
+	F   Fun
+	Key string
+
+	// Arg is the argument of a write-like micro-op: the element appended
+	// or added, the value written, or the increment amount.
+	Arg int
+
+	// List is the observed value of a list or set read. nil = unknown.
+	List []int
+
+	// Reg is the observed value of a register or counter read, valid only
+	// when RegKnown is true. A register read that observed the initial
+	// (nil) version is encoded as RegKnown=true, RegNil=true.
+	Reg      int
+	RegKnown bool
+	RegNil   bool
+}
+
+// Append constructs an append micro-op.
+func Append(key string, elem int) Mop { return Mop{F: FAppend, Key: key, Arg: elem} }
+
+// Add constructs a set-add micro-op.
+func Add(key string, elem int) Mop { return Mop{F: FAdd, Key: key, Arg: elem} }
+
+// Increment constructs a counter-increment micro-op.
+func Increment(key string, delta int) Mop { return Mop{F: FIncrement, Key: key, Arg: delta} }
+
+// Write constructs a register-write micro-op.
+func Write(key string, v int) Mop { return Mop{F: FWrite, Key: key, Arg: v} }
+
+// Read constructs a read micro-op with an unknown result.
+func Read(key string) Mop { return Mop{F: FRead, Key: key} }
+
+// ReadList constructs a completed list (or set) read that observed v.
+// The result is never nil: an empty observation is recorded as []int{}.
+func ReadList(key string, v []int) Mop {
+	if v == nil {
+		v = []int{}
+	}
+	return Mop{F: FRead, Key: key, List: v}
+}
+
+// ReadReg constructs a completed register read that observed v.
+func ReadReg(key string, v int) Mop {
+	return Mop{F: FRead, Key: key, Reg: v, RegKnown: true}
+}
+
+// ReadNil constructs a completed register read that observed the initial
+// nil version.
+func ReadNil(key string) Mop {
+	return Mop{F: FRead, Key: key, RegKnown: true, RegNil: true}
+}
+
+// IsRead reports whether m is a read micro-op.
+func (m Mop) IsRead() bool { return m.F == FRead }
+
+// IsWrite reports whether m mutates its object.
+func (m Mop) IsWrite() bool { return m.F.IsWrite() }
+
+// ListKnown reports whether m is a list read with a known result.
+func (m Mop) ListKnown() bool { return m.F == FRead && m.List != nil }
+
+// String renders m in the paper's compact notation, e.g.
+// "append(34, 5)" or "r(34, [2 1 5 4])".
+func (m Mop) String() string {
+	var b strings.Builder
+	b.WriteString(m.F.String())
+	b.WriteByte('(')
+	b.WriteString(m.Key)
+	switch {
+	case m.F != FRead:
+		b.WriteString(", ")
+		b.WriteString(strconv.Itoa(m.Arg))
+	case m.List != nil:
+		b.WriteString(", ")
+		b.WriteString(FormatList(m.List))
+	case m.RegKnown && m.RegNil:
+		b.WriteString(", nil")
+	case m.RegKnown:
+		b.WriteString(", ")
+		b.WriteString(strconv.Itoa(m.Reg))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// FormatList renders a list value as "[1 2 3]".
+func FormatList(v []int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, e := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(e))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Type is the completion type of an observed operation.
+type Type uint8
+
+const (
+	// Invoke records the start of a transaction; read results are unknown.
+	Invoke Type = iota
+	// OK records a transaction known to have committed.
+	OK
+	// Fail records a transaction known to have aborted.
+	Fail
+	// Info records a transaction with an unknown outcome: the client timed
+	// out or crashed before learning whether its commit succeeded. Its
+	// writes may or may not have taken effect.
+	Info
+)
+
+// String returns the Jepsen-style name for t.
+func (t Type) String() string {
+	switch t {
+	case Invoke:
+		return "invoke"
+	case OK:
+		return "ok"
+	case Fail:
+		return "fail"
+	case Info:
+		return "info"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Op is one observed operation: a transaction attempt or its completion.
+// A complete history interleaves Invoke ops with their OK/Fail/Info
+// completions; a compact history contains completions only.
+type Op struct {
+	// Index is the op's unique, strictly increasing position in the
+	// history. It doubles as the op's identity in graphs and reports.
+	Index int
+	// Process identifies the single-threaded logical client that executed
+	// the op. A process has at most one outstanding transaction.
+	Process int
+	// Time is an optional wall-clock or logical timestamp in nanoseconds.
+	Time int64
+	// Type is the completion type.
+	Type Type
+	// Mops is the transaction body, in program order.
+	Mops []Mop
+}
+
+// Txn constructs a compact completed op. It is the usual way to build
+// histories by hand in tests and examples.
+func Txn(index, process int, t Type, mops ...Mop) Op {
+	return Op{Index: index, Process: process, Type: t, Mops: mops}
+}
+
+// Committed reports whether the op is known to have committed.
+func (o Op) Committed() bool { return o.Type == OK }
+
+// Aborted reports whether the op is known to have aborted.
+func (o Op) Aborted() bool { return o.Type == Fail }
+
+// Indeterminate reports whether the op's outcome is unknown.
+func (o Op) Indeterminate() bool { return o.Type == Info }
+
+// MayHaveCommitted reports whether any interpretation of the observation
+// could map this op to a committed transaction.
+func (o Op) MayHaveCommitted() bool { return o.Type == OK || o.Type == Info }
+
+// WritesKey reports whether the transaction contains a write-like micro-op
+// on key.
+func (o Op) WritesKey(key string) bool {
+	for _, m := range o.Mops {
+		if m.IsWrite() && m.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Keys returns the distinct keys touched by the transaction, in first-use
+// order.
+func (o Op) Keys() []string {
+	seen := make(map[string]bool, len(o.Mops))
+	var keys []string
+	for _, m := range o.Mops {
+		if !seen[m.Key] {
+			seen[m.Key] = true
+			keys = append(keys, m.Key)
+		}
+	}
+	return keys
+}
+
+// String renders the op as "T42(ok): append(3, 837), r(4, [874 877 883])".
+func (o Op) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "T%d(%s): ", o.Index, o.Type)
+	for i, m := range o.Mops {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.String())
+	}
+	return b.String()
+}
+
+// Name returns the short transaction label used in explanations, e.g. "T42".
+func (o Op) Name() string { return "T" + strconv.Itoa(o.Index) }

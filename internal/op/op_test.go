@@ -1,0 +1,192 @@
+package op
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFunString(t *testing.T) {
+	cases := map[Fun]string{
+		FRead:      "r",
+		FWrite:     "w",
+		FAppend:    "append",
+		FAdd:       "add",
+		FIncrement: "increment",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Fun(%d).String() = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestFunIsWrite(t *testing.T) {
+	if FRead.IsWrite() {
+		t.Error("FRead.IsWrite() = true")
+	}
+	for _, f := range []Fun{FWrite, FAppend, FAdd, FIncrement} {
+		if !f.IsWrite() {
+			t.Errorf("%s.IsWrite() = false", f)
+		}
+	}
+}
+
+func TestMopConstructors(t *testing.T) {
+	m := Append("x", 3)
+	if m.F != FAppend || m.Key != "x" || m.Arg != 3 {
+		t.Errorf("Append: got %+v", m)
+	}
+	if !m.IsWrite() || m.IsRead() {
+		t.Error("append should be a write")
+	}
+
+	r := ReadList("y", []int{1, 2})
+	if !r.IsRead() || !r.ListKnown() {
+		t.Error("ReadList should be a known read")
+	}
+	if len(r.List) != 2 {
+		t.Errorf("ReadList kept %v", r.List)
+	}
+
+	empty := ReadList("y", nil)
+	if !empty.ListKnown() {
+		t.Error("ReadList(nil) should normalize to a known empty read")
+	}
+	if len(empty.List) != 0 {
+		t.Errorf("ReadList(nil) = %v", empty.List)
+	}
+
+	unknown := Read("y")
+	if unknown.ListKnown() {
+		t.Error("Read should have an unknown result")
+	}
+
+	rn := ReadNil("z")
+	if !rn.RegKnown || !rn.RegNil {
+		t.Errorf("ReadNil: got %+v", rn)
+	}
+	rv := ReadReg("z", 7)
+	if !rv.RegKnown || rv.RegNil || rv.Reg != 7 {
+		t.Errorf("ReadReg: got %+v", rv)
+	}
+}
+
+func TestMopString(t *testing.T) {
+	cases := []struct {
+		m    Mop
+		want string
+	}{
+		{Append("34", 5), "append(34, 5)"},
+		{ReadList("34", []int{2, 1, 5, 4}), "r(34, [2 1 5 4])"},
+		{ReadList("8", []int{}), "r(8, [])"},
+		{Read("8"), "r(8)"},
+		{ReadNil("10"), "r(10, nil)"},
+		{ReadReg("10", 2), "r(10, 2)"},
+		{Write("10", 2), "w(10, 2)"},
+		{Increment("c", 3), "increment(c, 3)"},
+		{Add("s", 9), "add(s, 9)"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	ok := Txn(1, 0, OK, Append("x", 1))
+	fail := Txn(2, 0, Fail, Append("x", 2))
+	info := Txn(3, 0, Info, Append("x", 3))
+	if !ok.Committed() || ok.Aborted() || ok.Indeterminate() {
+		t.Error("OK predicates wrong")
+	}
+	if !fail.Aborted() || fail.Committed() {
+		t.Error("Fail predicates wrong")
+	}
+	if !info.Indeterminate() || !info.MayHaveCommitted() {
+		t.Error("Info predicates wrong")
+	}
+	if fail.MayHaveCommitted() {
+		t.Error("Fail.MayHaveCommitted() = true")
+	}
+	if !ok.MayHaveCommitted() {
+		t.Error("OK.MayHaveCommitted() = false")
+	}
+}
+
+func TestOpKeysAndWrites(t *testing.T) {
+	o := Txn(5, 1, OK,
+		Append("a", 1), ReadList("b", []int{}), Append("a", 2), ReadList("c", nil))
+	keys := o.Keys()
+	want := []string{"a", "b", "c"}
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("Keys()[%d] = %q, want %q", i, keys[i], want[i])
+		}
+	}
+	if !o.WritesKey("a") || o.WritesKey("b") || o.WritesKey("d") {
+		t.Error("WritesKey wrong")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	o := Txn(42, 3, OK, Append("3", 837), ReadList("4", []int{874, 877, 883}))
+	want := "T42(ok): append(3, 837), r(4, [874 877 883])"
+	if got := o.String(); got != want {
+		t.Errorf("Op.String() = %q, want %q", got, want)
+	}
+	if o.Name() != "T42" {
+		t.Errorf("Name() = %q", o.Name())
+	}
+}
+
+func TestFormatList(t *testing.T) {
+	if got := FormatList(nil); got != "[]" {
+		t.Errorf("FormatList(nil) = %q", got)
+	}
+	if got := FormatList([]int{1, 2, 3}); got != "[1 2 3]" {
+		t.Errorf("FormatList = %q", got)
+	}
+}
+
+func TestIsPrefix(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int{1}, true},
+		{[]int{1}, []int{1, 2}, true},
+		{[]int{1, 2}, []int{1, 2}, true},
+		{[]int{2}, []int{1, 2}, false},
+		{[]int{1, 2, 3}, []int{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := IsPrefix(c.a, c.b); got != c.want {
+			t.Errorf("IsPrefix(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsPrefixProperties(t *testing.T) {
+	// Every prefix of a slice is a prefix; extending the longer slice
+	// preserves the relation.
+	prop := func(a []int, ext []int) bool {
+		b := append(append([]int(nil), a...), ext...)
+		return IsPrefix(a, b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+	// A strictly longer slice is never a prefix of a shorter one.
+	prop2 := func(a []int) bool {
+		b := append(append([]int(nil), a...), 99)
+		return !IsPrefix(b, a)
+	}
+	if err := quick.Check(prop2, nil); err != nil {
+		t.Error(err)
+	}
+}

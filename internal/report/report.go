@@ -1,0 +1,112 @@
+// Package report renders check results as machine-readable JSON, for CI
+// pipelines that run the checker and want structured verdicts rather
+// than prose.
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/stats"
+)
+
+// Report is the JSON shape of one check.
+type Report struct {
+	Valid    bool     `json:"valid"`
+	Expected string   `json:"expected_model"`
+	Workload string   `json:"workload"`
+	Violated []string `json:"violated_models"`
+	// Strongest lists the maximal models the observation may satisfy.
+	Strongest []string  `json:"strongest_models"`
+	Anomalies []Anomaly `json:"anomalies"`
+	History   History   `json:"history"`
+	Graph     Graph     `json:"graph"`
+}
+
+// Anomaly is one finding.
+type Anomaly struct {
+	Type string `json:"type"`
+	Key  string `json:"key,omitempty"`
+	// Txns lists the transactions involved (cycle nodes or directly
+	// implicated ops), by op index.
+	Txns []int `json:"txns,omitempty"`
+	// Cycle renders the witness as "T1 -rw-> T2 -ww-> T1" when present.
+	Cycle       string `json:"cycle,omitempty"`
+	Explanation string `json:"explanation,omitempty"`
+}
+
+// History carries the history statistics.
+type History struct {
+	Ops           int `json:"ops"`
+	Attempts      int `json:"attempts"`
+	Committed     int `json:"committed"`
+	Aborted       int `json:"aborted"`
+	Indeterminate int `json:"indeterminate"`
+	Processes     int `json:"processes"`
+	Keys          int `json:"keys"`
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+// Graph carries the dependency-graph statistics.
+type Graph struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	SCCs  int `json:"cyclic_components"`
+}
+
+// New assembles a Report from a check result and its history.
+func New(h *history.History, workload core.Workload, res *core.CheckResult) Report {
+	st := stats.Compute(h)
+	r := Report{
+		Valid:    res.Valid,
+		Expected: string(res.Expected),
+		Workload: workload.String(),
+		History: History{
+			Ops:           st.Ops,
+			Attempts:      st.Attempts,
+			Committed:     st.Committed,
+			Aborted:       st.Aborted,
+			Indeterminate: st.Indeterminate,
+			Processes:     st.Processes,
+			Keys:          st.Keys,
+			MaxConcurrent: st.MaxConcurrent,
+		},
+		Graph: Graph{
+			Nodes: res.Stats.Nodes,
+			Edges: res.Stats.Edges,
+			SCCs:  res.Stats.SCCs,
+		},
+	}
+	for _, m := range res.Violated {
+		r.Violated = append(r.Violated, string(m))
+	}
+	for _, m := range res.Strongest {
+		r.Strongest = append(r.Strongest, string(m))
+	}
+	for _, a := range res.Anomalies {
+		ra := Anomaly{
+			Type:        string(a.Type),
+			Key:         a.Key,
+			Explanation: a.Explanation,
+		}
+		if len(a.Cycle.Steps) > 0 {
+			ra.Cycle = a.Cycle.String()
+			ra.Txns = a.Cycle.Nodes()
+		} else {
+			for _, o := range a.Ops {
+				ra.Txns = append(ra.Txns, o.Index)
+			}
+		}
+		r.Anomalies = append(r.Anomalies, ra)
+	}
+	return r
+}
+
+// Write emits the report as indented JSON.
+func (r Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+func TestReportShape(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.Fail, op.Append("x", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("x", []int{1})),
+	})
+	res := core.Check(h, core.OptsFor(core.ListAppend, consistency.ReadCommitted))
+	r := New(h, core.ListAppend, res)
+
+	if r.Valid {
+		t.Error("G1a history reported valid")
+	}
+	if r.Expected != "read-committed" || r.Workload != "list-append" {
+		t.Errorf("expected=%q workload=%q", r.Expected, r.Workload)
+	}
+	if len(r.Anomalies) == 0 {
+		t.Fatal("no anomalies in report")
+	}
+	found := false
+	for _, a := range r.Anomalies {
+		if a.Type == "G1a" {
+			found = true
+			if len(a.Txns) == 0 || a.Explanation == "" {
+				t.Errorf("G1a entry incomplete: %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Error("G1a missing from report")
+	}
+	if r.History.Attempts != 2 || r.History.Committed != 1 || r.History.Aborted != 1 {
+		t.Errorf("history stats: %+v", r.History)
+	}
+	if len(r.Violated) == 0 || len(r.Strongest) == 0 {
+		t.Error("model lists empty")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		// Write skew: cycle witness should serialize.
+		op.Txn(0, 0, op.OK, op.ReadList("x", []int{}), op.Append("y", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("y", []int{}), op.Append("x", 1)),
+		op.Txn(2, 2, op.OK, op.ReadList("x", []int{1}), op.ReadList("y", []int{1})),
+	})
+	res := core.Check(h, core.OptsFor(core.ListAppend, consistency.Serializable))
+	var buf bytes.Buffer
+	if err := New(h, core.ListAppend, res).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Valid {
+		t.Error("write skew reported valid")
+	}
+	hasCycle := false
+	for _, a := range back.Anomalies {
+		if a.Cycle != "" && len(a.Txns) >= 2 {
+			hasCycle = true
+		}
+	}
+	if !hasCycle {
+		t.Errorf("cycle witness missing: %s", buf.String())
+	}
+	if back.Graph.Nodes != 3 {
+		t.Errorf("graph nodes = %d", back.Graph.Nodes)
+	}
+}
+
+func TestCleanReport(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.OK, op.Append("x", 1)),
+	})
+	res := core.Check(h, core.OptsFor(core.ListAppend, consistency.StrictSerializable))
+	r := New(h, core.ListAppend, res)
+	if !r.Valid || len(r.Anomalies) != 0 {
+		t.Errorf("clean report: %+v", r)
+	}
+	if len(r.Strongest) != 1 || r.Strongest[0] != "strict-serializable" {
+		t.Errorf("strongest = %v", r.Strongest)
+	}
+}

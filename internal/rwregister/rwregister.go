@@ -1,0 +1,311 @@
+// Package rwregister implements Elle's analysis for read-write registers
+// (§5.2 and the Dgraph case study, §7.4 of the paper).
+//
+// Blind register writes destroy history: a read of x=3 says nothing about
+// which versions preceded 3. The analyzer therefore infers a *partial*
+// version order per key from small, independent assumptions:
+//
+//   - Initial state: the initial version nil is never reachable via any
+//     write, so nil <x v for every other observed version v.
+//   - Writes follow reads: if a transaction reads x=v and later writes
+//     x=v', then v <x v' (and consecutive writes in one transaction order
+//     their versions likewise).
+//   - Per-key linearizability (optional): if the database claims each key
+//     is independently linearizable, then when transaction A finishes
+//     reading or writing x at vi before transaction B begins and observes
+//     vj, we infer vi <x vj from the real-time order.
+//
+// Inferred per-key version orders can be cyclic when the database
+// misbehaves (Dgraph returned nil for keys written seconds earlier). Such
+// keys are reported as cyclic-version-order anomalies and discarded, so
+// they cannot seed trivial transaction cycles — exactly the behavior the
+// paper describes. Acyclic orders are transitively reduced and exploded
+// into ww / wr / rw transaction dependencies using recoverability (every
+// written value unique).
+package rwregister
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// nilVer encodes the initial version in per-key version graphs.
+const nilVer = math.MinInt64
+
+// Opts configures which inference rules run.
+type Opts struct {
+	// InitialState infers nil <x v for every non-initial version v.
+	InitialState bool
+	// WritesFollowReads infers v <x v' when one transaction reads v and
+	// then writes v' to the same key.
+	WritesFollowReads bool
+	// LinearizableKeys infers version orders from the real-time order of
+	// transactions touching a key, as per-key linearizability permits.
+	LinearizableKeys bool
+	// SequentialKeys infers version orders from each process's own
+	// session order: when one client touches a key at version vi and
+	// later touches it again at vj, per-key sequential consistency
+	// implies vi <x vj. Weaker than LinearizableKeys (no cross-client
+	// inference) but sound against databases claiming only sequential
+	// per-key behavior.
+	SequentialKeys bool
+}
+
+// DefaultOpts enables every rule, matching the paper's Dgraph analysis.
+func DefaultOpts() Opts {
+	return Opts{
+		InitialState:      true,
+		WritesFollowReads: true,
+		LinearizableKeys:  true,
+		SequentialKeys:    true,
+	}
+}
+
+// Analysis is the result of register dependency inference.
+type Analysis struct {
+	// Graph holds inferred ww, wr, and rw transaction dependencies.
+	Graph *graph.Graph
+	// Anomalies are non-cycle anomalies found during inference.
+	Anomalies []anomaly.Anomaly
+	// VersionOrders maps keys to the direct edges of the reduced version
+	// order actually used for inference (nil encoded as "nil").
+	VersionOrders map[string][][2]string
+	// Ops indexes analyzed completion ops by index.
+	Ops map[int]op.Op
+}
+
+type verKey struct {
+	key string
+	val int
+}
+
+type analyzer struct {
+	opts Opts
+	h    *history.History
+
+	ops          map[int]op.Op
+	oks          []op.Op
+	spanOf       map[int][2]int
+	writer       map[verKey]int // recoverable committed/indeterminate writer
+	failedWriter map[verKey]int
+	writeCount   map[verKey]int
+	readers      map[verKey][]int // ok transactions that read (key, val)
+	anomalies    []anomaly.Anomaly
+}
+
+// Analyze infers dependencies and anomalies for a register history.
+func Analyze(h *history.History, opts Opts) *Analysis {
+	a := &analyzer{
+		opts:         opts,
+		h:            h,
+		ops:          map[int]op.Op{},
+		spanOf:       map[int][2]int{},
+		writer:       map[verKey]int{},
+		failedWriter: map[verKey]int{},
+		writeCount:   map[verKey]int{},
+		readers:      map[verKey][]int{},
+	}
+	for pos, o := range h.Ops {
+		if o.Type == op.Invoke {
+			continue
+		}
+		a.ops[o.Index] = o
+		inv, comp := h.Span(pos)
+		a.spanOf[o.Index] = [2]int{inv, comp}
+		if o.Type == op.OK {
+			a.oks = append(a.oks, o)
+		}
+	}
+	a.indexWrites()
+	a.indexReads()
+	a.checkInternal()
+	a.checkReads()
+
+	g := graph.New()
+	for _, o := range a.oks {
+		g.Ensure(o.Index)
+	}
+	orders := map[string][][2]string{}
+	for _, k := range a.keys() {
+		vg := a.versionGraph(k)
+		if cyc := cyclicWitness(vg); cyc != nil {
+			a.report(anomaly.Anomaly{
+				Type: anomaly.CyclicVersionOrder,
+				Key:  k,
+				Explanation: fmt.Sprintf(
+					"the inferred version order for key %s is cyclic (%s); its version edges are discarded to avoid trivial transaction cycles",
+					k, formatVersionCycle(cyc)),
+			})
+			continue
+		}
+		reduce(vg)
+		orders[k] = a.emitEdges(g, k, vg)
+	}
+	a.emitWR(g)
+	return &Analysis{Graph: g, Anomalies: a.anomalies, VersionOrders: orders, Ops: a.ops}
+}
+
+func (a *analyzer) indexWrites() {
+	var vks []verKey
+	for _, o := range a.ops {
+		for _, m := range o.Mops {
+			if m.F != op.FWrite {
+				continue
+			}
+			vk := verKey{m.Key, m.Arg}
+			if a.writeCount[vk] == 0 {
+				vks = append(vks, vk)
+			}
+			a.writeCount[vk]++
+			if a.writeCount[vk] > 1 {
+				continue
+			}
+			if o.Type == op.Fail {
+				a.failedWriter[vk] = o.Index
+			} else {
+				a.writer[vk] = o.Index
+			}
+		}
+	}
+	sort.Slice(vks, func(i, j int) bool {
+		if vks[i].key != vks[j].key {
+			return vks[i].key < vks[j].key
+		}
+		return vks[i].val < vks[j].val
+	})
+	for _, vk := range vks {
+		if a.writeCount[vk] > 1 {
+			delete(a.writer, vk)
+			delete(a.failedWriter, vk)
+			a.report(anomaly.Anomaly{
+				Type: anomaly.DuplicateAppends,
+				Key:  vk.key,
+				Explanation: fmt.Sprintf(
+					"value %d was written to key %s by %d transactions; writes must be unique for versions to be recoverable",
+					vk.val, vk.key, a.writeCount[vk]),
+			})
+		}
+	}
+}
+
+func (a *analyzer) indexReads() {
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if m.F == op.FRead && m.RegKnown && !m.RegNil {
+				vk := verKey{m.Key, m.Reg}
+				a.readers[vk] = append(a.readers[vk], o.Index)
+			}
+		}
+	}
+}
+
+// checkReads detects garbage reads (values never written), G1a (values
+// written by aborted transactions), and G1b (intermediate values).
+func (a *analyzer) checkReads() {
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if m.F != op.FRead || !m.RegKnown || m.RegNil {
+				continue
+			}
+			vk := verKey{m.Key, m.Reg}
+			if a.writeCount[vk] == 0 {
+				a.report(anomaly.Anomaly{
+					Type: anomaly.GarbageRead,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s = %d, but no transaction ever wrote %d to %s",
+						o.Name(), m.Key, m.Reg, m.Reg, m.Key),
+				})
+				continue
+			}
+			if w, ok := a.failedWriter[vk]; ok {
+				a.report(anomaly.Anomaly{
+					Type: anomaly.G1a,
+					Ops:  []op.Op{o, a.ops[w]},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s = %d, which was written by %s, which aborted: an aborted read",
+						o.Name(), m.Key, m.Reg, a.ops[w].Name()),
+				})
+			}
+			if w, ok := a.writer[vk]; ok && w != o.Index {
+				wo := a.ops[w]
+				if fin, has := finalWrite(wo, m.Key); has && fin != m.Reg {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.G1b,
+						Ops:  []op.Op{o, wo},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s = %d, an intermediate write of %s (whose final write was %d): an intermediate read",
+							o.Name(), m.Key, m.Reg, wo.Name(), fin),
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkInternal verifies register semantics within each transaction: after
+// writing v, reads of the key must return v; after reading v, subsequent
+// reads must return v until overwritten.
+func (a *analyzer) checkInternal() {
+	for _, o := range a.oks {
+		type state struct {
+			known bool
+			nil_  bool
+			val   int
+		}
+		views := map[string]*state{}
+		for _, m := range o.Mops {
+			s, ok := views[m.Key]
+			if !ok {
+				s = &state{}
+				views[m.Key] = s
+			}
+			switch m.F {
+			case op.FWrite:
+				s.known, s.nil_, s.val = true, false, m.Arg
+			case op.FRead:
+				if !m.RegKnown {
+					continue
+				}
+				if s.known && (s.nil_ != m.RegNil || (!s.nil_ && s.val != m.Reg)) {
+					a.report(anomaly.Anomaly{
+						Type: anomaly.Internal,
+						Ops:  []op.Op{o},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read key %s = %s, but its own prior operations imply the value must be %s: an internal inconsistency",
+							o.Name(), m.Key, regString(m.RegNil, m.Reg), regString(s.nil_, s.val)),
+					})
+				}
+				s.known, s.nil_, s.val = true, m.RegNil, m.Reg
+			}
+		}
+	}
+}
+
+func regString(isNil bool, v int) string {
+	if isNil {
+		return "nil"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// finalWrite returns the last value o wrote to key.
+func finalWrite(o op.Op, key string) (int, bool) {
+	v, has := 0, false
+	for _, m := range o.Mops {
+		if m.F == op.FWrite && m.Key == key {
+			v, has = m.Arg, true
+		}
+	}
+	return v, has
+}

@@ -1,0 +1,433 @@
+package rwregister
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/anomaly"
+	"repro/internal/graph"
+	"repro/internal/op"
+)
+
+// versionGraph builds the per-key partial version order for key k from
+// the enabled inference rules. Nodes are written/observed values, with
+// nilVer standing in for the initial version.
+func (a *analyzer) versionGraph(k string) map[int]map[int]bool {
+	vg := map[int]map[int]bool{}
+	addVer := func(v int) {
+		if vg[v] == nil {
+			vg[v] = map[int]bool{}
+		}
+	}
+	addEdge := func(u, v int) {
+		if u == v {
+			return
+		}
+		addVer(u)
+		addVer(v)
+		vg[u][v] = true
+	}
+	addVer(nilVer)
+
+	versions := a.versionsOf(k)
+	for _, v := range versions {
+		addVer(v)
+		if a.opts.InitialState {
+			addEdge(nilVer, v)
+		}
+	}
+
+	if a.opts.WritesFollowReads {
+		for _, o := range a.oks {
+			cur, haveCur := nilVer, false
+			for _, m := range o.Mops {
+				if m.Key != k {
+					continue
+				}
+				switch m.F {
+				case op.FRead:
+					if !m.RegKnown {
+						continue
+					}
+					if m.RegNil {
+						cur, haveCur = nilVer, true
+					} else {
+						cur, haveCur = m.Reg, true
+					}
+				case op.FWrite:
+					if haveCur {
+						addEdge(cur, m.Arg)
+					}
+					cur, haveCur = m.Arg, true
+				}
+			}
+		}
+	}
+
+	if a.opts.LinearizableKeys {
+		a.linearizableEdges(k, addEdge)
+	}
+	if a.opts.SequentialKeys {
+		a.sequentialEdges(k, addEdge)
+	}
+	return vg
+}
+
+// sequentialEdges infers vi <x vj whenever one committed process touched
+// key k at version vi in one transaction and at vj in a later one: the
+// session's view of a sequentially consistent key must be monotone.
+func (a *analyzer) sequentialEdges(k string, addEdge func(u, v int)) {
+	type touch struct {
+		process     int
+		index       int
+		first, last int
+		ok          bool
+	}
+	byProcess := map[int]touch{}
+	// a.oks is in index order, so per-process iteration follows the
+	// session order.
+	for _, o := range a.oks {
+		first, last, have := nilVer, nilVer, false
+		for _, m := range o.Mops {
+			if m.Key != k {
+				continue
+			}
+			var v int
+			switch {
+			case m.F == op.FWrite:
+				v = m.Arg
+			case m.F == op.FRead && m.RegKnown && m.RegNil:
+				v = nilVer
+			case m.F == op.FRead && m.RegKnown:
+				v = m.Reg
+			default:
+				continue
+			}
+			if !have {
+				first, have = v, true
+			}
+			last = v
+		}
+		if !have {
+			continue
+		}
+		if prev, ok := byProcess[o.Process]; ok && prev.ok {
+			addEdge(prev.last, first)
+		}
+		byProcess[o.Process] = touch{process: o.Process, index: o.Index, first: first, last: last, ok: true}
+	}
+}
+
+// versionsOf lists every value observed or written for key k, in
+// ascending order, excluding nil.
+func (a *analyzer) versionsOf(k string) []int {
+	set := map[int]bool{}
+	for vk := range a.writeCount {
+		if vk.key == k {
+			set[vk.val] = true
+		}
+	}
+	for vk := range a.readers {
+		if vk.key == k {
+			set[vk.val] = true
+		}
+	}
+	var out []int
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// linearizableEdges infers vi <x vj whenever a committed transaction A
+// finished touching k at version vi strictly before a committed
+// transaction B began and first touched k at version vj. The sweep
+// mirrors the real-time transitive reduction: it maintains the frontier
+// of completed transactions not yet transitively covered.
+func (a *analyzer) linearizableEdges(k string, addEdge func(u, v int)) {
+	type span struct {
+		invoke, complete int
+		first, last      int // versions; nilVer possible
+		hasFirst         bool
+	}
+	var spans []span
+	for _, o := range a.oks {
+		first, last, have := nilVer, nilVer, false
+		for _, m := range o.Mops {
+			if m.Key != k {
+				continue
+			}
+			var v int
+			switch {
+			case m.F == op.FWrite:
+				v = m.Arg
+			case m.F == op.FRead && m.RegKnown && m.RegNil:
+				v = nilVer
+			case m.F == op.FRead && m.RegKnown:
+				v = m.Reg
+			default:
+				continue
+			}
+			if !have {
+				first, have = v, true
+			}
+			last = v
+		}
+		if !have {
+			continue
+		}
+		sp := a.spanOf[o.Index]
+		spans = append(spans, span{invoke: sp[0], complete: sp[1], first: first, last: last, hasFirst: true})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].invoke < spans[j].invoke })
+	byComplete := make([]span, len(spans))
+	copy(byComplete, spans)
+	sort.Slice(byComplete, func(i, j int) bool { return byComplete[i].complete < byComplete[j].complete })
+
+	var frontier []span
+	ci := 0
+	for _, t := range spans {
+		for ci < len(byComplete) && byComplete[ci].complete < t.invoke {
+			c := byComplete[ci]
+			ci++
+			kept := frontier[:0]
+			for _, f := range frontier {
+				if f.complete >= c.invoke {
+					kept = append(kept, f)
+				}
+			}
+			frontier = append(kept, c)
+		}
+		for _, f := range frontier {
+			addEdge(f.last, t.first)
+		}
+	}
+}
+
+// cyclicWitness returns a cycle of versions if the version graph has one,
+// or nil if the graph is acyclic. Uses iterative DFS with colors.
+func cyclicWitness(vg map[int]map[int]bool) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	parent := map[int]int{}
+	var nodes []int
+	for v := range vg {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	for _, root := range nodes {
+		if color[root] != white {
+			continue
+		}
+		type frame struct {
+			v    int
+			next []int
+			i    int
+		}
+		stack := []frame{{v: root, next: sortedTargets(vg[root])}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.i < len(f.next) {
+				w := f.next[f.i]
+				f.i++
+				switch color[w] {
+				case white:
+					color[w] = gray
+					parent[w] = f.v
+					stack = append(stack, frame{v: w, next: sortedTargets(vg[w])})
+				case gray:
+					// Found a back edge f.v -> w: reconstruct the cycle.
+					cyc := []int{w}
+					for at := f.v; at != w; at = parent[at] {
+						cyc = append(cyc, at)
+					}
+					// Reverse into forward order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+				continue
+			}
+			color[f.v] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}
+
+func sortedTargets(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// reduce removes transitively implied edges from an acyclic version graph
+// in place, so that direct edges mean "next version".
+func reduce(vg map[int]map[int]bool) {
+	for u, outs := range vg {
+		for v := range outs {
+			if reachableAvoiding(vg, u, v) {
+				delete(outs, v)
+			}
+		}
+	}
+}
+
+// reachableAvoiding reports whether v is reachable from u without using
+// the direct edge u->v.
+func reachableAvoiding(vg map[int]map[int]bool, u, v int) bool {
+	visited := map[int]bool{u: true}
+	stack := []int{}
+	for w := range vg[u] {
+		if w != v && !visited[w] {
+			visited[w] = true
+			stack = append(stack, w)
+		}
+	}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == v {
+			return true
+		}
+		for w := range vg[x] {
+			if !visited[w] {
+				visited[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return false
+}
+
+// emitEdges explodes key k's reduced version order into ww and rw
+// transaction dependencies, returning the direct version edges for
+// reporting.
+func (a *analyzer) emitEdges(g *graph.Graph, k string, vg map[int]map[int]bool) [][2]string {
+	var edges [][2]string
+	for _, u := range sortedTargets(allNodes(vg)) {
+		for _, v := range sortedTargets(vg[u]) {
+			edges = append(edges, [2]string{verName(u), verName(v)})
+			// ww: writer of u installed the version v's writer replaced.
+			if u != nilVer {
+				if wu, ok := a.writer[verKey{k, u}]; ok {
+					if wv, ok := a.writer[verKey{k, v}]; ok {
+						g.AddEdge(wu, wv, graph.WW)
+					}
+				}
+			}
+			// rw: every reader of u anti-depends on the writer of its
+			// successor v.
+			if wv, ok := a.writer[verKey{k, v}]; ok {
+				for _, r := range a.readersOf(k, u) {
+					g.AddEdge(r, wv, graph.RW)
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// readersOf returns ok transactions that read version v of key k; v may
+// be nilVer.
+func (a *analyzer) readersOf(k string, v int) []int {
+	if v != nilVer {
+		return a.readers[verKey{k, v}]
+	}
+	var out []int
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			if m.F == op.FRead && m.Key == k && m.RegKnown && m.RegNil {
+				out = append(out, o.Index)
+				break
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// emitWR adds write-read dependencies, which need no version order: a
+// reader of value v depends on v's unique writer.
+func (a *analyzer) emitWR(g *graph.Graph) {
+	var vks []verKey
+	for vk := range a.readers {
+		vks = append(vks, vk)
+	}
+	sort.Slice(vks, func(i, j int) bool {
+		if vks[i].key != vks[j].key {
+			return vks[i].key < vks[j].key
+		}
+		return vks[i].val < vks[j].val
+	})
+	for _, vk := range vks {
+		w, ok := a.writer[vk]
+		if !ok {
+			continue
+		}
+		for _, r := range a.readers[vk] {
+			g.AddEdge(w, r, graph.WR)
+		}
+	}
+}
+
+func allNodes(vg map[int]map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(vg))
+	for v := range vg {
+		out[v] = true
+	}
+	return out
+}
+
+func verName(v int) string {
+	if v == nilVer {
+		return "nil"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func formatVersionCycle(cyc []int) string {
+	parts := make([]string, 0, len(cyc)+1)
+	for _, v := range cyc {
+		parts = append(parts, verName(v))
+	}
+	parts = append(parts, verName(cyc[0]))
+	return strings.Join(parts, " < ")
+}
+
+func (a *analyzer) keys() []string {
+	set := map[string]bool{}
+	for vk := range a.writeCount {
+		set[vk.key] = true
+	}
+	for vk := range a.readers {
+		set[vk.key] = true
+	}
+	for _, o := range a.oks {
+		for _, m := range o.Mops {
+			set[m.Key] = true
+		}
+	}
+	var out []string
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *analyzer) report(an anomaly.Anomaly) {
+	a.anomalies = append(a.anomalies, an)
+}

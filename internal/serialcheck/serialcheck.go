@@ -1,0 +1,279 @@
+// Package serialcheck is the reproduction's stand-in for Knossos
+// (Jepsen's linearizability checker), the baseline Elle is compared
+// against in the paper's Figure 4.
+//
+// Strict serializability of a transactional history is equivalent to
+// linearizability where each operation is a whole transaction and the
+// linearizable object is a map of keys to lists (§1). This checker uses
+// the Wing & Gong search strategy: depth-first exploration of every
+// permutation of transactions that respects the real-time precedence
+// order, replaying each prefix against a model state and pruning branches
+// whose reads don't match. Memoizing visited (applied-set, state) pairs
+// prunes re-derivations, but the search remains exponential in the number
+// of concurrent transactions — with c concurrent transactions there are
+// c! candidate interleavings — which is exactly the behavior Figure 4
+// documents for Knossos.
+package serialcheck
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/op"
+	"repro/internal/txngraph"
+)
+
+// Outcome reports a verdict.
+type Outcome int
+
+const (
+	// Serializable: some legal transaction order explains every read.
+	Serializable Outcome = iota
+	// NotSerializable: the search space was exhausted without finding one.
+	NotSerializable
+	// Unknown: the time budget expired first (the paper capped Knossos
+	// runs at 100 seconds).
+	Unknown
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Serializable:
+		return "serializable"
+	case NotSerializable:
+		return "not-serializable"
+	default:
+		return "unknown"
+	}
+}
+
+// Result carries the verdict and search statistics.
+type Result struct {
+	Outcome Outcome
+	// Visited counts search nodes expanded.
+	Visited int64
+	// Elapsed is the wall-clock search time.
+	Elapsed time.Duration
+	// Order, when serializable, is one witness order of op indices.
+	Order []int
+}
+
+// Opts bounds the search.
+type Opts struct {
+	// Timeout caps the search; zero means no cap.
+	Timeout time.Duration
+}
+
+type txn struct {
+	id    int // op index
+	mops  []op.Mop
+	preds []int32 // dense ids of realtime predecessors
+	info  bool    // indeterminate: may be skipped
+}
+
+// Check searches for a strict-serializable explanation of a list-append
+// history. Fail ops are excluded; info ops may appear anywhere in the
+// order or not at all.
+func Check(h *history.History, opts Opts) *Result {
+	start := time.Now()
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = start.Add(opts.Timeout)
+	}
+
+	// Collect transactions and the (reduced) realtime order between them.
+	rt := txngraph.RealtimeGraph(h)
+	var txns []txn
+	id2dense := map[int]int32{}
+	for _, o := range h.Completions() {
+		switch o.Type {
+		case op.OK:
+			id2dense[o.Index] = int32(len(txns))
+			txns = append(txns, txn{id: o.Index, mops: o.Mops})
+		case op.Info:
+			id2dense[o.Index] = int32(len(txns))
+			txns = append(txns, txn{id: o.Index, mops: o.Mops, info: true})
+		}
+	}
+	// Incoming realtime edges are predecessors. RealtimeGraph emits
+	// forward edges, so gather by scanning all nodes' out-edges once.
+	for _, a := range rt.Nodes() {
+		ai, ok := id2dense[a]
+		if !ok {
+			continue
+		}
+		rt.Out(a, graph.Realtime.Mask(), func(b int, _ graph.KindSet) {
+			if bi, ok := id2dense[b]; ok {
+				txns[bi].preds = append(txns[bi].preds, ai)
+			}
+		})
+	}
+	for i := range txns {
+		sort.Slice(txns[i].preds, func(a, b int) bool { return txns[i].preds[a] < txns[i].preds[b] })
+	}
+
+	s := &searcher{
+		txns:     txns,
+		deadline: deadline,
+		memo:     map[uint64]bool{},
+		applied:  make([]bool, len(txns)),
+		state:    newModelState(len(txns)),
+	}
+	ok := s.dfs()
+	res := &Result{Visited: s.visited, Elapsed: time.Since(start)}
+	switch {
+	case s.timedOut:
+		res.Outcome = Unknown
+	case ok:
+		res.Outcome = Serializable
+		res.Order = s.witness
+	default:
+		res.Outcome = NotSerializable
+	}
+	return res
+}
+
+type searcher struct {
+	txns     []txn
+	deadline time.Time
+	memo     map[uint64]bool // states proven fruitless
+	applied  []bool
+	nApplied int
+	nOKLeft  int
+	state    *modelState
+	visited  int64
+	timedOut bool
+	witness  []int
+	order    []int
+}
+
+func (s *searcher) dfs() bool {
+	// Count required (ok) transactions once.
+	s.nOKLeft = 0
+	for _, t := range s.txns {
+		if !t.info {
+			s.nOKLeft++
+		}
+	}
+	return s.step()
+}
+
+// step explores extensions of the current prefix. Returns true if a full
+// explanation was found.
+func (s *searcher) step() bool {
+	if s.nOKLeft == 0 {
+		s.witness = append([]int(nil), s.order...)
+		return true
+	}
+	s.visited++
+	if s.visited&1023 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return false
+	}
+	key := s.state.fingerprint()
+	if s.memo[key] {
+		return false
+	}
+
+	for i := range s.txns {
+		t := &s.txns[i]
+		if s.applied[i] || !s.ready(t) {
+			continue
+		}
+		nPushed, ok := s.apply(t)
+		if ok {
+			s.applied[i] = true
+			s.state.toggle(i)
+			s.nApplied++
+			if !t.info {
+				s.nOKLeft--
+			}
+			s.order = append(s.order, t.id)
+			if s.step() {
+				return true
+			}
+			if s.timedOut {
+				return false
+			}
+			s.order = s.order[:len(s.order)-1]
+			if !t.info {
+				s.nOKLeft++
+			}
+			s.nApplied--
+			s.state.toggle(i)
+			s.applied[i] = false
+		}
+		s.undo(t, nPushed)
+	}
+	s.memo[key] = true
+	return false
+}
+
+// ready reports whether all realtime predecessors of t are applied.
+// An info transaction that is skipped never blocks its successors: since
+// skipping is modeled by simply not applying it, a successor is ready
+// only when every predecessor is applied — so info predecessors must be
+// decided first. To keep the model faithful (an unacknowledged
+// transaction may simply never have executed), info transactions are
+// exempt from being required as predecessors.
+func (s *searcher) ready(t *txn) bool {
+	for _, p := range t.preds {
+		if !s.applied[p] && !s.txns[p].info {
+			return false
+		}
+	}
+	return true
+}
+
+// apply replays t against the model state, returning how many appends
+// were pushed (for undo) and whether every read matched.
+func (s *searcher) apply(t *txn) (int, bool) {
+	pushed := 0
+	for _, m := range t.mops {
+		switch m.F {
+		case op.FAppend:
+			s.state.push(m.Key, m.Arg)
+			pushed++
+		case op.FRead:
+			if !m.ListKnown() {
+				continue // unknown read constrains nothing
+			}
+			if !equal(s.state.value(m.Key), m.List) {
+				return pushed, false
+			}
+		}
+	}
+	return pushed, true
+}
+
+// undo reverses the first nPushed appends of t (they were pushed in
+// forward mop order, so they pop in reverse).
+func (s *searcher) undo(t *txn, nPushed int) {
+	var keys []string
+	for _, m := range t.mops {
+		if len(keys) == nPushed {
+			break
+		}
+		if m.F == op.FAppend {
+			keys = append(keys, m.Key)
+		}
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		s.state.pop(keys[i])
+	}
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

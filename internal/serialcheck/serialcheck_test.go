@@ -1,0 +1,222 @@
+package serialcheck
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/op"
+)
+
+func TestSequentialHistorySerializable(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.OK, op.Append("x", 1)),
+		op.Txn(1, 0, op.OK, op.Append("x", 2)),
+		op.Txn(2, 0, op.OK, op.ReadList("x", []int{1, 2})),
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != Serializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if len(r.Order) != 3 {
+		t.Errorf("witness order = %v", r.Order)
+	}
+}
+
+func TestReorderingAcrossConcurrency(t *testing.T) {
+	// Two concurrent transactions whose reads force the opposite of their
+	// index order: still serializable.
+	h := history.MustNew([]op.Op{
+		{Index: 0, Process: 0, Type: op.Invoke},
+		{Index: 1, Process: 1, Type: op.Invoke},
+		// T2 (completing first) observed T3's append: T3 must come first.
+		{Index: 2, Process: 0, Type: op.OK, Mops: []op.Mop{op.ReadList("x", []int{7})}},
+		{Index: 3, Process: 1, Type: op.OK, Mops: []op.Mop{op.Append("x", 7)}},
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != Serializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	if len(r.Order) != 2 || r.Order[0] != 3 || r.Order[1] != 2 {
+		t.Errorf("witness order = %v, want [3 2]", r.Order)
+	}
+}
+
+func TestRealtimeViolationRejected(t *testing.T) {
+	// T0 completes before T1 begins, but T1 doesn't see T0's append:
+	// not strict-serializable.
+	h := history.MustNew([]op.Op{
+		{Index: 0, Process: 0, Type: op.Invoke},
+		{Index: 1, Process: 0, Type: op.OK, Mops: []op.Mop{op.Append("x", 1)}},
+		{Index: 2, Process: 1, Type: op.Invoke},
+		{Index: 3, Process: 1, Type: op.OK, Mops: []op.Mop{op.ReadList("x", []int{})}},
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != NotSerializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+}
+
+func TestWriteSkewRejected(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		{Index: 0, Process: 0, Type: op.Invoke},
+		{Index: 1, Process: 1, Type: op.Invoke},
+		{Index: 2, Process: 0, Type: op.OK, Mops: []op.Mop{
+			op.ReadList("x", []int{}), op.Append("y", 1)}},
+		{Index: 3, Process: 1, Type: op.OK, Mops: []op.Mop{
+			op.ReadList("y", []int{}), op.Append("x", 1)}},
+		{Index: 4, Process: 2, Type: op.Invoke},
+		{Index: 5, Process: 2, Type: op.OK, Mops: []op.Mop{
+			op.ReadList("x", []int{1}), op.ReadList("y", []int{1})}},
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != NotSerializable {
+		t.Fatalf("write skew accepted: %v", r.Outcome)
+	}
+}
+
+func TestInfoTransactionsOptional(t *testing.T) {
+	// An indeterminate append that nobody observed: fine either way.
+	h := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.Info, op.Append("x", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("x", []int{})),
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != Serializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	// An indeterminate append that *was* observed must be schedulable.
+	h2 := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.Info, op.Append("x", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("x", []int{1})),
+	})
+	r2 := Check(h2, Opts{})
+	if r2.Outcome != Serializable {
+		t.Fatalf("observed info append: %v", r2.Outcome)
+	}
+}
+
+func TestFailedTransactionsExcluded(t *testing.T) {
+	h := history.MustNew([]op.Op{
+		op.Txn(0, 0, op.Fail, op.Append("x", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("x", []int{})),
+	})
+	r := Check(h, Opts{})
+	if r.Outcome != Serializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	// A large concurrent history with an unsatisfiable read forces an
+	// exhaustive search; a tiny timeout must trip.
+	var ops []op.Op
+	idx := 0
+	const c = 12
+	for p := 0; p < c; p++ {
+		ops = append(ops, op.Op{Index: idx, Process: p, Type: op.Invoke})
+		idx++
+	}
+	for p := 0; p < c; p++ {
+		ops = append(ops, op.Op{Index: idx, Process: p, Type: op.OK,
+			Mops: []op.Mop{op.Append("x", p)}})
+		idx++
+	}
+	ops = append(ops,
+		op.Op{Index: idx, Process: c, Type: op.Invoke},
+		op.Op{Index: idx + 1, Process: c, Type: op.OK,
+			Mops: []op.Mop{op.ReadList("x", []int{99})}})
+	h := history.MustNew(ops)
+	r := Check(h, Opts{Timeout: time.Millisecond})
+	if r.Outcome == Serializable {
+		t.Fatalf("garbage read accepted")
+	}
+	// Either it finishes fast (NotSerializable) or times out; both are
+	// acceptable, but with 12! permutations the timeout path is expected.
+	if r.Outcome == NotSerializable && r.Elapsed > time.Second {
+		t.Errorf("search took too long despite timeout: %v", r.Elapsed)
+	}
+}
+
+// TestAgreesWithEngine: histories from the serializable engine check out;
+// the checker and the engine agree on what serializable means.
+func TestAgreesWithEngine(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := gen.New(gen.Config{ActiveKeys: 3, MaxWritesPerKey: 20, MaxOps: 3}, seed)
+		h := memdb.Run(memdb.RunConfig{
+			Clients: 3, Txns: 40, Isolation: memdb.StrictSerializable,
+			Source: g, Seed: seed,
+		})
+		r := Check(h, Opts{Timeout: 30 * time.Second})
+		if r.Outcome != Serializable {
+			t.Fatalf("seed %d: engine history not serializable: %v (visited %d)",
+				seed, r.Outcome, r.Visited)
+		}
+	}
+}
+
+// TestRejectsRetryAnomalies: the TiDB-style retry fault produces
+// non-serializable histories the baseline also rejects (when it finishes).
+func TestRejectsRetryAnomalies(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 8 && !found; seed++ {
+		g := gen.New(gen.Config{ActiveKeys: 2, MaxWritesPerKey: 30, MaxOps: 3}, seed)
+		h := memdb.Run(memdb.RunConfig{
+			Clients: 4, Txns: 60, Isolation: memdb.SnapshotIsolation,
+			Faults: memdb.Faults{RetryStompProb: 1},
+			Source: g, Seed: seed,
+		})
+		r := Check(h, Opts{Timeout: 10 * time.Second})
+		if r.Outcome == NotSerializable {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no retry run was rejected")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Serializable.String() != "serializable" ||
+		NotSerializable.String() != "not-serializable" ||
+		Unknown.String() != "unknown" {
+		t.Error("outcome names wrong")
+	}
+}
+
+func TestWitnessOrderRespectsRealtime(t *testing.T) {
+	g := gen.New(gen.Config{ActiveKeys: 3, MaxWritesPerKey: 20, MaxOps: 3}, 5)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 3, Txns: 30, Isolation: memdb.StrictSerializable,
+		Source: g, Seed: 5,
+	})
+	r := Check(h, Opts{Timeout: 30 * time.Second})
+	if r.Outcome != Serializable {
+		t.Fatalf("outcome = %v", r.Outcome)
+	}
+	// Positions in the witness order.
+	pos := map[int]int{}
+	for i, id := range r.Order {
+		pos[id] = i
+	}
+	// For each pair with a realtime constraint (complete < invoke), the
+	// witness must preserve it.
+	type span struct{ id, inv, comp int }
+	var spans []span
+	for p, o := range h.Ops {
+		if o.Type != op.OK {
+			continue
+		}
+		inv, comp := h.Span(p)
+		spans = append(spans, span{o.Index, inv, comp})
+	}
+	for _, a := range spans {
+		for _, b := range spans {
+			if a.comp < b.inv && pos[a.id] > pos[b.id] {
+				t.Fatalf("witness order violates realtime: T%d after T%d", a.id, b.id)
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package serialcheck
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopRestoresFingerprint(t *testing.T) {
+	s := newModelState(4)
+	base := s.fingerprint()
+	s.push("x", 1)
+	mid := s.fingerprint()
+	if mid == base {
+		t.Error("push did not change fingerprint")
+	}
+	s.push("x", 2)
+	s.push("y", 9)
+	s.pop("y")
+	s.pop("x")
+	s.pop("x")
+	if got := s.fingerprint(); got != base {
+		t.Errorf("fingerprint not restored: %x != %x", got, base)
+	}
+}
+
+func TestFingerprintDependsOnOrder(t *testing.T) {
+	a := newModelState(0)
+	a.push("x", 1)
+	a.push("x", 2)
+	b := newModelState(0)
+	b.push("x", 2)
+	b.push("x", 1)
+	if a.fingerprint() == b.fingerprint() {
+		t.Error("different list contents share a fingerprint")
+	}
+}
+
+func TestFingerprintKeyIndependence(t *testing.T) {
+	// The same elements under different keys must hash differently.
+	a := newModelState(0)
+	a.push("x", 1)
+	b := newModelState(0)
+	b.push("y", 1)
+	if a.fingerprint() == b.fingerprint() {
+		t.Error("keys not distinguished")
+	}
+}
+
+func TestToggleIsInvolution(t *testing.T) {
+	s := newModelState(8)
+	base := s.fingerprint()
+	s.toggle(3)
+	if s.fingerprint() == base {
+		t.Error("toggle did not change fingerprint")
+	}
+	s.toggle(3)
+	if s.fingerprint() != base {
+		t.Error("double toggle did not restore fingerprint")
+	}
+}
+
+func TestAppliedSetOrderIndependent(t *testing.T) {
+	a := newModelState(8)
+	a.toggle(1)
+	a.toggle(5)
+	b := newModelState(8)
+	b.toggle(5)
+	b.toggle(1)
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("applied-set hash depends on toggle order")
+	}
+}
+
+// TestRandomWalkUndoProperty: any sequence of pushes fully undone by pops
+// returns the fingerprint to its starting value, and equal state contents
+// give equal fingerprints regardless of the interleaving across keys.
+func TestRandomWalkUndoProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := newModelState(4)
+		base := s.fingerprint()
+		keys := []string{"a", "b", "c"}
+		type rec struct{ key string }
+		var stack []rec
+		for i := 0; i < 50; i++ {
+			if rng.Intn(2) == 0 || len(stack) == 0 {
+				k := keys[rng.Intn(len(keys))]
+				s.push(k, rng.Intn(100))
+				stack = append(stack, rec{k})
+			} else {
+				// Pop most recent push of some key: to keep per-key LIFO,
+				// pop the most recent overall.
+				r := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				s.pop(r.key)
+			}
+		}
+		for len(stack) > 0 {
+			r := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			s.pop(r.key)
+		}
+		return s.fingerprint() == base
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEqualContentsEqualFingerprints: two states built by different
+// push/pop routes to the same contents agree.
+func TestEqualContentsEqualFingerprints(t *testing.T) {
+	a := newModelState(0)
+	a.push("x", 1)
+	a.push("x", 99)
+	a.pop("x")
+	a.push("x", 2)
+
+	b := newModelState(0)
+	b.push("x", 1)
+	b.push("x", 2)
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("same contents, different fingerprints")
+	}
+	if len(a.value("x")) != 2 || a.value("x")[1] != 2 {
+		t.Errorf("state contents wrong: %v", a.value("x"))
+	}
+}
+
+func TestLength(t *testing.T) {
+	s := newModelState(0)
+	if s.length("x") != 0 {
+		t.Error("fresh key should be empty")
+	}
+	s.push("x", 1)
+	if s.length("x") != 1 {
+		t.Error("length after push")
+	}
+}
