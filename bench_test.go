@@ -14,7 +14,9 @@
 package repro_test
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/history"
+	"repro/internal/jsonhist"
 	"repro/internal/memdb"
 	"repro/internal/op"
 	"repro/internal/perf"
@@ -49,6 +52,78 @@ func BenchmarkFigure4Elle(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// parallelismLevels is the worker-count series the parallel benchmarks
+// sweep: 1 (the sequential baseline), 2, 4, and every available CPU.
+func parallelismLevels() []int {
+	ps := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// BenchmarkCheckParallel measures the parallel pipeline end to end: the
+// same 100k-transaction list-append check (inference, graph build, extra
+// orders, cycle search) at increasing worker counts. The p=1 case is the
+// sequential baseline the speedup figures in README.md divide by.
+func BenchmarkCheckParallel(b *testing.B) {
+	h := perf.GenerateHistory(100000, 20, 1)
+	for _, p := range parallelismLevels() {
+		opts := core.OptsFor(core.ListAppend, consistency.StrictSerializable)
+		opts.Parallelism = p
+		b.Run(fmt.Sprintf("n=100000/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.Check(h, opts)
+				if !r.Valid {
+					b.Fatalf("clean history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckParallelRegister is the same sweep through the register
+// analyzer, whose per-key version-graph inference is the heaviest of the
+// four.
+func BenchmarkCheckParallelRegister(b *testing.B) {
+	g := gen.New(gen.Config{Workload: gen.Register, ActiveKeys: 100, MaxWritesPerKey: 100}, 1)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 20, Txns: 50000, Isolation: memdb.StrictSerializable,
+		Source: g, Seed: 1, Workload: memdb.WorkloadRegister,
+	})
+	for _, p := range parallelismLevels() {
+		opts := core.OptsFor(core.Register, consistency.StrictSerializable)
+		opts.Parallelism = p
+		b.Run(fmt.Sprintf("n=50000/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Check(h, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeParallel measures streaming JSON-lines decoding of a
+// 100k-transaction history at increasing parse worker counts.
+func BenchmarkDecodeParallel(b *testing.B) {
+	h := perf.GenerateHistory(100000, 20, 1)
+	var buf bytes.Buffer
+	if err := jsonhist.Encode(&buf, h); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, p := range parallelismLevels() {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			for i := 0; i < b.N; i++ {
+				if _, err := jsonhist.DecodeWith(bytes.NewReader(raw),
+					jsonhist.DecodeOpts{Parallelism: p}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

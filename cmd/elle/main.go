@@ -14,6 +14,8 @@
 //	-workload KIND            list, register, set, or counter (default list)
 //	-model MODEL              expected consistency model
 //	                          (default strict-serializable)
+//	-parallelism N            worker count for decoding and checking
+//	                          (default 0 = one per CPU; 1 = sequential)
 //	-dot                      also print Graphviz DOT for each cycle witness
 //	-q                        print only the verdict line
 //	-json                     emit a machine-readable JSON report
@@ -46,6 +48,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	workload := fs.String("workload", "list", "workload: list, register, set, or counter")
 	model := fs.String("model", string(consistency.StrictSerializable),
 		"expected consistency model")
+	parallelism := fs.Int("parallelism", 0,
+		"worker count for decoding and checking (0 = one per CPU, 1 = sequential)")
 	dot := fs.Bool("dot", false, "print Graphviz DOT for each cycle witness")
 	quiet := fs.Bool("q", false, "print only the verdict line")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of prose")
@@ -98,13 +102,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		defer f.Close()
 		in = f
 	}
-	h, err := jsonhist.Decode(in, w == core.Register || w == core.Counter)
+	h, err := jsonhist.DecodeWith(in, jsonhist.DecodeOpts{
+		Register:    w == core.Register || w == core.Counter,
+		Parallelism: *parallelism,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "elle: %v\n", err)
 		return 2
 	}
 
-	res := core.Check(h, core.OptsFor(w, m))
+	opts := core.OptsFor(w, m)
+	opts.Parallelism = *parallelism
+	res := core.Check(h, opts)
 	if *jsonOut {
 		if err := report.New(h, w, res).Write(stdout); err != nil {
 			fmt.Fprintf(stderr, "elle: %v\n", err)

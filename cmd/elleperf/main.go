@@ -14,6 +14,8 @@
 //	-cap 10s                  baseline search cap (paper: 100s)
 //	-baseline-max-ops N       skip baseline beyond N ops (0 = no skip)
 //	-seed N                   workload seed
+//	-parallelism N            Elle worker count (0 = one per CPU,
+//	                          1 = sequential)
 //	-no-baseline              measure Elle only
 //	-no-elle                  measure the baseline only
 package main
@@ -44,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cap_ := fs.Duration("cap", 10*time.Second, "baseline search cap")
 	maxOps := fs.Int("baseline-max-ops", 5000, "skip baseline beyond this many ops (0 = never skip)")
 	seed := fs.Int64("seed", 1, "workload seed")
+	parallelism := fs.Int("parallelism", 0,
+		"Elle worker count per check (0 = one per CPU, 1 = sequential)")
 	noBaseline := fs.Bool("no-baseline", false, "measure Elle only")
 	noElle := fs.Bool("no-elle", false, "measure the baseline only")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:           *seed,
 		Elle:           !*noElle,
 		Baseline:       !*noBaseline,
+		Parallelism:    *parallelism,
 	}
 	fmt.Fprintln(stdout, "checker,ops,concurrency,seconds,outcome,anomalies")
 	perf.Sweep(cfg, func(p perf.Point) {

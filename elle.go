@@ -28,6 +28,13 @@
 //     Figure 4 comparison.
 //   - Serialization (DecodeHistory, EncodeHistory) in a JSON-lines
 //     format close to Jepsen's.
+//
+// Checking is parallel by default: Check shards per-key dependency
+// inference, per-transaction anomaly checks, and per-SCC cycle search
+// across one worker per CPU, and DecodeHistoryWith parses JSON lines the
+// same way. Set CheckOpts.Parallelism (or DecodeHistoryOpts.Parallelism)
+// to 1 for a fully sequential run; results are byte-identical at every
+// setting.
 package repro
 
 import (
@@ -180,6 +187,17 @@ func CheckSerializable(h *History, timeout time.Duration) *SerialCheckResult {
 // read decoding. EncodeHistory writes one.
 func DecodeHistory(r io.Reader, register bool) (*History, error) {
 	return jsonhist.Decode(r, register)
+}
+
+// DecodeHistoryOpts configures DecodeHistoryWith: register read decoding
+// and the parse worker count.
+type DecodeHistoryOpts = jsonhist.DecodeOpts
+
+// DecodeHistoryWith reads a JSON-lines history, streaming the input in
+// chunks and parsing them across opts.Parallelism workers (<= 0 meaning
+// one per CPU); the result is identical to DecodeHistory's.
+func DecodeHistoryWith(r io.Reader, opts DecodeHistoryOpts) (*History, error) {
+	return jsonhist.DecodeWith(r, opts)
 }
 
 // EncodeHistory writes h as JSON lines.

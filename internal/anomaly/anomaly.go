@@ -200,3 +200,13 @@ func (a Anomaly) String() string {
 	}
 	return b.String()
 }
+
+// AppendGroups appends every group to dst in order: the ordered-collect
+// step shared by the analyzers' parallel check phases (results arrive in
+// index-addressed groups; concatenation order carries the report order).
+func AppendGroups(dst []Anomaly, groups [][]Anomaly) []Anomaly {
+	for _, g := range groups {
+		dst = append(dst, g...)
+	}
+	return dst
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/anomaly"
 	"repro/internal/consistency"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/listappend"
 	"repro/internal/op"
+	"repro/internal/par"
 	"repro/internal/rwregister"
 	"repro/internal/setadd"
 	"repro/internal/txngraph"
@@ -81,6 +83,16 @@ type Opts struct {
 	// RegisterOpts configures the register analyzer's version-order
 	// inference rules.
 	RegisterOpts rwregister.Opts
+	// Parallelism caps the worker pools used throughout the check:
+	// per-key dependency inference, per-transaction anomaly checks,
+	// per-SCC cycle search (budgeted across the four concurrent
+	// searches), and explanation rendering. Values <= 0 mean one worker
+	// per CPU (runtime.GOMAXPROCS(0)), the default; 1 runs the whole
+	// pipeline sequentially on the calling goroutine. When Parallelism
+	// > 1 the process/real-time/timestamp ordering graphs also build
+	// concurrently with inference, briefly adding up to three more
+	// goroutines. Results are byte-identical at every setting.
+	Parallelism int
 }
 
 // OptsFor returns the options the paper's methodology implies for
@@ -203,8 +215,41 @@ func joinModels(ms []consistency.Model) string {
 }
 
 // Check analyzes h under opts. It never modifies h.
+//
+// The pipeline is parallel end to end (see Opts.Parallelism): the extra
+// ordering graphs build concurrently with dependency inference, inference
+// itself shards per key and per transaction inside the workload analyzer,
+// cycle search fans out per strongly connected component, and every stage
+// merges its results in a deterministic order, so two checks of the same
+// history produce identical reports at any parallelism level.
 func Check(h *history.History, opts Opts) *CheckResult {
 	opts = opts.withDefaults()
+	p := opts.Parallelism
+
+	// The process, real-time, and timestamp orders depend only on the
+	// history, not on inference, so they build while the analyzer runs.
+	var procG, rtG, tsG *graph.Graph
+	var orderWG sync.WaitGroup
+	build := func(dst **graph.Graph, f func(*history.History) *graph.Graph) {
+		if par.Procs(p) == 1 {
+			*dst = f(h)
+			return
+		}
+		orderWG.Add(1)
+		go func() {
+			defer orderWG.Done()
+			*dst = f(h)
+		}()
+	}
+	if opts.ProcessEdges {
+		build(&procG, txngraph.ProcessGraph)
+	}
+	if opts.RealtimeEdges {
+		build(&rtG, txngraph.RealtimeGraph)
+	}
+	if opts.TimestampEdges {
+		build(&tsG, txngraph.TimestampGraph)
+	}
 
 	var (
 		g     *graph.Graph
@@ -213,15 +258,17 @@ func Check(h *history.History, opts Opts) *CheckResult {
 	)
 	switch opts.Workload {
 	case Register:
-		an := rwregister.Analyze(h, opts.RegisterOpts)
+		ro := opts.RegisterOpts
+		ro.Parallelism = p
+		an := rwregister.Analyze(h, ro)
 		g, anoms = an.Graph, an.Anomalies
 		expl = &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders}
 	case SetAdd:
-		an := setadd.Analyze(h)
+		an := setadd.Analyze(h, setadd.Opts{Parallelism: p})
 		g, anoms = an.Graph, an.Anomalies
 		expl = &explain.Explainer{Ops: an.Ops}
 	case Counter:
-		an := counter.Analyze(h)
+		an := counter.Analyze(h, counter.Opts{Parallelism: p})
 		g, anoms = graph.New(), an.Anomalies
 		ops := map[int]op.Op{}
 		for _, o := range h.Completions() {
@@ -229,33 +276,38 @@ func Check(h *history.History, opts Opts) *CheckResult {
 		}
 		expl = &explain.Explainer{Ops: ops}
 	default:
-		an := listappend.Analyze(h, listappend.Opts{DetectLostUpdates: opts.DetectLostUpdates})
+		an := listappend.Analyze(h, listappend.Opts{
+			DetectLostUpdates: opts.DetectLostUpdates,
+			Parallelism:       p,
+		})
 		g, anoms = an.Graph, an.Anomalies
 		expl = &explain.Explainer{Ops: an.Ops, ListOrders: an.VersionOrders}
 	}
 
+	orderWG.Wait()
 	var extra graph.KindSet
 	if opts.ProcessEdges {
-		g.Merge(txngraph.ProcessGraph(h))
+		g.Merge(procG)
 		extra |= graph.Process.Mask()
 	}
 	if opts.RealtimeEdges {
-		g.Merge(txngraph.RealtimeGraph(h))
+		g.Merge(rtG)
 		extra |= graph.Realtime.Mask()
 	}
 	if opts.TimestampEdges {
-		g.Merge(txngraph.TimestampGraph(h))
+		g.Merge(tsG)
 		extra |= graph.Timestamp.Mask()
 	}
 
-	cycles := findAnomalousCycles(g, extra)
-	for _, c := range cycles {
-		anoms = append(anoms, anomaly.Anomaly{
+	cycles := findAnomalousCycles(g, extra, p)
+	anoms = append(anoms, par.Map(p, len(cycles), func(i int) anomaly.Anomaly {
+		c := cycles[i]
+		return anomaly.Anomaly{
 			Type:        anomaly.CycleType(c),
 			Cycle:       c,
 			Explanation: expl.Cycle(c),
-		})
-	}
+		}
+	})...)
 	sortAnomalies(anoms)
 
 	types := make([]anomaly.Type, len(anoms))
@@ -288,10 +340,34 @@ func Check(h *history.History, opts Opts) *CheckResult {
 // Extra ordering edges (process, realtime) participate in every search;
 // CycleType downgrades cycles that need them to the -process / -realtime
 // variants.
-func findAnomalousCycles(g *graph.Graph, extra graph.KindSet) []graph.Cycle {
+//
+// The four searches are independent reads of the finished graph, so they
+// run concurrently (each additionally fanning out per SCC); deduplication
+// walks the results in fixed search order, keeping the report identical
+// at every parallelism level. The worker budget is split across the two
+// levels — outer searches × inner per-SCC workers ≤ p — so the check
+// never runs more cycle-search goroutines than Opts.Parallelism allows.
+func findAnomalousCycles(g *graph.Graph, extra graph.KindSet, p int) []graph.Cycle {
+	budget := par.Procs(p)
+	outer := budget
+	if outer > 4 {
+		outer = 4
+	}
+	inner := budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	searches := []func() []graph.Cycle{
+		func() []graph.Cycle { return g.FindCyclesP(graph.KSWW|extra, inner) },
+		func() []graph.Cycle { return g.FindCyclesP(graph.KSWWWR|extra, inner) },
+		func() []graph.Cycle { return g.FindCyclesWithExactlyOneP(graph.RW, graph.KSWWWR|extra, inner) },
+		func() []graph.Cycle { return g.FindCyclesWithAtLeastOneP(graph.RW, graph.KSDep|extra, inner) },
+	}
+	found := par.Map(outer, len(searches), func(i int) []graph.Cycle { return searches[i]() })
+
 	seen := map[string]bool{}
 	var out []graph.Cycle
-	add := func(cs []graph.Cycle) {
+	for _, cs := range found {
 		for _, c := range cs {
 			sig := cycleSignature(c)
 			if !seen[sig] {
@@ -300,10 +376,6 @@ func findAnomalousCycles(g *graph.Graph, extra graph.KindSet) []graph.Cycle {
 			}
 		}
 	}
-	add(g.FindCycles(graph.KSWW | extra))
-	add(g.FindCycles(graph.KSWWWR | extra))
-	add(g.FindCyclesWithExactlyOne(graph.RW, graph.KSWWWR|extra))
-	add(g.FindCyclesWithAtLeastOne(graph.RW, graph.KSDep|extra))
 	return out
 }
 

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/gen"
+	"repro/internal/memdb"
+)
+
+// The parallel pipeline's contract is byte-identical output at every
+// parallelism level: same verdict, same anomalies in the same order with
+// the same explanations and cycle witnesses, same stats. These tests
+// render the complete report and compare it across worker counts, on
+// seeded random histories across every workload, both clean and faulted.
+// Run under -race they also double as the data-race check for every
+// parallel stage.
+
+// renderFull serializes everything user-visible about a result.
+func renderFull(r *CheckResult) string {
+	var b strings.Builder
+	b.WriteString(r.Summary())
+	fmt.Fprintf(&b, "violated: %v\nstrongest: %v\n", r.Violated, r.Strongest)
+	fmt.Fprintf(&b, "nodes=%d edges=%d sccs=%d\n", r.Stats.Nodes, r.Stats.Edges, r.Stats.SCCs)
+	for i, a := range r.Anomalies {
+		fmt.Fprintf(&b, "--- %d: %s key=%s cycle=%s\n%s\n", i, a.Type, a.Key, a.Cycle, a.Explanation)
+		for _, o := range a.Ops {
+			fmt.Fprintf(&b, "  op %s\n", o.String())
+		}
+	}
+	return b.String()
+}
+
+func checkAt(t *testing.T, w Workload, iso memdb.Isolation, f memdb.Faults, seed int64, txns, parallelism int) string {
+	t.Helper()
+	var gw gen.Workload
+	var mw memdb.Workload
+	switch w {
+	case Register:
+		gw, mw = gen.Register, memdb.WorkloadRegister
+	case SetAdd:
+		gw, mw = gen.Set, memdb.WorkloadSet
+	case Counter:
+		gw, mw = gen.Counter, memdb.WorkloadCounter
+	default:
+		gw, mw = gen.ListAppend, memdb.WorkloadList
+	}
+	g := gen.New(gen.Config{Workload: gw, ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 10, Txns: txns, Isolation: iso, Faults: f,
+		Source: g, Seed: seed, Workload: mw, InfoProb: 0.02,
+	})
+	opts := OptsFor(w, consistency.StrictSerializable)
+	opts.Parallelism = parallelism
+	return renderFull(Check(h, opts))
+}
+
+// TestParallelismDeterministic is the core acceptance test: Parallelism 1
+// and Parallelism N produce byte-identical reports.
+func TestParallelismDeterministic(t *testing.T) {
+	workloads := []Workload{ListAppend, Register, SetAdd, Counter}
+	engines := []struct {
+		name   string
+		iso    memdb.Isolation
+		faults memdb.Faults
+	}{
+		// Clean histories: the checker must stay quiet identically.
+		{"clean", memdb.StrictSerializable, memdb.Faults{}},
+		// Faulted histories: every anomaly path must merge identically.
+		{"stomp", memdb.SnapshotIsolation, memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1}},
+		{"readuncommitted", memdb.ReadUncommitted, memdb.Faults{}},
+	}
+	for _, w := range workloads {
+		for _, e := range engines {
+			t.Run(fmt.Sprintf("%s/%s", w, e.name), func(t *testing.T) {
+				for seed := int64(0); seed < 2; seed++ {
+					sequential := checkAt(t, w, e.iso, e.faults, seed, 400, 1)
+					for _, p := range []int{3, 8} {
+						parallel := checkAt(t, w, e.iso, e.faults, seed, 400, p)
+						if parallel != sequential {
+							t.Fatalf("seed %d: parallelism %d diverges from sequential:\n--- p=1 ---\n%s\n--- p=%d ---\n%s",
+								seed, p, sequential, p, parallel)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelismDeterministicRepeated re-runs the same parallel check
+// many times: scheduler interleavings must never leak into the report.
+func TestParallelismDeterministicRepeated(t *testing.T) {
+	base := checkAt(t, ListAppend, memdb.SnapshotIsolation,
+		memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1}, 7, 500, 0)
+	for i := 0; i < 10; i++ {
+		if got := checkAt(t, ListAppend, memdb.SnapshotIsolation,
+			memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1}, 7, 500, 0); got != base {
+			t.Fatalf("run %d diverged:\n--- first ---\n%s\n--- run ---\n%s", i, base, got)
+		}
+	}
+}

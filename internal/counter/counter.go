@@ -24,7 +24,17 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/par"
 )
+
+// Opts configures the analysis.
+type Opts struct {
+	// Parallelism caps the worker pool used for the per-transaction
+	// bounds checks and per-process monotonicity checks: <= 0 means one
+	// worker per CPU, 1 runs fully sequentially. The analysis is
+	// identical at every setting.
+	Parallelism int
+}
 
 // Analysis is the result of counter checking.
 type Analysis struct {
@@ -36,7 +46,7 @@ type Analysis struct {
 }
 
 // Analyze checks a counter history.
-func Analyze(h *history.History) *Analysis {
+func Analyze(h *history.History, opts Opts) *Analysis {
 	// Possible value envelope per key, over all interpretations: an
 	// increment by a committed or indeterminate transaction may or may
 	// not be visible to any given read (we have no ordering), so the
@@ -79,8 +89,12 @@ func Analyze(h *history.History) *Analysis {
 		a.Bounds[k] = [2]int{lo[k], hi[k]}
 	}
 
-	// Bounds check on every committed read.
-	for _, o := range h.OKs() {
+	// Bounds check on every committed read; each transaction is
+	// independent, so fan out with ordered collection.
+	oks := h.OKs()
+	a.Anomalies = anomaly.AppendGroups(a.Anomalies, par.Map(opts.Parallelism, len(oks), func(i int) []anomaly.Anomaly {
+		o := oks[i]
+		var out []anomaly.Anomaly
 		for _, m := range o.Mops {
 			if m.F != op.FRead || !m.RegKnown {
 				continue
@@ -91,7 +105,7 @@ func Analyze(h *history.History) *Analysis {
 			}
 			l, hb := lo[m.Key], hi[m.Key]
 			if v < l || v > hb {
-				a.Anomalies = append(a.Anomalies, anomaly.Anomaly{
+				out = append(out, anomaly.Anomaly{
 					Type: anomaly.GarbageRead,
 					Ops:  []op.Op{o},
 					Key:  m.Key,
@@ -101,14 +115,24 @@ func Analyze(h *history.History) *Analysis {
 				})
 			}
 		}
-	}
+		return out
+	}))
 
 	// Session monotonicity for non-negative counters: a process's
-	// successive observations must not decrease.
-	for _, procOps := range h.ByProcess() {
+	// successive observations must not decrease. Sessions are independent
+	// per process; walk them in sorted process order so reports don't
+	// inherit map iteration order.
+	byProcess := h.ByProcess()
+	procs := make([]int, 0, len(byProcess))
+	for p := range byProcess {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	a.Anomalies = anomaly.AppendGroups(a.Anomalies, par.Map(opts.Parallelism, len(procs), func(i int) []anomaly.Anomaly {
+		var out []anomaly.Anomaly
 		last := map[string]int{}
 		lastOp := map[string]op.Op{}
-		for _, o := range procOps {
+		for _, o := range byProcess[procs[i]] {
 			if o.Type != op.OK {
 				continue
 			}
@@ -124,7 +148,7 @@ func Analyze(h *history.History) *Analysis {
 					v = m.Reg
 				}
 				if prev, seen := last[m.Key]; seen && v < prev {
-					a.Anomalies = append(a.Anomalies, anomaly.Anomaly{
+					out = append(out, anomaly.Anomaly{
 						Type: anomaly.Internal,
 						Ops:  []op.Op{lastOp[m.Key], o},
 						Key:  m.Key,
@@ -137,6 +161,7 @@ func Analyze(h *history.History) *Analysis {
 				lastOp[m.Key] = o
 			}
 		}
-	}
+		return out
+	}))
 	return a
 }

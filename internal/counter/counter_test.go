@@ -22,7 +22,7 @@ func TestCleanCounterHistory(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 0, op.OK, op.Increment("c", 2)),
 		op.Txn(2, 0, op.OK, op.ReadReg("c", 3)),
-	}))
+	}), Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}
@@ -35,7 +35,7 @@ func TestReadAboveEnvelope(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
-	}))
+	}), Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("expected garbage read, got %v", a.Anomalies)
 	}
@@ -45,7 +45,7 @@ func TestReadBelowEnvelope(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", -2)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", -5)),
-	}))
+	}), Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("expected garbage read, got %v", a.Anomalies)
 	}
@@ -56,7 +56,7 @@ func TestAbortedIncrementsExcluded(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.Fail, op.Increment("c", 10)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 10)),
-	}))
+	}), Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("aborted increment should not justify the read: %v", a.Anomalies)
 	}
@@ -67,7 +67,7 @@ func TestIndeterminateIncrementsIncluded(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.Info, op.Increment("c", 10)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 10)),
-	}))
+	}), Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}
@@ -79,7 +79,7 @@ func TestSessionMonotonicity(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 1, op.OK, op.ReadReg("c", 3)),
-	}))
+	}), Opts{})
 	if !hasAnomaly(a, anomaly.Internal) {
 		t.Fatalf("expected non-monotonic session read, got %v", a.Anomalies)
 	}
@@ -90,7 +90,7 @@ func TestMonotonicityNotAppliedAcrossProcesses(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 2, op.OK, op.ReadReg("c", 3)),
-	}))
+	}), Opts{})
 	// Different processes: no session constraint. The read of 3 is within
 	// the envelope [0, 5].
 	if len(a.Anomalies) != 0 {
@@ -103,7 +103,7 @@ func TestMonotonicitySkippedWithNegativeIncrements(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5), op.Increment("c", -1)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 1, op.OK, op.ReadReg("c", 4)),
-	}))
+	}), Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("decrements make non-monotonic reads legal: %v", a.Anomalies)
 	}
@@ -114,7 +114,7 @@ func TestNilReadIsZero(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 1, op.OK, op.ReadNil("c")),
-	}))
+	}), Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}

@@ -7,6 +7,7 @@ package explain
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/graph"
@@ -191,9 +192,17 @@ func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok boo
 	return "", "", "", false
 }
 
-// wwWitness finds a key and adjacent elements proving a ww edge.
+// wwWitness finds a key and adjacent elements proving a ww edge. Keys
+// are tried in sorted order so the same edge always gets the same
+// witness, whatever map the orders arrived in.
 func (e *Explainer) wwWitness(from, to op.Op) (string, int, int, bool) {
-	for key, order := range e.ListOrders {
+	keys := make([]string, 0, len(e.ListOrders))
+	for key := range e.ListOrders {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		order := e.ListOrders[key]
 		for i := 0; i+1 < len(order); i++ {
 			e1, e2 := order[i], order[i+1]
 			if appends(from, key, e1) && appends(to, key, e2) {

@@ -3,6 +3,8 @@ package graph
 import (
 	"sort"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Step is one edge of a cycle witness: From depends-on... To via the kinds
@@ -87,11 +89,34 @@ func itoa(n int) string {
 // cycle searches of §6 (G0 with mask=ww; G1c with mask=ww|wr; G2 candidates
 // with the full mask).
 func (g *Graph) FindCycles(mask KindSet) []Cycle {
+	return g.FindCyclesP(mask, 1)
+}
+
+// FindCyclesP is FindCycles with the per-SCC searches fanned out across p
+// workers (p <= 0 meaning one per CPU). Components are independent, so
+// each search runs in isolation; results are collected in sorted-SCC
+// order, making the output identical at every parallelism level.
+func (g *Graph) FindCyclesP(mask KindSet, p int) []Cycle {
+	sccs := g.sortedSCCs(mask)
+	return gatherCycles(par.Map(p, len(sccs), func(i int) foundCycle {
+		scc := sccs[i]
+		c, ok := g.bfsCycle(scc[0], scc[0], mask, memberSet(scc), Step{})
+		return foundCycle{c, ok}
+	}))
+}
+
+// foundCycle is one per-SCC search outcome; gatherCycles keeps the hits
+// in component order.
+type foundCycle struct {
+	c  Cycle
+	ok bool
+}
+
+func gatherCycles(found []foundCycle) []Cycle {
 	var out []Cycle
-	for _, scc := range g.sortedSCCs(mask) {
-		in := memberSet(scc)
-		if c, ok := g.bfsCycle(scc[0], scc[0], mask, in, Step{}); ok {
-			out = append(out, c)
+	for _, f := range found {
+		if f.ok {
+			out = append(out, f.c)
 		}
 	}
 	return out
@@ -103,15 +128,19 @@ func (g *Graph) FindCycles(mask KindSet) []Cycle {
 // one read-write edge, then complete the cycle using only write-write and
 // write-read edges.
 func (g *Graph) FindCyclesWithExactlyOne(one Kind, rest KindSet) []Cycle {
+	return g.FindCyclesWithExactlyOneP(one, rest, 1)
+}
+
+// FindCyclesWithExactlyOneP is FindCyclesWithExactlyOne with per-SCC
+// searches fanned out across p workers; see FindCyclesP.
+func (g *Graph) FindCyclesWithExactlyOneP(one Kind, rest KindSet, p int) []Cycle {
 	full := one.Mask() | rest
-	var out []Cycle
-	for _, scc := range g.sortedSCCs(full) {
-		in := memberSet(scc)
-		if c, ok := g.cycleWithOne(scc, in, one, rest); ok {
-			out = append(out, c)
-		}
-	}
-	return out
+	sccs := g.sortedSCCs(full)
+	return gatherCycles(par.Map(p, len(sccs), func(i int) foundCycle {
+		scc := sccs[i]
+		c, ok := g.cycleWithOne(scc, memberSet(scc), one, rest)
+		return foundCycle{c, ok}
+	}))
 }
 
 func (g *Graph) cycleWithOne(scc []int, in map[int]bool, one Kind, rest KindSet) (Cycle, bool) {
@@ -141,28 +170,34 @@ func (g *Graph) cycleWithOne(scc []int, in map[int]bool, one Kind, rest KindSet)
 // containing at least one edge of kind req (the G2 search: one or more
 // anti-dependency edges, with any other dependencies completing the cycle).
 func (g *Graph) FindCyclesWithAtLeastOne(req Kind, mask KindSet) []Cycle {
+	return g.FindCyclesWithAtLeastOneP(req, mask, 1)
+}
+
+// FindCyclesWithAtLeastOneP is FindCyclesWithAtLeastOne with per-SCC
+// searches fanned out across p workers; see FindCyclesP.
+func (g *Graph) FindCyclesWithAtLeastOneP(req Kind, mask KindSet, p int) []Cycle {
 	full := req.Mask() | mask
-	var out []Cycle
-	for _, scc := range g.sortedSCCs(full) {
+	sccs := g.sortedSCCs(full)
+	return gatherCycles(par.Map(p, len(sccs), func(i int) foundCycle {
+		scc := sccs[i]
 		in := memberSet(scc)
-		found := false
+		var out foundCycle
 		for _, u := range scc {
-			if found {
+			if out.ok {
 				break
 			}
 			g.OutSorted(u, req.Mask(), func(v int, label KindSet) {
-				if found || !in[v] {
+				if out.ok || !in[v] {
 					return
 				}
 				first := Step{From: u, To: v, Label: label, Via: req}
 				if c, hit := g.bfsCycle(v, u, full, in, first); hit {
-					out = append(out, c)
-					found = true
+					out = foundCycle{c, true}
 				}
 			})
 		}
-	}
-	return out
+		return out
+	}))
 }
 
 // bfsCycle finds a shortest path from start to goal using edges

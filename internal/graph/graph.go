@@ -135,6 +135,20 @@ func (g *Graph) Ensure(n int) int32 {
 	return id
 }
 
+// Edge is one labeled edge. Analyzers assemble per-shard []Edge lists in
+// parallel and merge them with AddEdges in a deterministic shard order.
+type Edge struct {
+	From, To int
+	Kind     Kind
+}
+
+// AddEdges records every edge in order.
+func (g *Graph) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		g.AddEdge(e.From, e.To, e.Kind)
+	}
+}
+
 // AddEdge records a dependency of the given kind from node a to node b,
 // creating the nodes as needed. Self-edges are ignored: per Adya's
 // footnote, a transaction never depends on itself in a serialization graph.

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/par"
 )
 
 // rawOp is the wire form of one op.
@@ -30,32 +31,157 @@ type rawOp struct {
 	Value   []json.RawMessage `json:"value"`
 }
 
+// DecodeOpts configures decoding.
+type DecodeOpts struct {
+	// Register selects register read decoding (value is an int or null)
+	// over list read decoding (value is an array or null).
+	Register bool
+	// Parallelism caps the workers parsing chunks of lines: <= 0 means
+	// one per CPU, 1 parses sequentially. The decoded history is
+	// identical at every setting.
+	Parallelism int
+}
+
 // Decode reads a JSON-lines history. Blank lines are skipped. The
 // register flag selects register read decoding (value is an int or null)
 // over list read decoding (value is an array or null).
 func Decode(r io.Reader, register bool) (*history.History, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	return DecodeWith(r, DecodeOpts{Register: register, Parallelism: 1})
+}
+
+// chunkTarget is how many raw history bytes one parse unit carries. Big
+// enough that fan-out overhead vanishes against JSON parsing; small
+// enough that a round of chunks never approaches the history's size.
+const chunkTarget = 1 << 20
+
+// chunk is one parse unit: a run of consecutive lines, copied out of the
+// read buffer so decoding never retains the underlying stream.
+type chunk struct {
+	firstLine int
+	lines     [][]byte
+}
+
+// parsed is one chunk's decode result.
+type parsed struct {
+	ops []op.Op
+	err error
+}
+
+// DecodeWith reads a JSON-lines history, streaming the input in ~1 MB
+// chunks of whole lines and parsing chunks across a worker pool. Raw
+// bytes are dropped as soon as their chunk is parsed, so multi-million-op
+// histories never live in memory twice; ops are collected in input order,
+// and the first malformed line (in line order) is reported just as the
+// sequential decoder would. Reading and parsing are pipelined: while one
+// round of chunks parses, the next round is read from the stream.
+func DecodeWith(r io.Reader, opts DecodeOpts) (*history.History, error) {
+	p := par.Procs(opts.Parallelism)
+	br := bufio.NewReaderSize(r, 1<<20)
+
 	var ops []op.Op
 	line := 0
-	for sc.Scan() {
-		line++
-		text := sc.Bytes()
-		if len(trimSpace(text)) == 0 {
+	readErr := error(nil)
+	done := false
+	// nextChunk gathers whole lines (of any length — long lines are
+	// reassembled across buffer refills) until the chunk target.
+	nextChunk := func() (chunk, bool) {
+		c := chunk{firstLine: line + 1}
+		size := 0
+		for size < chunkTarget {
+			text, err := br.ReadBytes('\n')
+			if err != nil {
+				if err == io.EOF {
+					// A final unterminated line is still a line.
+					if len(text) > 0 {
+						line++
+						c.lines = append(c.lines, text)
+					}
+				} else {
+					// Drop the truncated fragment: the read failure is
+					// the real error, and parsing the fragment would
+					// mask it with a phantom syntax error.
+					readErr = err
+				}
+				done = true
+				break
+			}
+			line++
+			size += len(text)
+			c.lines = append(c.lines, text)
+		}
+		return c, len(c.lines) > 0
+	}
+	readRound := func() []chunk {
+		var round []chunk
+		for len(round) < p && !done {
+			if c, ok := nextChunk(); ok {
+				round = append(round, c)
+			}
+		}
+		return round
+	}
+	parseChunk := func(c chunk) parsed {
+		out := make([]op.Op, 0, len(c.lines))
+		for j, text := range c.lines {
+			if len(trimSpace(text)) == 0 {
+				continue
+			}
+			var raw rawOp
+			if err := json.Unmarshal(text, &raw); err != nil {
+				return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
+			}
+			o, err := decodeOp(raw, opts.Register)
+			if err != nil {
+				return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
+			}
+			out = append(out, o)
+		}
+		return parsed{ops: out}
+	}
+
+	// pending holds the in-flight parse of the previous round; flush
+	// collects it in chunk order, so errors surface first-in-line-order.
+	var pending chan []parsed
+	flush := func() error {
+		if pending == nil {
+			return nil
+		}
+		results := <-pending
+		pending = nil
+		for _, res := range results {
+			if res.err != nil {
+				return res.err
+			}
+			ops = append(ops, res.ops...)
+		}
+		return nil
+	}
+	for {
+		round := readRound() // overlaps with the parse of the previous round
+		if err := flush(); err != nil {
+			return nil, err
+		}
+		if len(round) == 0 {
+			break
+		}
+		if p <= 1 {
+			for _, c := range round {
+				res := parseChunk(c)
+				if res.err != nil {
+					return nil, res.err
+				}
+				ops = append(ops, res.ops...)
+			}
 			continue
 		}
-		var raw rawOp
-		if err := json.Unmarshal(text, &raw); err != nil {
-			return nil, fmt.Errorf("jsonhist: line %d: %w", line, err)
-		}
-		o, err := decodeOp(raw, register)
-		if err != nil {
-			return nil, fmt.Errorf("jsonhist: line %d: %w", line, err)
-		}
-		ops = append(ops, o)
+		ch := make(chan []parsed, 1)
+		go func(rd []chunk) {
+			ch <- par.Map(p, len(rd), func(i int) parsed { return parseChunk(rd[i]) })
+		}(round)
+		pending = ch
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("jsonhist: %w", err)
+	if readErr != nil {
+		return nil, fmt.Errorf("jsonhist: %w", readErr)
 	}
 	return history.New(ops)
 }

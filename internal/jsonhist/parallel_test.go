@@ -1,0 +1,127 @@
+package jsonhist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/memdb"
+)
+
+// TestDecodeWithMatchesSequential round-trips a generated history and
+// checks the chunked parallel decoder reproduces the sequential decode
+// exactly, across worker counts and for histories spanning many chunks.
+func TestDecodeWithMatchesSequential(t *testing.T) {
+	g := gen.New(gen.Config{ActiveKeys: 10, MaxWritesPerKey: 50}, 3)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 10, Txns: 3000, Isolation: memdb.Serializable,
+		Source: g, Seed: 3, InfoProb: 0.05,
+	})
+	var buf bytes.Buffer
+	if err := Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	base, err := Decode(bytes.NewReader(raw), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{0, 1, 2, 3, 8} {
+		got, err := DecodeWith(bytes.NewReader(raw), DecodeOpts{Parallelism: p})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if got.Len() != base.Len() {
+			t.Fatalf("p=%d: %d ops, want %d", p, got.Len(), base.Len())
+		}
+		for i := range got.Ops {
+			if !reflect.DeepEqual(got.Ops[i], base.Ops[i]) {
+				t.Fatalf("p=%d: op %d = %+v, want %+v", p, i, got.Ops[i], base.Ops[i])
+			}
+		}
+	}
+}
+
+// TestDecodeWithLongLines checks the chunked reader reassembles lines
+// longer than the read buffer (which the old Scanner capped at 16 MB).
+func TestDecodeWithLongLines(t *testing.T) {
+	// One op whose read value is a very long list: the encoded line
+	// exceeds the 1 MB chunk target several times over.
+	var list strings.Builder
+	list.WriteString("[")
+	for i := 0; i < 1<<19; i++ {
+		if i > 0 {
+			list.WriteString(",")
+		}
+		fmt.Fprintf(&list, "%d", i+1)
+	}
+	list.WriteString("]")
+	line := fmt.Sprintf(`{"index":0,"type":"ok","process":0,"value":[["r",0,%s]]}`, list.String())
+
+	h, err := DecodeWith(strings.NewReader(line), DecodeOpts{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 || len(h.Ops[0].Mops[0].List) != 1<<19 {
+		t.Fatalf("long line decoded wrong: %d ops", h.Len())
+	}
+}
+
+// TestDecodeWithFirstErrorWins checks that with several malformed lines
+// across chunks, the reported error is the first one in line order, as
+// the sequential decoder reports it.
+func TestDecodeWithFirstErrorWins(t *testing.T) {
+	// Enough lines to span several 1 MB chunks, so the two bad lines
+	// land in different parse units.
+	var b strings.Builder
+	for i := 0; i < 40000; i++ {
+		fmt.Fprintf(&b, `{"index":%d,"type":"ok","process":0,"value":[["append",0,%d]]}`+"\n", i, i+1)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	lines[12000] = `{"index":12000,"type":"bogus"}`
+	lines[35000] = `not json`
+	in := strings.Join(lines, "\n")
+
+	_, err := DecodeWith(strings.NewReader(in), DecodeOpts{Parallelism: 8})
+	if err == nil || !strings.Contains(err.Error(), "line 12001") {
+		t.Fatalf("err = %v, want first error at line 12001", err)
+	}
+}
+
+// failingReader yields its data, then a non-EOF error — a disk or
+// network fault mid-stream.
+type failingReader struct {
+	data []byte
+	err  error
+	off  int
+}
+
+func (r *failingReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// TestDecodeWithReadErrorNotMasked checks a mid-stream I/O error is
+// reported as itself, not as a phantom parse error of the line it
+// truncated.
+func TestDecodeWithReadErrorNotMasked(t *testing.T) {
+	data := []byte(`{"index":0,"type":"ok","process":0,"value":[["append",0,1]]}
+{"index":1,"type":"ok","process":0,"value":[["append",0,2]]}
+{"index":2,"type":"ok","proc`)
+	boom := errors.New("disk exploded")
+	for _, p := range []int{1, 4} {
+		_, err := DecodeWith(&failingReader{data: data, err: boom}, DecodeOpts{Parallelism: p})
+		if err == nil || !errors.Is(err, boom) {
+			t.Fatalf("p=%d: err = %v, want wrapped %v", p, err, boom)
+		}
+	}
+}

@@ -7,21 +7,6 @@ import (
 	"repro/internal/op"
 )
 
-// checkInternal verifies each committed transaction against its own reads
-// and writes (§6.1, "internal inconsistency"): within one transaction, a
-// read of key k must equal the transaction's previously observed value of
-// k extended by any of its own intervening appends; before the first read,
-// an observed value must at least end with whatever the transaction has
-// itself appended so far.
-//
-// FaunaDB's index bug (§7.3) — a transaction appending 6 to key 0 and then
-// reading nil — is the canonical violation.
-func (a *analyzer) checkInternal() {
-	for _, o := range a.oks {
-		a.checkInternalOp(o)
-	}
-}
-
 // keyModel tracks what a transaction must believe about one key.
 type keyModel struct {
 	// known is true once the transaction has read the key, fixing the
@@ -35,7 +20,17 @@ type keyModel struct {
 	appended []int
 }
 
-func (a *analyzer) checkInternalOp(o op.Op) {
+// internalAnomalies verifies one committed transaction against its own
+// reads and writes (§6.1, "internal inconsistency"): within one
+// transaction, a read of key k must equal the transaction's previously
+// observed value of k extended by any of its own intervening appends;
+// before the first read, an observed value must at least end with
+// whatever the transaction has itself appended so far.
+//
+// FaunaDB's index bug (§7.3) — a transaction appending 6 to key 0 and then
+// reading nil — is the canonical violation.
+func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
 	models := map[string]*keyModel{}
 	model := func(k string) *keyModel {
 		m, ok := models[k]
@@ -61,7 +56,7 @@ func (a *analyzer) checkInternalOp(o op.Op) {
 			observed := mop.List
 			if m.known {
 				if !equalInts(observed, m.value) {
-					a.report(anomaly.Anomaly{
+					out = append(out, anomaly.Anomaly{
 						Type: anomaly.Internal,
 						Ops:  []op.Op{o},
 						Key:  mop.Key,
@@ -71,7 +66,7 @@ func (a *analyzer) checkInternalOp(o op.Op) {
 					})
 				}
 			} else if !endsWith(observed, m.appended) {
-				a.report(anomaly.Anomaly{
+				out = append(out, anomaly.Anomaly{
 					Type: anomaly.Internal,
 					Ops:  []op.Op{o},
 					Key:  mop.Key,
@@ -86,6 +81,7 @@ func (a *analyzer) checkInternalOp(o op.Op) {
 			m.appended = nil
 		}
 	}
+	return out
 }
 
 func equalInts(a, b []int) bool {

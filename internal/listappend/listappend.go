@@ -15,6 +15,13 @@
 // aborted reads (G1a), intermediate reads (G1b), dirty updates, garbage
 // reads, duplicate writes, internal inconsistencies, and inconsistent
 // observations (incompatible orders).
+//
+// Inference is embarrassingly parallel: version orders and dependency
+// edges are per-key, and the per-transaction checks are independent per
+// transaction. Analyze therefore fans both out across Opts.Parallelism
+// workers, collecting results in index-addressed slots so the analysis —
+// anomalies, their order, and the dependency graph — is byte-identical at
+// every parallelism level.
 package listappend
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/par"
 )
 
 // Opts configures the analysis.
@@ -37,6 +45,10 @@ type Opts struct {
 	// a real-time-consistent model; the core checker enables it when
 	// checking strong-session or strict models.
 	DetectLostUpdates bool
+	// Parallelism caps the worker pool used for per-key inference and
+	// per-transaction checks: <= 0 means one worker per CPU, 1 runs
+	// fully sequentially. The analysis is identical at every setting.
+	Parallelism int
 }
 
 // Analysis is the result of dependency inference over one history.
@@ -57,6 +69,13 @@ type Analysis struct {
 type elemKey struct {
 	key  string
 	elem int
+}
+
+// cleanRead is one committed read of a well-formed (duplicate-free) list
+// value, the unit of per-key inference.
+type cleanRead struct {
+	o    op.Op
+	list []int
 }
 
 // analyzer carries the indices built over one history.
@@ -105,12 +124,37 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 			a.infos = append(a.infos, o)
 		}
 	}
+	p := opts.Parallelism
 	a.indexWrites()
-	a.checkInternal()
-	a.checkReadStructure()
-	orders := a.versionOrders()
-	g := a.buildGraph(orders)
-	a.checkAbortedAndIntermediate(orders)
+
+	// Per-transaction checks: every committed op is validated against its
+	// own reads and writes, and against the write indices, independently.
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.internalAnomalies(a.oks[i])
+	}))
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.readStructureAnomalies(a.oks[i])
+	}))
+
+	// Per-key inference: version orders, then the dependency edges they
+	// imply. Results are merged in sorted-key order.
+	keys, byKey := a.cleanReadsByKey()
+	perKey := par.Map(p, len(keys), func(i int) keyOrder {
+		return a.versionOrderFor(keys[i], byKey[keys[i]])
+	})
+	orders := make(map[string][]int, len(keys))
+	for i, k := range keys {
+		orders[k] = perKey[i].elems
+		a.anomalies = append(a.anomalies, perKey[i].anoms...)
+	}
+	g := a.buildGraph(keys, byKey, orders)
+
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.abortedIntermediateAnomalies(a.oks[i])
+	}))
+	a.collect(par.Map(p, len(keys), func(i int) []anomaly.Anomaly {
+		return a.dirtyUpdateAnomalies(keys[i], orders[keys[i]])
+	}))
 	if opts.DetectLostUpdates {
 		a.checkLostUpdates(orders)
 	}
@@ -120,6 +164,10 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 		VersionOrders: orders,
 		Ops:           a.ops,
 	}
+}
+
+func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
+	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
 // indexWrites builds the attempt and recoverable-writer indices, reporting
@@ -152,7 +200,7 @@ func (a *analyzer) indexWrites() {
 			for i, ix := range idxs {
 				ops[i] = a.ops[ix]
 			}
-			a.report(anomaly.Anomaly{
+			a.anomalies = append(a.anomalies, anomaly.Anomaly{
 				Type: anomaly.DuplicateAppends,
 				Ops:  ops,
 				Key:  ek.key,
@@ -171,45 +219,45 @@ func (a *analyzer) indexWrites() {
 	}
 }
 
-// checkReadStructure validates each committed read value: no duplicate
-// elements, and no garbage elements that were never appended by any
-// attempted transaction.
-func (a *analyzer) checkReadStructure() {
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			if !m.ListKnown() {
-				continue
+// readStructureAnomalies validates each committed read value of one
+// transaction: no duplicate elements, and no garbage elements that were
+// never appended by any attempted transaction.
+func (a *analyzer) readStructureAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	for _, m := range o.Mops {
+		if !m.ListKnown() {
+			continue
+		}
+		seen := make(map[int]bool, len(m.List))
+		for _, e := range m.List {
+			if seen[e] {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.DuplicateElements,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s as %s, which contains element %d more than once: some append was applied multiple times",
+						o.Name(), m.Key, op.FormatList(m.List), e),
+				})
+				break
 			}
-			seen := make(map[int]bool, len(m.List))
-			for _, e := range m.List {
-				if seen[e] {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.DuplicateElements,
-						Ops:  []op.Op{o},
-						Key:  m.Key,
-						Explanation: fmt.Sprintf(
-							"%s read key %s as %s, which contains element %d more than once: some append was applied multiple times",
-							o.Name(), m.Key, op.FormatList(m.List), e),
-					})
-					break
-				}
-				seen[e] = true
-			}
-			for _, e := range m.List {
-				if !a.attempted(elemKey{m.Key, e}) {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.GarbageRead,
-						Ops:  []op.Op{o},
-						Key:  m.Key,
-						Explanation: fmt.Sprintf(
-							"%s read key %s as %s, but element %d was never appended by any transaction",
-							o.Name(), m.Key, op.FormatList(m.List), e),
-					})
-					break
-				}
+			seen[e] = true
+		}
+		for _, e := range m.List {
+			if !a.attempted(elemKey{m.Key, e}) {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.GarbageRead,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s as %s, but element %d was never appended by any transaction",
+						o.Name(), m.Key, op.FormatList(m.List), e),
+				})
+				break
 			}
 		}
 	}
+	return out
 }
 
 // attempted reports whether any op (including unpaired invocations from
@@ -236,17 +284,11 @@ func (a *analyzer) attempted(ek elemKey) bool {
 	return false
 }
 
-// versionOrders infers, for each key, the trace of the longest clean
-// committed read — a prefix of ≪x (§4.3.2) — and reports incompatible
-// orders: pairs of committed reads neither of which is a prefix of the
-// other, which imply an aborted read in every interpretation (§4.3.1,
-// "Inconsistent Observations").
-func (a *analyzer) versionOrders() map[string][]int {
-	type read struct {
-		o op.Op
-		v []int
-	}
-	byKey := map[string][]read{}
+// cleanReadsByKey groups every committed duplicate-free list read by key,
+// preserving op order within each key, and returns the sorted key list —
+// the per-key work items of version-order and edge inference.
+func (a *analyzer) cleanReadsByKey() ([]string, map[string][]cleanRead) {
+	byKey := map[string][]cleanRead{}
 	var keys []string
 	for _, o := range a.oks {
 		for _, m := range o.Mops {
@@ -256,155 +298,173 @@ func (a *analyzer) versionOrders() map[string][]int {
 			if len(byKey[m.Key]) == 0 {
 				keys = append(keys, m.Key)
 			}
-			byKey[m.Key] = append(byKey[m.Key], read{o, m.List})
+			byKey[m.Key] = append(byKey[m.Key], cleanRead{o, m.List})
 		}
 	}
 	sort.Strings(keys)
-
-	orders := make(map[string][]int, len(byKey))
-	for _, k := range keys {
-		reads := byKey[k]
-		longest := reads[0]
-		for _, r := range reads[1:] {
-			if len(r.v) > len(longest.v) {
-				longest = r
-			}
-		}
-		for _, r := range reads {
-			if !op.IsPrefix(r.v, longest.v) {
-				a.report(anomaly.Anomaly{
-					Type: anomaly.IncompatibleOrder,
-					Ops:  []op.Op{r.o, longest.o},
-					Key:  k,
-					Explanation: fmt.Sprintf(
-						"%s read key %s as %s but %s read it as %s; neither is a prefix of the other, so at least one observed an aborted version",
-						r.o.Name(), k, op.FormatList(r.v),
-						longest.o.Name(), op.FormatList(longest.v)),
-				})
-			}
-		}
-		orders[k] = longest.v
-	}
-	return orders
+	return keys, byKey
 }
 
-// buildGraph emits the inferred serialization graph of §4.3.2 from the
-// version orders and the recoverable-writer index.
-func (a *analyzer) buildGraph(orders map[string][]int) *graph.Graph {
+// keyOrder is one key's inferred version order plus the anomalies the
+// inference surfaced.
+type keyOrder struct {
+	elems []int
+	anoms []anomaly.Anomaly
+}
+
+// versionOrderFor infers the trace of the longest clean committed read of
+// key k — a prefix of ≪x (§4.3.2) — and reports incompatible orders:
+// pairs of committed reads neither of which is a prefix of the other,
+// which imply an aborted read in every interpretation (§4.3.1,
+// "Inconsistent Observations").
+func (a *analyzer) versionOrderFor(k string, reads []cleanRead) keyOrder {
+	longest := reads[0]
+	for _, r := range reads[1:] {
+		if len(r.list) > len(longest.list) {
+			longest = r
+		}
+	}
+	var out keyOrder
+	for _, r := range reads {
+		if !op.IsPrefix(r.list, longest.list) {
+			out.anoms = append(out.anoms, anomaly.Anomaly{
+				Type: anomaly.IncompatibleOrder,
+				Ops:  []op.Op{r.o, longest.o},
+				Key:  k,
+				Explanation: fmt.Sprintf(
+					"%s read key %s as %s but %s read it as %s; neither is a prefix of the other, so at least one observed an aborted version",
+					r.o.Name(), k, op.FormatList(r.list),
+					longest.o.Name(), op.FormatList(longest.list)),
+			})
+		}
+	}
+	out.elems = longest.list
+	return out
+}
+
+// buildGraph emits the inferred serialization graph of §4.3.2: per-key
+// workers produce edge lists from the version orders and the
+// recoverable-writer index, which merge into one graph in key order.
+func (a *analyzer) buildGraph(keys []string, byKey map[string][]cleanRead, orders map[string][]int) *graph.Graph {
 	g := graph.New()
 	// Every transaction that may have committed is a vertex, even if it
 	// has no edges; cycle search ignores isolated vertices.
 	for _, o := range a.oks {
 		g.Ensure(o.Index)
 	}
-
-	// ww: consecutive recoverable writers along each version order.
-	for _, so := range sortedOrders(orders) {
-		for i := 0; i+1 < len(so.elems); i++ {
-			wi, oki := a.writer[elemKey{so.key, so.elems[i]}]
-			wj, okj := a.writer[elemKey{so.key, so.elems[i+1]}]
-			if oki && okj {
-				g.AddEdge(wi, wj, graph.WW)
-			}
-		}
-	}
-
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			if !m.ListKnown() || hasDuplicates(m.List) {
-				continue
-			}
-			elems, ok := orders[m.Key]
-			if !ok || !op.IsPrefix(m.List, elems) {
-				// Incompatible reads were already reported; don't let
-				// them seed bogus edges.
-				continue
-			}
-			// wr: the writer of the last element of the observed version
-			// installed the version this read observed.
-			if n := len(m.List); n > 0 {
-				if w, ok := a.writer[elemKey{m.Key, m.List[n-1]}]; ok {
-					g.AddEdge(w, o.Index, graph.WR)
-				}
-			}
-			// rw: the writer of the next element in ≪x overwrote the
-			// version this read observed.
-			if len(m.List) < len(elems) {
-				next := elems[len(m.List)]
-				if w, ok := a.writer[elemKey{m.Key, next}]; ok {
-					g.AddEdge(o.Index, w, graph.RW)
-				}
-			}
-		}
+	perKey := par.Map(a.opts.Parallelism, len(keys), func(i int) []graph.Edge {
+		k := keys[i]
+		return a.keyEdges(k, byKey[k], orders[k])
+	})
+	for _, edges := range perKey {
+		g.AddEdges(edges)
 	}
 	return g
 }
 
-// checkAbortedAndIntermediate finds G1a (reads of versions containing
-// elements written by aborted transactions), G1b (reads whose final
-// element was an intermediate write), and dirty updates (committed writes
-// acting on aborted state) along the inferred version orders.
-func (a *analyzer) checkAbortedAndIntermediate(orders map[string][]int) {
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			if !m.ListKnown() {
-				continue
+// keyEdges infers every dependency edge key k contributes.
+func (a *analyzer) keyEdges(k string, reads []cleanRead, elems []int) []graph.Edge {
+	var out []graph.Edge
+	// ww: consecutive recoverable writers along the version order.
+	for i := 0; i+1 < len(elems); i++ {
+		wi, oki := a.writer[elemKey{k, elems[i]}]
+		wj, okj := a.writer[elemKey{k, elems[i+1]}]
+		if oki && okj {
+			out = append(out, graph.Edge{From: wi, To: wj, Kind: graph.WW})
+		}
+	}
+	for _, r := range reads {
+		if !op.IsPrefix(r.list, elems) {
+			// Incompatible reads were already reported; don't let them
+			// seed bogus edges.
+			continue
+		}
+		// wr: the writer of the last element of the observed version
+		// installed the version this read observed.
+		if n := len(r.list); n > 0 {
+			if w, ok := a.writer[elemKey{k, r.list[n-1]}]; ok {
+				out = append(out, graph.Edge{From: w, To: r.o.Index, Kind: graph.WR})
 			}
-			for _, e := range m.List {
-				if w, ok := a.failedWriter[elemKey{m.Key, e}]; ok {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.G1a,
-						Ops:  []op.Op{o, a.ops[w]},
+		}
+		// rw: the writer of the next element in ≪x overwrote the
+		// version this read observed.
+		if len(r.list) < len(elems) {
+			next := elems[len(r.list)]
+			if w, ok := a.writer[elemKey{k, next}]; ok {
+				out = append(out, graph.Edge{From: r.o.Index, To: w, Kind: graph.RW})
+			}
+		}
+	}
+	return out
+}
+
+// abortedIntermediateAnomalies finds G1a (reads of versions containing
+// elements written by aborted transactions) and G1b (reads whose final
+// element was an intermediate write) for one committed transaction.
+func (a *analyzer) abortedIntermediateAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	for _, m := range o.Mops {
+		if !m.ListKnown() {
+			continue
+		}
+		for _, e := range m.List {
+			if w, ok := a.failedWriter[elemKey{m.Key, e}]; ok {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.G1a,
+					Ops:  []op.Op{o, a.ops[w]},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s as %s, but element %d was appended by %s, which aborted: an aborted read",
+						o.Name(), m.Key, op.FormatList(m.List), e, a.ops[w].Name()),
+				})
+			}
+		}
+		if n := len(m.List); n > 0 {
+			last := m.List[n-1]
+			if w, ok := a.writer[elemKey{m.Key, last}]; ok && w != o.Index {
+				wo := a.ops[w]
+				if finalAppend(wo, m.Key) != last {
+					out = append(out, anomaly.Anomaly{
+						Type: anomaly.G1b,
+						Ops:  []op.Op{o, wo},
 						Key:  m.Key,
 						Explanation: fmt.Sprintf(
-							"%s read key %s as %s, but element %d was appended by %s, which aborted: an aborted read",
-							o.Name(), m.Key, op.FormatList(m.List), e, a.ops[w].Name()),
+							"%s read key %s as %s, whose final element %d was an intermediate append of %s (its final append to %s was %d): an intermediate read",
+							o.Name(), m.Key, op.FormatList(m.List), last, wo.Name(), m.Key, finalAppend(wo, m.Key)),
 					})
-				}
-			}
-			if n := len(m.List); n > 0 {
-				last := m.List[n-1]
-				if w, ok := a.writer[elemKey{m.Key, last}]; ok && w != o.Index {
-					wo := a.ops[w]
-					if finalAppend(wo, m.Key) != last {
-						a.report(anomaly.Anomaly{
-							Type: anomaly.G1b,
-							Ops:  []op.Op{o, wo},
-							Key:  m.Key,
-							Explanation: fmt.Sprintf(
-								"%s read key %s as %s, whose final element %d was an intermediate append of %s (its final append to %s was %d): an intermediate read",
-								o.Name(), m.Key, op.FormatList(m.List), last, wo.Name(), m.Key, finalAppend(wo, m.Key)),
-						})
-					}
 				}
 			}
 		}
 	}
+	return out
+}
 
-	// Dirty updates: along each trace, an element from an aborted
-	// transaction followed by an element from a committed one means
-	// committed state incorporates aborted state (§4.1.5, "Via Traces").
-	for _, so := range sortedOrders(orders) {
-		for i := 0; i+1 < len(so.elems); i++ {
-			fw, failed := a.failedWriter[elemKey{so.key, so.elems[i]}]
-			if !failed {
-				continue
-			}
-			for j := i + 1; j < len(so.elems); j++ {
-				if cw, ok := a.writer[elemKey{so.key, so.elems[j]}]; ok && a.ops[cw].Type == op.OK {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.DirtyUpdate,
-						Ops:  []op.Op{a.ops[fw], a.ops[cw]},
-						Key:  so.key,
-						Explanation: fmt.Sprintf(
-							"key %s's version history %s includes element %d from aborted %s, later built upon by committed %s: a dirty update",
-							so.key, op.FormatList(so.elems), so.elems[i], a.ops[fw].Name(), a.ops[cw].Name()),
-					})
-					break
-				}
+// dirtyUpdateAnomalies reports dirty updates along key k's trace: an
+// element from an aborted transaction followed by an element from a
+// committed one means committed state incorporates aborted state (§4.1.5,
+// "Via Traces").
+func (a *analyzer) dirtyUpdateAnomalies(k string, elems []int) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	for i := 0; i+1 < len(elems); i++ {
+		fw, failed := a.failedWriter[elemKey{k, elems[i]}]
+		if !failed {
+			continue
+		}
+		for j := i + 1; j < len(elems); j++ {
+			if cw, ok := a.writer[elemKey{k, elems[j]}]; ok && a.ops[cw].Type == op.OK {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.DirtyUpdate,
+					Ops:  []op.Op{a.ops[fw], a.ops[cw]},
+					Key:  k,
+					Explanation: fmt.Sprintf(
+						"key %s's version history %s includes element %d from aborted %s, later built upon by committed %s: a dirty update",
+						k, op.FormatList(elems), elems[i], a.ops[fw].Name(), a.ops[cw].Name()),
+				})
+				break
 			}
 		}
 	}
+	return out
 }
 
 // checkLostUpdates reports committed appends that are absent from a
@@ -458,13 +518,15 @@ func (a *analyzer) checkLostUpdates(orders map[string][]int) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
+	a.collect(par.Map(a.opts.Parallelism, len(keys), func(i int) []anomaly.Anomaly {
+		k := keys[i]
 		lr := longReads[k]
+		var out []anomaly.Anomaly
 		for _, ka := range appendsByKey[k] {
 			if ka.o.Index == lr.o.Index || ka.completed >= lr.invoke || lr.set[ka.elem] {
 				continue
 			}
-			a.report(anomaly.Anomaly{
+			out = append(out, anomaly.Anomaly{
 				Type: anomaly.LostUpdate,
 				Ops:  []op.Op{ka.o, lr.o},
 				Key:  k,
@@ -473,7 +535,8 @@ func (a *analyzer) checkLostUpdates(orders map[string][]int) {
 					ka.o.Name(), ka.elem, k, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, k)].List)),
 			})
 		}
-	}
+		return out
+	}))
 }
 
 func readPos(o op.Op, key string) int {
@@ -483,10 +546,6 @@ func readPos(o op.Op, key string) int {
 		}
 	}
 	return 0
-}
-
-func (a *analyzer) report(an anomaly.Anomaly) {
-	a.anomalies = append(a.anomalies, an)
 }
 
 // finalAppend returns the last element o appended to key, or the zero
@@ -510,18 +569,4 @@ func hasDuplicates(v []int) bool {
 		seen[e] = true
 	}
 	return false
-}
-
-type keyedOrder struct {
-	key   string
-	elems []int
-}
-
-func sortedOrders(orders map[string][]int) []keyedOrder {
-	out := make([]keyedOrder, 0, len(orders))
-	for k, v := range orders {
-		out = append(out, keyedOrder{k, v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
-	return out
 }

@@ -1,0 +1,44 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestProcs(t *testing.T) {
+	if got := Procs(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Procs(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Procs(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Procs(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Procs(7); got != 7 {
+		t.Errorf("Procs(7) = %d", got)
+	}
+}
+
+func TestDoCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			counts := make([]atomic.Int32, n)
+			Do(p, n, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("p=%d n=%d: index %d ran %d times", p, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	for _, p := range []int{1, 4, 16} {
+		out := Map(p, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}

@@ -48,6 +48,9 @@ type Config struct {
 	Seed int64
 	// Elle and Baseline toggle the two checkers.
 	Elle, Baseline bool
+	// Parallelism is Elle's worker count per check (<= 0 one per CPU,
+	// 1 sequential) — the knob the parallel-speedup sweeps vary.
+	Parallelism int
 }
 
 // DefaultConfig mirrors Figure 4's axes at a scale that completes on a
@@ -102,8 +105,10 @@ func Sweep(cfg Config, report func(Point)) []Point {
 		for _, n := range cfg.Lengths {
 			h := GenerateHistory(n, c, cfg.Seed)
 			if cfg.Elle {
+				opts := core.OptsFor(core.ListAppend, consistency.StrictSerializable)
+				opts.Parallelism = cfg.Parallelism
 				start := time.Now()
-				r := core.Check(h, core.OptsFor(core.ListAppend, consistency.StrictSerializable))
+				r := core.Check(h, opts)
 				sec := time.Since(start).Seconds()
 				outcome := "valid"
 				if !r.Valid {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/par"
 )
 
 // nilVer encodes the initial version in per-key version graphs.
@@ -55,6 +56,11 @@ type Opts struct {
 	// inference) but sound against databases claiming only sequential
 	// per-key behavior.
 	SequentialKeys bool
+	// Parallelism caps the worker pool used for per-key version-graph
+	// inference and per-transaction checks: <= 0 means one worker per
+	// CPU, 1 runs fully sequentially. The analysis is identical at every
+	// setting.
+	Parallelism int
 }
 
 // DefaultOpts enables every rule, matching the paper's Dgraph analysis.
@@ -122,33 +128,77 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 			a.oks = append(a.oks, o)
 		}
 	}
+	p := opts.Parallelism
 	a.indexWrites()
 	a.indexReads()
-	a.checkInternal()
-	a.checkReads()
+
+	// Per-transaction checks are independent per committed op; fan them
+	// out with ordered collection so the report order matches the
+	// sequential one.
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.internalAnomalies(a.oks[i])
+	}))
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.readAnomalies(a.oks[i])
+	}))
 
 	g := graph.New()
 	for _, o := range a.oks {
 		g.Ensure(o.Index)
 	}
+	// Per-key version-graph inference — building, cycle-checking,
+	// reducing, and exploding each key's version order into transaction
+	// dependencies — is independent per key. Workers produce edge lists;
+	// the merge walks keys in sorted order so the graph and anomaly list
+	// are identical at every parallelism level.
+	keys := a.keys()
+	perKey := par.Map(p, len(keys), func(i int) keyResult {
+		return a.analyzeKey(keys[i])
+	})
 	orders := map[string][][2]string{}
-	for _, k := range a.keys() {
-		vg := a.versionGraph(k)
-		if cyc := cyclicWitness(vg); cyc != nil {
+	for i, k := range keys {
+		r := perKey[i]
+		if r.cyclic != nil {
 			a.report(anomaly.Anomaly{
 				Type: anomaly.CyclicVersionOrder,
 				Key:  k,
 				Explanation: fmt.Sprintf(
 					"the inferred version order for key %s is cyclic (%s); its version edges are discarded to avoid trivial transaction cycles",
-					k, formatVersionCycle(cyc)),
+					k, formatVersionCycle(r.cyclic)),
 			})
 			continue
 		}
-		reduce(vg)
-		orders[k] = a.emitEdges(g, k, vg)
+		orders[k] = r.verEdges
+		g.AddEdges(r.edges)
 	}
 	a.emitWR(g)
 	return &Analysis{Graph: g, Anomalies: a.anomalies, VersionOrders: orders, Ops: a.ops}
+}
+
+// keyResult is one key's inference outcome: either a cyclic-version-order
+// witness, or the reduced version order plus the dependency edges it
+// implies.
+type keyResult struct {
+	cyclic   []int
+	verEdges [][2]string
+	edges    []graph.Edge
+}
+
+// analyzeKey runs the whole per-key pipeline for key k: build the version
+// graph from the enabled rules, reject it if cyclic, otherwise reduce it
+// and explode it into transaction dependencies.
+func (a *analyzer) analyzeKey(k string) keyResult {
+	vg := a.versionGraph(k)
+	if cyc := cyclicWitness(vg); cyc != nil {
+		return keyResult{cyclic: cyc}
+	}
+	reduce(vg)
+	verEdges, edges := a.emitEdges(k, vg)
+	return keyResult{verEdges: verEdges, edges: edges}
+}
+
+func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
+	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
 func (a *analyzer) indexWrites() {
@@ -205,91 +255,92 @@ func (a *analyzer) indexReads() {
 	}
 }
 
-// checkReads detects garbage reads (values never written), G1a (values
-// written by aborted transactions), and G1b (intermediate values).
-func (a *analyzer) checkReads() {
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			if m.F != op.FRead || !m.RegKnown || m.RegNil {
+// readAnomalies detects garbage reads (values never written), G1a (values
+// written by aborted transactions), and G1b (intermediate values) in one
+// committed transaction.
+func (a *analyzer) readAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	for _, m := range o.Mops {
+		if m.F != op.FRead || !m.RegKnown || m.RegNil {
+			continue
+		}
+		vk := verKey{m.Key, m.Reg}
+		if a.writeCount[vk] == 0 {
+			out = append(out, anomaly.Anomaly{
+				Type: anomaly.GarbageRead,
+				Ops:  []op.Op{o},
+				Key:  m.Key,
+				Explanation: fmt.Sprintf(
+					"%s read key %s = %d, but no transaction ever wrote %d to %s",
+					o.Name(), m.Key, m.Reg, m.Reg, m.Key),
+			})
+			continue
+		}
+		if w, ok := a.failedWriter[vk]; ok {
+			out = append(out, anomaly.Anomaly{
+				Type: anomaly.G1a,
+				Ops:  []op.Op{o, a.ops[w]},
+				Key:  m.Key,
+				Explanation: fmt.Sprintf(
+					"%s read key %s = %d, which was written by %s, which aborted: an aborted read",
+					o.Name(), m.Key, m.Reg, a.ops[w].Name()),
+			})
+		}
+		if w, ok := a.writer[vk]; ok && w != o.Index {
+			wo := a.ops[w]
+			if fin, has := finalWrite(wo, m.Key); has && fin != m.Reg {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.G1b,
+					Ops:  []op.Op{o, wo},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read key %s = %d, an intermediate write of %s (whose final write was %d): an intermediate read",
+						o.Name(), m.Key, m.Reg, wo.Name(), fin),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// internalAnomalies verifies register semantics within one transaction:
+// after writing v, reads of the key must return v; after reading v,
+// subsequent reads must return v until overwritten.
+func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	type state struct {
+		known bool
+		nil_  bool
+		val   int
+	}
+	views := map[string]*state{}
+	for _, m := range o.Mops {
+		s, ok := views[m.Key]
+		if !ok {
+			s = &state{}
+			views[m.Key] = s
+		}
+		switch m.F {
+		case op.FWrite:
+			s.known, s.nil_, s.val = true, false, m.Arg
+		case op.FRead:
+			if !m.RegKnown {
 				continue
 			}
-			vk := verKey{m.Key, m.Reg}
-			if a.writeCount[vk] == 0 {
-				a.report(anomaly.Anomaly{
-					Type: anomaly.GarbageRead,
+			if s.known && (s.nil_ != m.RegNil || (!s.nil_ && s.val != m.Reg)) {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.Internal,
 					Ops:  []op.Op{o},
 					Key:  m.Key,
 					Explanation: fmt.Sprintf(
-						"%s read key %s = %d, but no transaction ever wrote %d to %s",
-						o.Name(), m.Key, m.Reg, m.Reg, m.Key),
-				})
-				continue
-			}
-			if w, ok := a.failedWriter[vk]; ok {
-				a.report(anomaly.Anomaly{
-					Type: anomaly.G1a,
-					Ops:  []op.Op{o, a.ops[w]},
-					Key:  m.Key,
-					Explanation: fmt.Sprintf(
-						"%s read key %s = %d, which was written by %s, which aborted: an aborted read",
-						o.Name(), m.Key, m.Reg, a.ops[w].Name()),
+						"%s read key %s = %s, but its own prior operations imply the value must be %s: an internal inconsistency",
+						o.Name(), m.Key, regString(m.RegNil, m.Reg), regString(s.nil_, s.val)),
 				})
 			}
-			if w, ok := a.writer[vk]; ok && w != o.Index {
-				wo := a.ops[w]
-				if fin, has := finalWrite(wo, m.Key); has && fin != m.Reg {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.G1b,
-						Ops:  []op.Op{o, wo},
-						Key:  m.Key,
-						Explanation: fmt.Sprintf(
-							"%s read key %s = %d, an intermediate write of %s (whose final write was %d): an intermediate read",
-							o.Name(), m.Key, m.Reg, wo.Name(), fin),
-					})
-				}
-			}
+			s.known, s.nil_, s.val = true, m.RegNil, m.Reg
 		}
 	}
-}
-
-// checkInternal verifies register semantics within each transaction: after
-// writing v, reads of the key must return v; after reading v, subsequent
-// reads must return v until overwritten.
-func (a *analyzer) checkInternal() {
-	for _, o := range a.oks {
-		type state struct {
-			known bool
-			nil_  bool
-			val   int
-		}
-		views := map[string]*state{}
-		for _, m := range o.Mops {
-			s, ok := views[m.Key]
-			if !ok {
-				s = &state{}
-				views[m.Key] = s
-			}
-			switch m.F {
-			case op.FWrite:
-				s.known, s.nil_, s.val = true, false, m.Arg
-			case op.FRead:
-				if !m.RegKnown {
-					continue
-				}
-				if s.known && (s.nil_ != m.RegNil || (!s.nil_ && s.val != m.Reg)) {
-					a.report(anomaly.Anomaly{
-						Type: anomaly.Internal,
-						Ops:  []op.Op{o},
-						Key:  m.Key,
-						Explanation: fmt.Sprintf(
-							"%s read key %s = %s, but its own prior operations imply the value must be %s: an internal inconsistency",
-							o.Name(), m.Key, regString(m.RegNil, m.Reg), regString(s.nil_, s.val)),
-					})
-				}
-				s.known, s.nil_, s.val = true, m.RegNil, m.Reg
-			}
-		}
-	}
+	return out
 }
 
 func regString(isNil bool, v int) string {

@@ -314,9 +314,10 @@ func reachableAvoiding(vg map[int]map[int]bool, u, v int) bool {
 
 // emitEdges explodes key k's reduced version order into ww and rw
 // transaction dependencies, returning the direct version edges for
-// reporting.
-func (a *analyzer) emitEdges(g *graph.Graph, k string, vg map[int]map[int]bool) [][2]string {
+// reporting alongside the dependency edges.
+func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool) ([][2]string, []graph.Edge) {
 	var edges [][2]string
+	var deps []graph.Edge
 	for _, u := range sortedTargets(allNodes(vg)) {
 		for _, v := range sortedTargets(vg[u]) {
 			edges = append(edges, [2]string{verName(u), verName(v)})
@@ -324,7 +325,7 @@ func (a *analyzer) emitEdges(g *graph.Graph, k string, vg map[int]map[int]bool) 
 			if u != nilVer {
 				if wu, ok := a.writer[verKey{k, u}]; ok {
 					if wv, ok := a.writer[verKey{k, v}]; ok {
-						g.AddEdge(wu, wv, graph.WW)
+						deps = append(deps, graph.Edge{From: wu, To: wv, Kind: graph.WW})
 					}
 				}
 			}
@@ -332,12 +333,12 @@ func (a *analyzer) emitEdges(g *graph.Graph, k string, vg map[int]map[int]bool) 
 			// successor v.
 			if wv, ok := a.writer[verKey{k, v}]; ok {
 				for _, r := range a.readersOf(k, u) {
-					g.AddEdge(r, wv, graph.RW)
+					deps = append(deps, graph.Edge{From: r, To: wv, Kind: graph.RW})
 				}
 			}
 		}
 	}
-	return edges
+	return edges, deps
 }
 
 // readersOf returns ok transactions that read version v of key k; v may

@@ -26,7 +26,16 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/par"
 )
+
+// Opts configures the analysis.
+type Opts struct {
+	// Parallelism caps the worker pool used for per-transaction
+	// inference: <= 0 means one worker per CPU, 1 runs fully
+	// sequentially. The analysis is identical at every setting.
+	Parallelism int
+}
 
 // Analysis is the result of set dependency inference.
 type Analysis struct {
@@ -45,8 +54,13 @@ type elemKey struct {
 
 // Analyze infers dependencies and anomalies for a set-add history.
 // Set reads are carried in Mop.List; element order is ignored.
-func Analyze(h *history.History) *Analysis {
+//
+// Inference is independent per committed transaction once the element
+// indices are built, so the per-transaction checks and edge emission fan
+// out across opts.Parallelism workers with ordered collection.
+func Analyze(h *history.History, opts Opts) *Analysis {
 	a := &analyzer{
+		opts:         opts,
 		ops:          map[int]op.Op{},
 		writer:       map[elemKey]int{},
 		failedWriter: map[elemKey]int{},
@@ -59,18 +73,25 @@ func Analyze(h *history.History) *Analysis {
 		}
 	}
 	a.indexAdds()
-	a.checkInternal()
+	a.collect(par.Map(opts.Parallelism, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.internalAnomalies(a.oks[i])
+	}))
 	g := a.buildGraph()
 	return &Analysis{Graph: g, Anomalies: a.anomalies, Ops: a.ops}
 }
 
 type analyzer struct {
+	opts         Opts
 	ops          map[int]op.Op
 	oks          []op.Op
 	writer       map[elemKey]int
 	failedWriter map[elemKey]int
 	attempts     map[elemKey]int
 	anomalies    []anomaly.Anomaly
+}
+
+func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
+	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
 func (a *analyzer) indexAdds() {
@@ -114,52 +135,54 @@ func (a *analyzer) indexAdds() {
 	}
 }
 
-// checkInternal verifies grow-only set semantics within each committed
+// internalAnomalies verifies grow-only set semantics within one committed
 // transaction: reads must include every element the transaction itself
 // added, and repeated reads must never shrink.
-func (a *analyzer) checkInternal() {
-	for _, o := range a.oks {
-		have := map[string]map[int]bool{} // lower bound per key
-		ensure := func(k string) map[int]bool {
-			s, ok := have[k]
-			if !ok {
-				s = map[int]bool{}
-				have[k] = s
-			}
-			return s
+func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+	have := map[string]map[int]bool{} // lower bound per key
+	ensure := func(k string) map[int]bool {
+		s, ok := have[k]
+		if !ok {
+			s = map[int]bool{}
+			have[k] = s
 		}
-		for _, m := range o.Mops {
-			switch m.F {
-			case op.FAdd:
-				ensure(m.Key)[m.Arg] = true
-			case op.FRead:
-				if m.List == nil {
-					continue
+		return s
+	}
+	for _, m := range o.Mops {
+		switch m.F {
+		case op.FAdd:
+			ensure(m.Key)[m.Arg] = true
+		case op.FRead:
+			if m.List == nil {
+				continue
+			}
+			got := map[int]bool{}
+			for _, e := range m.List {
+				got[e] = true
+			}
+			// Report the smallest missing element so the rendered
+			// explanation is deterministic.
+			for _, e := range sortedElems(ensure(m.Key)) {
+				if !got[e] {
+					out = append(out, anomaly.Anomaly{
+						Type: anomaly.Internal,
+						Ops:  []op.Op{o},
+						Key:  m.Key,
+						Explanation: fmt.Sprintf(
+							"%s read set %s without element %d, which its own prior operations guarantee: an internal inconsistency",
+							o.Name(), m.Key, e),
+					})
+					break
 				}
-				got := map[int]bool{}
-				for _, e := range m.List {
-					got[e] = true
-				}
-				for e := range ensure(m.Key) {
-					if !got[e] {
-						a.anomalies = append(a.anomalies, anomaly.Anomaly{
-							Type: anomaly.Internal,
-							Ops:  []op.Op{o},
-							Key:  m.Key,
-							Explanation: fmt.Sprintf(
-								"%s read set %s without element %d, which its own prior operations guarantee: an internal inconsistency",
-								o.Name(), m.Key, e),
-						})
-						break
-					}
-				}
-				// Everything observed is now a lower bound.
-				for e := range got {
-					ensure(m.Key)[e] = true
-				}
+			}
+			// Everything observed is now a lower bound.
+			for e := range got {
+				ensure(m.Key)[e] = true
 			}
 		}
 	}
+	return out
 }
 
 func (a *analyzer) buildGraph() *graph.Graph {
@@ -187,7 +210,15 @@ func (a *analyzer) buildGraph() *graph.Graph {
 		committed[ek.key] = append(committed[ek.key], ek)
 	}
 
-	for _, o := range a.oks {
+	// Each committed transaction's reads are checked and exploded into
+	// edges independently; results merge in index order.
+	type okResult struct {
+		anoms []anomaly.Anomaly
+		edges []graph.Edge
+	}
+	perOK := par.Map(a.opts.Parallelism, len(a.oks), func(i int) okResult {
+		o := a.oks[i]
+		var r okResult
 		for _, m := range o.Mops {
 			if m.F != op.FRead || m.List == nil {
 				continue
@@ -205,7 +236,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 			for _, e := range m.List {
 				ek := elemKey{m.Key, e}
 				if w, ok := a.failedWriter[ek]; ok {
-					a.anomalies = append(a.anomalies, anomaly.Anomaly{
+					r.anoms = append(r.anoms, anomaly.Anomaly{
 						Type: anomaly.G1a,
 						Ops:  []op.Op{o, a.ops[w]},
 						Key:  m.Key,
@@ -218,7 +249,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 				w, ok := a.writer[ek]
 				if !ok {
 					if a.attempts[ek] == 0 {
-						a.anomalies = append(a.anomalies, anomaly.Anomaly{
+						r.anoms = append(r.anoms, anomaly.Anomaly{
 							Type: anomaly.GarbageRead,
 							Ops:  []op.Op{o},
 							Key:  m.Key,
@@ -229,17 +260,31 @@ func (a *analyzer) buildGraph() *graph.Graph {
 					}
 					continue
 				}
-				g.AddEdge(w, o.Index, graph.WR)
+				r.edges = append(r.edges, graph.Edge{From: w, To: o.Index, Kind: graph.WR})
 			}
 			// Anti-dependencies: committed elements missing from the
 			// read. Skip the transaction's own adds: a read before its
 			// own add is not an anti-dependency on itself.
 			for _, ek := range committed[m.Key] {
 				if !got[ek.elem] && !ownAdds[ek.elem] {
-					g.AddEdge(o.Index, a.writer[ek], graph.RW)
+					r.edges = append(r.edges, graph.Edge{From: o.Index, To: a.writer[ek], Kind: graph.RW})
 				}
 			}
 		}
+		return r
+	})
+	for _, r := range perOK {
+		a.anomalies = append(a.anomalies, r.anoms...)
+		g.AddEdges(r.edges)
 	}
 	return g
+}
+
+func sortedElems(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for e := range s {
+		out = append(out, e)
+	}
+	sort.Ints(out)
+	return out
 }

@@ -11,7 +11,7 @@ import (
 
 func analyze(t *testing.T, ops ...op.Op) *Analysis {
 	t.Helper()
-	return Analyze(history.MustNew(ops))
+	return Analyze(history.MustNew(ops), Opts{})
 }
 
 func hasAnomaly(a *Analysis, typ anomaly.Type) bool {
