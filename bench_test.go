@@ -33,6 +33,7 @@ import (
 	"repro/internal/rwregister"
 	"repro/internal/serialcheck"
 	"repro/internal/txngraph"
+	"repro/internal/workload"
 )
 
 // BenchmarkFigure4Elle measures Elle's checking time across the Figure 4
@@ -100,6 +101,33 @@ func BenchmarkCheckParallelRegister(b *testing.B) {
 		b.Run(fmt.Sprintf("n=50000/p=%d", p), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.Check(h, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkCheckBank measures the bank analyzer end to end — invariant
+// checks, overwrite-based inference, cycle search — on a 20k-transfer
+// history, at increasing worker counts.
+func BenchmarkCheckBank(b *testing.B) {
+	info, ok := workload.Lookup(string(workload.Bank))
+	if !ok {
+		b.Fatal("bank workload not registered")
+	}
+	g := gen.New(gen.Config{Workload: info.Gen, ActiveKeys: 10}, 1)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 20, Txns: 20000, Isolation: memdb.StrictSerializable,
+		Source: g, Seed: 1, Workload: info.DB,
+	})
+	for _, p := range parallelismLevels() {
+		opts := core.OptsFor(core.Bank, consistency.StrictSerializable)
+		opts.Parallelism = p
+		b.Run(fmt.Sprintf("n=20000/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := core.Check(h, opts)
+				if !r.Valid {
+					b.Fatalf("clean bank history invalid: %v", r.AnomalyTypes())
+				}
 			}
 		})
 	}
@@ -339,12 +367,12 @@ func BenchmarkAblationRegisterRules(b *testing.B) {
 	})
 	cases := []struct {
 		name string
-		opts rwregister.Opts
+		opts workload.Opts
 	}{
-		{"init-only", rwregister.Opts{InitialState: true}},
-		{"init+wfr", rwregister.Opts{InitialState: true, WritesFollowReads: true}},
-		{"init+wfr+seq", rwregister.Opts{InitialState: true, WritesFollowReads: true, SequentialKeys: true}},
-		{"all", rwregister.DefaultOpts()},
+		{"init-only", workload.Opts{InitialState: true}},
+		{"init+wfr", workload.Opts{InitialState: true, WritesFollowReads: true}},
+		{"init+wfr+seq", workload.Opts{InitialState: true, WritesFollowReads: true, SequentialKeys: true}},
+		{"all", workload.DefaultOpts()},
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {

@@ -11,7 +11,9 @@
 //
 // Flags:
 //
-//	-workload KIND            list, register, set, or counter (default list)
+//	-workload KIND            any registered workload: list-append,
+//	                          rw-register, set-add, counter, bank, or an
+//	                          alias (list, register, set); default list
 //	-model MODEL              expected consistency model
 //	                          (default strict-serializable)
 //	-parallelism N            worker count for decoding and checking
@@ -36,6 +38,7 @@ import (
 	"repro/internal/jsonhist"
 	"repro/internal/report"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,7 +48,8 @@ func main() {
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("elle", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	workload := fs.String("workload", "list", "workload: list, register, set, or counter")
+	workloadFlag := fs.String("workload", "list",
+		"workload analyzer: "+workload.NameList()+" (or an alias)")
 	model := fs.String("model", string(consistency.StrictSerializable),
 		"expected consistency model")
 	parallelism := fs.Int("parallelism", 0,
@@ -63,20 +67,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var w core.Workload
-	switch *workload {
-	case "list", "list-append":
-		w = core.ListAppend
-	case "register", "rw-register":
-		w = core.Register
-	case "set", "set-add":
-		w = core.SetAdd
-	case "counter":
-		w = core.Counter
-	default:
-		fmt.Fprintf(stderr, "elle: unknown workload %q\n", *workload)
+	info, ok := workload.Lookup(*workloadFlag)
+	if !ok {
+		fmt.Fprintf(stderr, "elle: unknown workload %q; choose from:\n", *workloadFlag)
+		for _, name := range workload.Names() {
+			fmt.Fprintf(stderr, "  %s\n", name)
+		}
 		return 2
 	}
+	w := core.Workload(info.Name)
 	m := consistency.Model(*model)
 	known := false
 	for _, k := range consistency.All {
@@ -103,7 +102,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in = f
 	}
 	h, err := jsonhist.DecodeWith(in, jsonhist.DecodeOpts{
-		Register:    w == core.Register || w == core.Counter,
+		Register:    info.RegisterReads,
 		Parallelism: *parallelism,
 	})
 	if err != nil {

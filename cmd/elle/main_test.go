@@ -6,6 +6,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+	"repro/internal/workload"
 )
 
 func write(t *testing.T, content string) string {
@@ -101,6 +106,78 @@ func TestRegisterWorkloadFlag(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "internal") {
 		t.Errorf("register internal anomaly missing:\n%s", out.String())
+	}
+}
+
+// writeBankHistory generates a bank history against the engine with the
+// given faults and writes it as JSON lines, the way ellegen does.
+func writeBankHistory(t *testing.T, faults memdb.Faults, iso memdb.Isolation, txns int) string {
+	t.Helper()
+	g := gen.New(gen.Config{Workload: gen.Bank, ActiveKeys: 5}, 7)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 10, Txns: txns, Isolation: iso, Faults: faults,
+		Source: g, Seed: 7, Workload: memdb.WorkloadBank,
+	})
+	var buf bytes.Buffer
+	if err := jsonhist.Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	return write(t, buf.String())
+}
+
+// TestBankWorkloadClean: a clean serializable bank history checks OK
+// through the CLI.
+func TestBankWorkloadClean(t *testing.T) {
+	path := writeBankHistory(t, memdb.Faults{}, memdb.StrictSerializable, 300)
+	var out, errb bytes.Buffer
+	code := run([]string{"-workload", "bank", path}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s\n%s", code, errb.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("output missing verdict:\n%s", out.String())
+	}
+}
+
+// TestBankWorkloadFaultedDeterministic is the acceptance check for the
+// bank seam: a faulted bank history reports at least one anomaly with
+// an explanation, and the full report is byte-identical at
+// parallelism 1 and 8.
+func TestBankWorkloadFaultedDeterministic(t *testing.T) {
+	path := writeBankHistory(t, memdb.Faults{StaleReadProb: 0.3}, memdb.SnapshotIsolation, 800)
+	reports := map[string]string{}
+	for _, p := range []string{"1", "8"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-workload", "bank", "-model", "snapshot-isolation", "-parallelism", p, path},
+			strings.NewReader(""), &out, &errb)
+		if code != 1 {
+			t.Fatalf("p=%s: exit = %d, want 1; stderr: %s\n%s", p, code, errb.String(), out.String())
+		}
+		reports[p] = out.String()
+	}
+	if reports["1"] != reports["8"] {
+		t.Fatalf("reports diverge between parallelism 1 and 8:\n--- p=1 ---\n%s\n--- p=8 ---\n%s",
+			reports["1"], reports["8"])
+	}
+	if !strings.Contains(reports["1"], "--- anomaly 1:") {
+		t.Errorf("no anomaly reported:\n%s", reports["1"])
+	}
+	if !strings.Contains(reports["1"], "total") && !strings.Contains(reports["1"], "because") {
+		t.Errorf("anomaly lacks an explanation:\n%s", reports["1"])
+	}
+}
+
+// TestUnknownWorkloadListsRegistry: a bad -workload prints every
+// registered name.
+func TestUnknownWorkloadListsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "bogus", "x.jsonl"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, name := range workload.Names() {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("error message missing workload %q:\n%s", name, errb.String())
+		}
 	}
 }
 

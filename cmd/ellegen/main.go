@@ -8,7 +8,8 @@
 //
 // Flags:
 //
-//	-workload KIND   list (default), register, set, or counter
+//	-workload KIND   any registered workload: list-append (default),
+//	                 rw-register, set-add, counter, bank, or an alias
 //	-iso LEVEL       read-uncommitted, read-committed, snapshot-isolation,
 //	                 serializable, strict-serializable (default)
 //	-faults NAME     none (default), tidb, yugabyte, fauna, dgraph, retry,
@@ -33,6 +34,11 @@ import (
 	"repro/internal/gen"
 	"repro/internal/jsonhist"
 	"repro/internal/memdb"
+	"repro/internal/workload"
+
+	// Populate the workload registry so -workload resolves every
+	// built-in analyzer.
+	_ "repro/internal/workload/all"
 )
 
 func main() {
@@ -42,7 +48,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ellegen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	workload := fs.String("workload", "list", "workload: list, register, set, or counter")
+	workloadFlag := fs.String("workload", "list",
+		"workload: "+workload.NameList()+" (or an alias)")
 	iso := fs.String("iso", "strict-serializable", "engine isolation level")
 	faults := fs.String("faults", "none", "fault campaign: none, tidb, yugabyte, fauna, dgraph, retry, stale, nilreads, dup")
 	clients := fs.Int("clients", 10, "concurrent client threads")
@@ -50,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	keys := fs.Int("keys", 5, "active keys")
 	width := fs.Int("writes-per-key", 100, "writes per key before retirement")
 	abort := fs.Float64("abort", 0, "spontaneous abort probability")
-	info := fs.Float64("info", 0, "lost-commit-ack probability")
+	infoProb := fs.Float64("info", 0, "lost-commit-ack probability")
 	timestamps := fs.Bool("timestamps", false, "expose engine timestamps in op times")
 	seed := fs.Int64("seed", 1, "run seed")
 	out := fs.String("o", "", "output path (default stdout)")
@@ -58,19 +65,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var gw gen.Workload
-	var mw memdb.Workload
-	switch *workload {
-	case "list", "list-append":
-		gw, mw = gen.ListAppend, memdb.WorkloadList
-	case "register", "rw-register":
-		gw, mw = gen.Register, memdb.WorkloadRegister
-	case "set", "set-add":
-		gw, mw = gen.Set, memdb.WorkloadSet
-	case "counter":
-		gw, mw = gen.Counter, memdb.WorkloadCounter
-	default:
-		fmt.Fprintf(stderr, "ellegen: unknown workload %q\n", *workload)
+	info, ok := workload.Lookup(*workloadFlag)
+	if !ok {
+		fmt.Fprintf(stderr, "ellegen: unknown workload %q; choose from:\n", *workloadFlag)
+		for _, name := range workload.Names() {
+			fmt.Fprintf(stderr, "  %s\n", name)
+		}
 		return 2
 	}
 
@@ -112,12 +112,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	g := gen.New(gen.Config{
-		Workload: gw, ActiveKeys: *keys, MaxWritesPerKey: *width,
+		Workload: info.Gen, ActiveKeys: *keys, MaxWritesPerKey: *width,
 	}, *seed)
 	h := memdb.Run(memdb.RunConfig{
 		Clients: *clients, Txns: *txns, Isolation: level, Faults: f,
-		Source: g, Seed: *seed, Workload: mw,
-		AbortProb: *abort, InfoProb: *info, ExposeTimestamps: *timestamps,
+		Source: g, Seed: *seed, Workload: info.DB,
+		AbortProb: *abort, InfoProb: *infoProb, ExposeTimestamps: *timestamps,
 	})
 
 	w := stdout
@@ -135,6 +135,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintf(stderr, "ellegen: wrote %d ops (%d transactions, %s, %s, faults=%s)\n",
-		h.Len(), *txns, *workload, level, *faults)
+		h.Len(), *txns, info.Name, level, *faults)
 	return 0
 }

@@ -7,7 +7,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/consistency"
+	"repro/internal/core"
 	"repro/internal/jsonhist"
+	"repro/internal/workload"
 )
 
 func TestGenerateToStdout(t *testing.T) {
@@ -57,11 +60,50 @@ func TestFaultCampaignsAccepted(t *testing.T) {
 }
 
 func TestWorkloadsAccepted(t *testing.T) {
-	for _, w := range []string{"list", "register", "set", "counter"} {
+	// Every registered workload and the legacy aliases must generate.
+	names := append(workload.Names(), "list", "register", "set")
+	for _, w := range names {
 		var out, errb bytes.Buffer
 		if code := run([]string{"-txns", "10", "-workload", w, "-iso", "si"}, &out, &errb); code != 0 {
 			t.Errorf("workload=%s: exit %d", w, code)
 		}
+	}
+}
+
+// TestUnknownWorkloadListsRegistry: a bad -workload names every valid
+// choice, so the help can never drift from the registered set.
+func TestUnknownWorkloadListsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-workload", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	for _, name := range workload.Names() {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("error message missing workload %q:\n%s", name, errb.String())
+		}
+	}
+}
+
+// TestBankRoundTrip is the record/check pipeline end to end for the
+// bank workload: ellegen (generator + engine + JSON encode) feeds the
+// checker, and a clean serializable run reports no anomalies.
+func TestBankRoundTrip(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-txns", "400", "-workload", "bank", "-iso", "serializable", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("generate failed: %s", errb.String())
+	}
+	h, err := jsonhist.Decode(&out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(h, core.OptsFor(core.Bank, consistency.Serializable))
+	if len(res.Anomalies) != 0 {
+		t.Fatalf("clean bank run reported %v\n%s",
+			res.AnomalyTypes(), res.Anomalies[0].Explanation)
+	}
+	if !res.Valid {
+		t.Fatal("clean bank run ruled out serializability")
 	}
 }
 

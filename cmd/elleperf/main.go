@@ -16,6 +16,9 @@
 //	-seed N                   workload seed
 //	-parallelism N            Elle worker count (0 = one per CPU,
 //	                          1 = sequential)
+//	-workload KIND            any registered workload (default
+//	                          list-append; baseline runs only for
+//	                          list-append)
 //	-no-baseline              measure Elle only
 //	-no-elle                  measure the baseline only
 package main
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -48,9 +52,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "workload seed")
 	parallelism := fs.Int("parallelism", 0,
 		"Elle worker count per check (0 = one per CPU, 1 = sequential)")
+	workloadFlag := fs.String("workload", "list",
+		"workload: "+workload.NameList()+" (or an alias)")
 	noBaseline := fs.Bool("no-baseline", false, "measure Elle only")
 	noElle := fs.Bool("no-elle", false, "measure the baseline only")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	info, ok := workload.Lookup(*workloadFlag)
+	if !ok {
+		fmt.Fprintf(stderr, "elleperf: unknown workload %q; choose from:\n", *workloadFlag)
+		for _, name := range workload.Names() {
+			fmt.Fprintf(stderr, "  %s\n", name)
+		}
 		return 2
 	}
 
@@ -74,11 +88,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Elle:           !*noElle,
 		Baseline:       !*noBaseline,
 		Parallelism:    *parallelism,
+		Workload:       string(info.Name),
 	}
-	fmt.Fprintln(stdout, "checker,ops,concurrency,seconds,outcome,anomalies")
+	fmt.Fprintln(stdout, "checker,ops,concurrency,seconds,outcome,anomalies,workload")
 	perf.Sweep(cfg, func(p perf.Point) {
-		fmt.Fprintf(stdout, "%s,%d,%d,%.6f,%s,%d\n",
-			p.Checker, p.Ops, p.Concurrency, p.Seconds, p.Outcome, p.Anomalies)
+		fmt.Fprintf(stdout, "%s,%d,%d,%.6f,%s,%d,%s\n",
+			p.Checker, p.Ops, p.Concurrency, p.Seconds, p.Outcome, p.Anomalies, p.Workload)
 		fmt.Fprintf(stderr, "done: %s n=%d c=%d in %.3fs (%s)\n",
 			p.Checker, p.Ops, p.Concurrency, p.Seconds, p.Outcome)
 	})

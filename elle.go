@@ -50,6 +50,7 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/op"
 	"repro/internal/serialcheck"
+	"repro/internal/workload"
 )
 
 // Micro-operations and operations.
@@ -112,13 +113,28 @@ type (
 	Model = consistency.Model
 )
 
-// Workloads.
+// Workloads. These are the built-in registered names; Workloads()
+// returns the full live set, including any analyzer registered outside
+// this list.
 const (
 	ListAppend = core.ListAppend
 	Register   = core.Register
 	SetAdd     = core.SetAdd
 	Counter    = core.Counter
+	Bank       = core.Bank
 )
+
+// Workloads returns the name of every registered workload analyzer,
+// sorted. The set is derived from the internal workload registry, so it
+// always matches what Check accepts.
+func Workloads() []Workload {
+	names := workload.Names()
+	out := make([]Workload, len(names))
+	for i, n := range names {
+		out[i] = Workload(n)
+	}
+	return out
+}
 
 // Models, weakest to strongest.
 const (

@@ -112,6 +112,40 @@ func ExampleCheck() {
 	//   may satisfy: strong-session-snapshot-isolation
 }
 
+// ExampleWorkloads lists the registered workload analyzers: the live
+// set Check accepts, derived from the internal registry.
+func ExampleWorkloads() {
+	for _, w := range elle.Workloads() {
+		fmt.Println(w)
+	}
+	// Output:
+	// bank
+	// counter
+	// list-append
+	// rw-register
+	// set-add
+}
+
+// ExampleCheck_bank checks a hand-built bank history: the opening
+// deposit publishes the account set and invariant total, a transfer
+// moves 10, and a torn read-all observes money missing.
+func ExampleCheck_bank() {
+	h := elle.MustHistory([]elle.Op{
+		elle.Txn(0, 0, elle.OK, elle.Write("a", 100), elle.Write("b", 100)),
+		elle.Txn(1, 1, elle.OK,
+			elle.ReadReg("a", 100), elle.ReadReg("b", 100),
+			elle.Write("a", 90), elle.Write("b", 110)),
+		elle.Txn(2, 2, elle.OK, elle.ReadReg("a", 90), elle.ReadReg("b", 100)),
+	})
+	res := elle.Check(h, elle.OptsFor(elle.Bank, elle.SnapshotIsolation))
+	for _, a := range res.Anomalies {
+		fmt.Println(a.Type)
+	}
+	// Output:
+	// total-mismatch
+	// G-single
+}
+
 // ExampleRun generates a history against the in-memory engine — a seeded,
 // fully reproducible multi-client simulation — and checks it.
 func ExampleRun() {

@@ -1,12 +1,15 @@
 // Datatypes: the paper's §3 narrative as a runnable comparison.
 //
 // The same snapshot-isolated engine — which permits write skew — is
-// tested through each of Figure 1's four datatypes. Lists (traceable and
+// tested through every registered datatype. Lists (traceable and
 // recoverable) expose the G2 cycles outright; sets see them too (their
 // elements are recoverable, though write-write order is not); registers
 // infer only partial version orders; counters, being unrecoverable,
-// cannot produce dependency cycles at all. This is why Elle's headline
-// workload is list append.
+// cannot produce dependency cycles at all; bank histories carry their
+// own invariant. This is why Elle's headline workload is list append.
+//
+// The lane list comes straight from the workload registry, so a newly
+// registered workload joins the comparison automatically.
 //
 // Run with:
 //
@@ -21,43 +24,30 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/memdb"
+	"repro/internal/workload"
 )
 
-type lane struct {
-	name     string
-	workload core.Workload
-	genW     gen.Workload
-	memW     memdb.Workload
-}
-
 func main() {
-	lanes := []lane{
-		{"list-append", core.ListAppend, gen.ListAppend, memdb.WorkloadList},
-		{"set-add", core.SetAdd, gen.Set, memdb.WorkloadSet},
-		{"rw-register", core.Register, gen.Register, memdb.WorkloadRegister},
-		{"counter", core.Counter, gen.Counter, memdb.WorkloadCounter},
-	}
-
-	fmt.Println("One engine (snapshot isolation, no faults), four datatypes.")
+	fmt.Println("One engine (snapshot isolation, no faults), every registered datatype.")
 	fmt.Println("Write skew is present; which datatype lets Elle see it?")
 	fmt.Println()
 	fmt.Printf("%-14s %-10s %-12s %s\n", "datatype", "G2 seen?", "SI holds?", "anomaly families")
 
-	for _, l := range lanes {
+	for _, info := range workload.All() {
 		// Aggregate over seeds: anomaly incidence is probabilistic.
 		sawG2 := false
 		siHolds := true
 		families := map[anomaly.Type]bool{}
 		for seed := int64(0); seed < 8; seed++ {
 			g := gen.New(gen.Config{
-				Workload: l.genW, ActiveKeys: 5, MaxWritesPerKey: 40,
+				Workload: info.Gen, ActiveKeys: 5, MaxWritesPerKey: 40,
 			}, seed)
 			h := memdb.Run(memdb.RunConfig{
 				Clients: 10, Txns: 800,
 				Isolation: memdb.SnapshotIsolation,
-				Source:    g, Seed: seed, Workload: l.memW,
+				Source:    g, Seed: seed, Workload: info.DB,
 			})
-			r := core.Check(h, core.OptsFor(l.workload, consistency.SnapshotIsolation))
+			r := core.Check(h, core.OptsFor(core.Workload(info.Name), consistency.SnapshotIsolation))
 			for _, typ := range r.AnomalyTypes() {
 				families[typ] = true
 				if typ == anomaly.G2Item {
@@ -75,7 +65,7 @@ func main() {
 		if len(names) == 0 {
 			names = []string{"(none)"}
 		}
-		fmt.Printf("%-14s %-10v %-12v %v\n", l.name, sawG2, siHolds, names)
+		fmt.Printf("%-14s %-10v %-12v %v\n", info.Name, sawG2, siHolds, names)
 	}
 
 	fmt.Println()

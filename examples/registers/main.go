@@ -45,7 +45,7 @@ func main() {
 	opts := core.OptsFor(core.Register, consistency.SnapshotIsolation)
 	// Dgraph claims per-key linearizability on top of SI, so real-time
 	// version inference is sound against its claims.
-	opts.RegisterOpts.LinearizableKeys = true
+	opts.LinearizableKeys = true
 	res := core.Check(h, opts)
 
 	fmt.Print(res.Summary())

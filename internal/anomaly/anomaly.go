@@ -87,6 +87,15 @@ const (
 	// single object, reported and discarded by the register analyzer so
 	// it cannot seed trivial transaction cycles.
 	CyclicVersionOrder Type = "cyclic-version-order"
+	// NegativeBalance is a bank-workload invariant violation: a
+	// transaction observed or installed an account balance below zero,
+	// which no serial order of funded transfers can produce.
+	NegativeBalance Type = "negative-balance"
+	// TotalMismatch is a bank-workload invariant violation: a
+	// transaction read every account in one transaction and the
+	// balances did not sum to the invariant total, so the read was not
+	// a consistent snapshot of any serial transfer order.
+	TotalMismatch Type = "total-mismatch"
 )
 
 // Severity buckets anomalies the way §4.3.2 discusses them: phenomena like
@@ -109,7 +118,8 @@ const (
 // Severity returns the severity bucket for t.
 func (t Type) Severity() Severity {
 	switch t {
-	case G1a, G1b, DirtyUpdate, LostUpdate, IncompatibleOrder:
+	case G1a, G1b, DirtyUpdate, LostUpdate, IncompatibleOrder,
+		NegativeBalance, TotalMismatch:
 		return SevDirty
 	case GarbageRead, DuplicateElements, DuplicateAppends, Internal, CyclicVersionOrder:
 		return SevStructural

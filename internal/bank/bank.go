@@ -1,0 +1,516 @@
+// Package bank implements the checker's fifth workload: transfer
+// transactions over a fixed set of accounts whose balances must always
+// sum to an invariant total — Jepsen's classic self-checking workload,
+// here fed through the same dependency-graph/cycle-search core as every
+// other analyzer (the pluggability argument of the paper's §3 made
+// concrete).
+//
+// A bank history interleaves two transaction shapes:
+//
+//	transfer: r(from, v), r(to, u), w(from, v-amt), w(to, u+amt)
+//	read-all: r(a0, v0), r(a1, v1), ..., r(an, vn)
+//
+// Balances are register values, so inference is register-style — but
+// balances, unlike the unique arguments of the other workloads, repeat.
+// A repeated value is unrecoverable (no unique writer), so the analyzer
+// gates every dependency edge on value uniqueness instead of reporting
+// duplicate-write anomalies the way the rw-register analyzer does:
+//
+//   - wr: a committed read of balance v depends on v's unique writer.
+//   - ww: a transfer that read v and wrote v' directly overwrote
+//     version v, so it depends on v's unique writer.
+//   - rw: every other committed reader of v anti-depends on the
+//     transfer that overwrote v.
+//
+// The overwrite relation is the writes-follow-reads rule applied
+// per-transaction: no global version order is built, because balance
+// values legitimately recur (a balance random-walk revisits values),
+// which would make any value-keyed version graph cyclic on correct
+// histories.
+//
+// On top of the graph, two invariant checks make the workload
+// self-checking even where inference is blind: every committed
+// observation of all accounts must sum to the invariant total
+// (TotalMismatch), and no balance may ever be negative
+// (NegativeBalance). The account set and total are recovered from the
+// history itself — the opening deposit the runner records as its first
+// committed transaction — or supplied via Opts.BankTotal.
+//
+// Failed transactions are ignored entirely: a failed transfer's write
+// mops carry unresolved deltas, not balances, so indexing them would
+// fabricate values. The cost is that bank histories cannot witness G1a.
+package bank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/anomaly"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/op"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// nilVer stands in for the initial (nil) version of an account.
+const nilVer = math.MinInt64
+
+// Analysis is the result of bank dependency inference.
+type Analysis struct {
+	// Graph holds the inferred ww, wr, and rw transaction dependencies.
+	Graph *graph.Graph
+	// Anomalies are the non-cycle anomalies found during inference.
+	Anomalies []anomaly.Anomaly
+	// VersionOrders maps each account to the direct balance-version
+	// edges observed through overwrites, in explain.RegOrders format
+	// ("nil" encodes the initial version).
+	VersionOrders map[string][][2]string
+	// Ops indexes analyzed completion ops by index.
+	Ops map[int]op.Op
+	// Accounts is the recovered account set, sorted.
+	Accounts []string
+	// Total is the invariant total balance; valid when TotalKnown.
+	Total      int
+	TotalKnown bool
+}
+
+type verKey struct {
+	key string
+	val int
+}
+
+// overwrite is one observed direct version transition: txn read prev
+// and then wrote next to the same account.
+type overwrite struct {
+	prev, next int // prev may be nilVer
+	txn        int
+}
+
+type analyzer struct {
+	opts workload.Opts
+
+	ops        map[int]op.Op
+	oks        []op.Op
+	writeCount map[verKey]int   // writes by may-have-committed txns
+	writer     map[verKey]int   // unique such writer (writeCount == 1)
+	readers    map[verKey][]int // committed readers of (key, val)
+	nilReaders map[string][]int // committed readers of key's nil version
+	overwrites map[string][]overwrite
+	accounts   []string
+	total      int
+	totalKnown bool
+	anomalies  []anomaly.Anomaly
+}
+
+// Analyze infers dependencies and checks invariants for a bank history.
+// Of the shared options it consumes Parallelism, WritesFollowReads
+// (gating overwrite-derived ww/rw edges), and BankTotal.
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
+	a := &analyzer{
+		opts:       opts,
+		ops:        map[int]op.Op{},
+		writeCount: map[verKey]int{},
+		writer:     map[verKey]int{},
+		readers:    map[verKey][]int{},
+		nilReaders: map[string][]int{},
+		overwrites: map[string][]overwrite{},
+	}
+	for _, o := range h.Completions() {
+		a.ops[o.Index] = o
+		if o.Type == op.OK {
+			a.oks = append(a.oks, o)
+		}
+	}
+	a.index()
+	a.inferInvariant()
+
+	p := opts.Parallelism
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.checkOp(a.oks[i])
+	}))
+
+	g := graph.New()
+	for _, o := range a.oks {
+		g.Ensure(o.Index)
+	}
+	keys := a.keys()
+	type keyResult struct {
+		verEdges [][2]string
+		edges    []graph.Edge
+	}
+	perKey := par.Map(p, len(keys), func(i int) keyResult {
+		k := keys[i]
+		verEdges, edges := a.keyEdges(k)
+		return keyResult{verEdges: verEdges, edges: edges}
+	})
+	orders := map[string][][2]string{}
+	for i, k := range keys {
+		if len(perKey[i].verEdges) > 0 {
+			orders[k] = perKey[i].verEdges
+		}
+		g.AddEdges(perKey[i].edges)
+	}
+	a.emitWR(g)
+
+	return &Analysis{
+		Graph:         g,
+		Anomalies:     a.anomalies,
+		VersionOrders: orders,
+		Ops:           a.ops,
+		Accounts:      a.accounts,
+		Total:         a.total,
+		TotalKnown:    a.totalKnown,
+	}
+}
+
+func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
+	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
+}
+
+// index builds the writer, reader, and overwrite indices. Only ops that
+// may have committed contribute writes; only committed ops contribute
+// reads. Failed ops are skipped entirely (their write mops carry
+// unresolved deltas).
+func (a *analyzer) index() {
+	idxs := make([]int, 0, len(a.ops))
+	for i := range a.ops {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		o := a.ops[i]
+		if !o.MayHaveCommitted() {
+			continue
+		}
+		// cur tracks the last balance this transaction knows per key —
+		// the writes-follow-reads state machine.
+		cur := map[string]int{}
+		have := map[string]bool{}
+		for _, m := range o.Mops {
+			switch m.F {
+			case op.FWrite:
+				vk := verKey{m.Key, m.Arg}
+				a.writeCount[vk]++
+				if a.writeCount[vk] == 1 {
+					a.writer[vk] = o.Index
+				} else {
+					delete(a.writer, vk)
+				}
+				if have[m.Key] && cur[m.Key] != m.Arg {
+					a.overwrites[m.Key] = append(a.overwrites[m.Key],
+						overwrite{prev: cur[m.Key], next: m.Arg, txn: o.Index})
+				}
+				cur[m.Key], have[m.Key] = m.Arg, true
+			case op.FRead:
+				if !m.RegKnown {
+					continue
+				}
+				v := nilVer
+				if !m.RegNil {
+					v = m.Reg
+					if o.Type == op.OK {
+						a.readers[verKey{m.Key, m.Reg}] = append(a.readers[verKey{m.Key, m.Reg}], o.Index)
+					}
+				} else if o.Type == op.OK {
+					a.nilReaders[m.Key] = append(a.nilReaders[m.Key], o.Index)
+				}
+				cur[m.Key], have[m.Key] = v, true
+			}
+		}
+	}
+}
+
+// inferInvariant recovers the account set and the invariant total:
+// from Opts.BankTotal when set, otherwise from the opening deposit —
+// the first committed transaction consisting solely of writes to two or
+// more distinct accounts. Without either, total checks are skipped and
+// the account set falls back to every key observed.
+func (a *analyzer) inferInvariant() {
+	set := map[string]bool{}
+	for _, o := range a.ops {
+		for _, m := range o.Mops {
+			set[m.Key] = true
+		}
+	}
+	allKeys := make([]string, 0, len(set))
+	for k := range set {
+		allKeys = append(allKeys, k)
+	}
+	sort.Strings(allKeys)
+
+	if a.opts.BankTotal > 0 {
+		a.accounts, a.total, a.totalKnown = allKeys, a.opts.BankTotal, true
+		return
+	}
+	for _, o := range a.oks {
+		if len(o.Mops) < 2 {
+			continue
+		}
+		deposit := true
+		seen := map[string]bool{}
+		sum := 0
+		for _, m := range o.Mops {
+			if m.F != op.FWrite || m.Arg < 0 || seen[m.Key] {
+				deposit = false
+				break
+			}
+			seen[m.Key] = true
+			sum += m.Arg
+		}
+		if !deposit {
+			continue
+		}
+		accounts := make([]string, 0, len(seen))
+		for k := range seen {
+			accounts = append(accounts, k)
+		}
+		sort.Strings(accounts)
+		a.accounts, a.total, a.totalKnown = accounts, sum, true
+		return
+	}
+	a.accounts = allKeys
+}
+
+// checkOp runs the per-transaction checks on one committed op: internal
+// register consistency, negative balances, garbage balances, and the
+// total invariant.
+func (a *analyzer) checkOp(o op.Op) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
+
+	// Internal consistency: within the transaction, a read must agree
+	// with the value its own prior mops established.
+	type state struct {
+		known bool
+		nil_  bool
+		val   int
+	}
+	views := map[string]*state{}
+	view := func(k string) *state {
+		s, ok := views[k]
+		if !ok {
+			s = &state{}
+			views[k] = s
+		}
+		return s
+	}
+	firstRead := map[string]int{}
+	readAll := true
+	for _, m := range o.Mops {
+		switch m.F {
+		case op.FWrite:
+			if m.Arg < 0 {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.NegativeBalance,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s wrote balance %d to account %s; balances must never be negative",
+						o.Name(), m.Arg, m.Key),
+				})
+			}
+			s := view(m.Key)
+			s.known, s.nil_, s.val = true, false, m.Arg
+		case op.FRead:
+			if !m.RegKnown {
+				continue
+			}
+			if !m.RegNil && m.Reg < 0 {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.NegativeBalance,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read balance %d on account %s; balances must never be negative",
+						o.Name(), m.Reg, m.Key),
+				})
+			}
+			if !m.RegNil && a.writeCount[verKey{m.Key, m.Reg}] == 0 {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.GarbageRead,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read balance %d on account %s, but no transaction that may have committed ever wrote that balance",
+						o.Name(), m.Reg, m.Key),
+				})
+			}
+			s := view(m.Key)
+			if s.known && (s.nil_ != m.RegNil || (!s.nil_ && s.val != m.Reg)) {
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.Internal,
+					Ops:  []op.Op{o},
+					Key:  m.Key,
+					Explanation: fmt.Sprintf(
+						"%s read account %s = %s, but its own prior operations imply the balance must be %s: an internal inconsistency",
+						o.Name(), m.Key, balString(m.RegNil, m.Reg), balString(s.nil_, s.val)),
+				})
+			}
+			s.known, s.nil_, s.val = true, m.RegNil, m.Reg
+			if _, seen := firstRead[m.Key]; !seen {
+				v := 0
+				if !m.RegNil {
+					v = m.Reg
+				}
+				firstRead[m.Key] = v
+			}
+		}
+	}
+
+	// Total invariant: an op whose reads cover every account observed a
+	// full snapshot; its balances must sum to the invariant total.
+	if a.totalKnown && len(a.accounts) > 0 {
+		sum := 0
+		for _, k := range a.accounts {
+			v, ok := firstRead[k]
+			if !ok {
+				readAll = false
+				break
+			}
+			sum += v
+		}
+		if readAll && sum != a.total {
+			out = append(out, anomaly.Anomaly{
+				Type: anomaly.TotalMismatch,
+				Ops:  []op.Op{o},
+				Explanation: fmt.Sprintf(
+					"%s read every account and the balances sum to %d, not the invariant total %d: the observation is not a snapshot of any serial transfer order",
+					o.Name(), sum, a.total),
+			})
+		}
+	}
+	return out
+}
+
+// keyEdges explodes account k's observed overwrites into ww and rw
+// dependencies, gated on recoverability and certainty: the overwritten
+// balance must have a unique may-have-committed writer (or be the
+// initial version), and the overwriting transaction must have committed
+// in every interpretation — either it returned ok, or some committed
+// read observed the balance it installed (a unique write that was read
+// must have happened). Without that gate, an indeterminate transfer
+// whose commit actually failed would collect anti-dependency edges that
+// hold in no interpretation, seeding false cycles. It also returns the
+// version edges for explanations.
+func (a *analyzer) keyEdges(k string) ([][2]string, []graph.Edge) {
+	var verEdges [][2]string
+	var deps []graph.Edge
+	seenVer := map[[2]string]bool{}
+	for _, ow := range a.overwrites[k] {
+		ve := [2]string{balName(ow.prev), balName(ow.next)}
+		if !seenVer[ve] {
+			seenVer[ve] = true
+			verEdges = append(verEdges, ve)
+		}
+		if !a.opts.WritesFollowReads {
+			continue
+		}
+		if !a.provenCommitted(k, ow) {
+			continue
+		}
+		// ww: the overwriter directly succeeds prev's unique writer.
+		if ow.prev != nilVer {
+			w, ok := a.writer[verKey{k, ow.prev}]
+			if !ok {
+				// prev was written more than once (or never): which
+				// instance this transfer overwrote is unrecoverable, so
+				// neither its writer nor its readers can be linked.
+				continue
+			}
+			if w != ow.txn {
+				deps = append(deps, graph.Edge{From: w, To: ow.txn, Kind: graph.WW})
+			}
+		}
+		// rw: every other committed reader of prev anti-depends on the
+		// transaction that overwrote it.
+		var rs []int
+		if ow.prev == nilVer {
+			rs = a.nilReaders[k]
+		} else {
+			rs = a.readers[verKey{k, ow.prev}]
+		}
+		for _, r := range rs {
+			if r != ow.txn {
+				deps = append(deps, graph.Edge{From: r, To: ow.txn, Kind: graph.RW})
+			}
+		}
+	}
+	return verEdges, deps
+}
+
+// provenCommitted reports whether the overwriting transaction is known
+// to have committed in every interpretation: it returned ok, or it is
+// the unique writer of the installed balance and a committed
+// transaction read that balance.
+func (a *analyzer) provenCommitted(k string, ow overwrite) bool {
+	if a.ops[ow.txn].Type == op.OK {
+		return true
+	}
+	vk := verKey{k, ow.next}
+	w, unique := a.writer[vk]
+	return unique && w == ow.txn && len(a.readers[vk]) > 0
+}
+
+// emitWR adds write-read dependencies: a committed reader of balance v
+// depends on v's unique writer.
+func (a *analyzer) emitWR(g *graph.Graph) {
+	vks := make([]verKey, 0, len(a.readers))
+	for vk := range a.readers {
+		vks = append(vks, vk)
+	}
+	sort.Slice(vks, func(i, j int) bool {
+		if vks[i].key != vks[j].key {
+			return vks[i].key < vks[j].key
+		}
+		return vks[i].val < vks[j].val
+	})
+	for _, vk := range vks {
+		w, ok := a.writer[vk]
+		if !ok {
+			continue
+		}
+		for _, r := range a.readers[vk] {
+			if r != w {
+				g.AddEdge(w, r, graph.WR)
+			}
+		}
+	}
+}
+
+// keys returns every account that contributed an index entry, sorted.
+func (a *analyzer) keys() []string {
+	set := map[string]bool{}
+	for vk := range a.writeCount {
+		set[vk.key] = true
+	}
+	for vk := range a.readers {
+		set[vk.key] = true
+	}
+	for k := range a.nilReaders {
+		set[k] = true
+	}
+	for k := range a.overwrites {
+		set[k] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func balString(isNil bool, v int) string {
+	if isNil {
+		return "nil"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func balName(v int) string {
+	if v == nilVer {
+		return "nil"
+	}
+	return fmt.Sprintf("%d", v)
+}

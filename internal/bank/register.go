@@ -1,0 +1,26 @@
+package bank
+
+import (
+	"repro/internal/explain"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:          workload.Bank,
+		RegisterReads: true,
+		Gen:           gen.Bank,
+		DB:            memdb.WorkloadBank,
+		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
+			an := Analyze(h, opts)
+			return workload.Analysis{
+				Graph:     an.Graph,
+				Anomalies: an.Anomalies,
+				Explainer: &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders},
+			}
+		}),
+	})
+}

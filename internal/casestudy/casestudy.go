@@ -29,6 +29,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/history"
 	"repro/internal/memdb"
+	"repro/internal/workload"
 )
 
 // Scenario describes one campaign.
@@ -150,25 +151,24 @@ func Run(s Scenario, cfg Config) *RunResult {
 	if cfg.Clients <= 0 {
 		cfg = DefaultConfig()
 	}
-	wk := gen.ListAppend
-	register := false
-	if s.Workload == core.Register {
-		wk = gen.Register
-		register = true
+	info, ok := workload.Lookup(string(s.Workload))
+	if !ok {
+		panic(fmt.Sprintf("casestudy: workload %q not registered (registered: %s)",
+			s.Workload, workload.NameList()))
 	}
 	g := gen.New(gen.Config{
-		Workload: wk, ActiveKeys: 5, MaxWritesPerKey: 60, MinOps: 1, MaxOps: 5,
+		Workload: info.Gen, ActiveKeys: 5, MaxWritesPerKey: 60, MinOps: 1, MaxOps: 5,
 		NoReadAfterWrite: s.NoReadAfterWrite,
 	}, cfg.Seed)
 	h := memdb.Run(memdb.RunConfig{
 		Clients: cfg.Clients, Txns: cfg.Txns,
 		Isolation: s.Isolation, Faults: s.Faults,
-		Source: g, Seed: cfg.Seed, Register: register,
+		Source: g, Seed: cfg.Seed, Workload: info.DB,
 	})
 	opts := core.OptsFor(s.Workload, s.Claimed)
 	opts.DetectLostUpdates = s.DetectLostUpdates
 	if s.LinearizableKeys {
-		opts.RegisterOpts.LinearizableKeys = true
+		opts.LinearizableKeys = true
 	}
 	res := core.Check(h, opts)
 

@@ -87,6 +87,14 @@ var violates = map[anomaly.Type][]Model{
 	anomaly.GSingle:    {SnapshotIsolation, RepeatableRead},
 	anomaly.LostUpdate: {SnapshotIsolation, RepeatableRead},
 
+	// Bank invariant violations are read-skew / lost-update signatures
+	// observed through the total-balance invariant: a read-committed
+	// history may legitimately observe a torn total (its reads need not
+	// form a snapshot), but a snapshot- or repeatable-read history may
+	// not.
+	anomaly.TotalMismatch:   {SnapshotIsolation, RepeatableRead},
+	anomaly.NegativeBalance: {SnapshotIsolation, RepeatableRead},
+
 	// Multiple anti-dependencies (write skew) are legal under SI but not
 	// under repeatable read or serializability.
 	anomaly.G2Item: {RepeatableRead},

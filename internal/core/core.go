@@ -15,53 +15,44 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/consistency"
-	"repro/internal/counter"
 	"repro/internal/explain"
 	"repro/internal/graph"
 	"repro/internal/history"
-	"repro/internal/listappend"
-	"repro/internal/op"
 	"repro/internal/par"
-	"repro/internal/rwregister"
-	"repro/internal/setadd"
 	"repro/internal/txngraph"
+	"repro/internal/workload"
+
+	// Populate the workload registry with every built-in analyzer.
+	_ "repro/internal/workload/all"
 )
 
-// Workload selects the dependency-inference strategy.
-type Workload uint8
+// Workload selects the dependency-inference strategy by registered
+// name; see the workload package for the registry.
+type Workload = workload.Name
 
+// The built-in workloads.
 const (
 	// ListAppend analyzes histories over append-only lists — the paper's
 	// traceable, recoverable workload, and its most precise analysis.
-	ListAppend Workload = iota
+	ListAppend = workload.ListAppend
 	// Register analyzes histories over read-write registers with the
 	// partial version-order inference of §5.2.
-	Register
+	Register = workload.RWRegister
 	// SetAdd analyzes histories over grow-only sets: exact wr and rw
 	// dependencies, but no write-write inference (§3).
-	SetAdd
+	SetAdd = workload.SetAdd
 	// Counter analyzes histories over increment-only counters: bounds
 	// and session-monotonicity checks only (§3).
-	Counter
+	Counter = workload.Counter
+	// Bank analyzes transfer histories over fixed accounts with a
+	// total-balance invariant.
+	Bank = workload.Bank
 )
-
-// String names the workload.
-func (w Workload) String() string {
-	switch w {
-	case Register:
-		return "rw-register"
-	case SetAdd:
-		return "set-add"
-	case Counter:
-		return "counter"
-	default:
-		return "list-append"
-	}
-}
 
 // Opts configures a check.
 type Opts struct {
-	// Workload selects the analyzer; default ListAppend.
+	// Workload selects the analyzer by registered name; default
+	// ListAppend. Check panics on a name no analyzer registered under.
 	Workload Workload
 	// Model is the consistency model the database under test claims.
 	// Default: strict-serializable.
@@ -77,22 +68,18 @@ type Opts struct {
 	// Only meaningful when the system under test exposes start/commit
 	// timestamps; off by default.
 	TimestampEdges bool
-	// DetectLostUpdates enables the real-time lost-update inference for
-	// list-append histories (see listappend.Opts).
-	DetectLostUpdates bool
-	// RegisterOpts configures the register analyzer's version-order
-	// inference rules.
-	RegisterOpts rwregister.Opts
-	// Parallelism caps the worker pools used throughout the check:
-	// per-key dependency inference, per-transaction anomaly checks,
-	// per-SCC cycle search (budgeted across the four concurrent
-	// searches), and explanation rendering. Values <= 0 mean one worker
-	// per CPU (runtime.GOMAXPROCS(0)), the default; 1 runs the whole
-	// pipeline sequentially on the calling goroutine. When Parallelism
-	// > 1 the process/real-time/timestamp ordering graphs also build
+	// Opts carries the analyzer options shared by every workload —
+	// inference rules, workload parameters, and Parallelism, which caps
+	// the worker pools used throughout the check: per-key dependency
+	// inference, per-transaction anomaly checks, per-SCC cycle search
+	// (budgeted across the four concurrent searches), and explanation
+	// rendering. Values <= 0 mean one worker per CPU
+	// (runtime.GOMAXPROCS(0)), the default; 1 runs the whole pipeline
+	// sequentially on the calling goroutine. When Parallelism > 1 the
+	// process/real-time/timestamp ordering graphs also build
 	// concurrently with inference, briefly adding up to three more
 	// goroutines. Results are byte-identical at every setting.
-	Parallelism int
+	workload.Opts
 }
 
 // OptsFor returns the options the paper's methodology implies for
@@ -105,21 +92,24 @@ func OptsFor(w Workload, m consistency.Model) Opts {
 	session := strict ||
 		m == consistency.StrongSessionSerial ||
 		m == consistency.StrongSessionSI
-	ro := rwregister.DefaultOpts()
-	ro.LinearizableKeys = strict
+	wo := workload.DefaultOpts()
+	wo.LinearizableKeys = strict
+	wo.DetectLostUpdates = strict
 	return Opts{
-		Workload:          w,
-		Model:             m,
-		ProcessEdges:      session,
-		RealtimeEdges:     strict,
-		DetectLostUpdates: strict,
-		RegisterOpts:      ro,
+		Workload:      w,
+		Model:         m,
+		ProcessEdges:  session,
+		RealtimeEdges: strict,
+		Opts:          wo,
 	}
 }
 
 func (o Opts) withDefaults() Opts {
 	if o.Model == "" {
 		o.Model = consistency.StrictSerializable
+	}
+	if o.Workload == "" {
+		o.Workload = ListAppend
 	}
 	return o
 }
@@ -251,38 +241,17 @@ func Check(h *history.History, opts Opts) *CheckResult {
 		build(&tsG, txngraph.TimestampGraph)
 	}
 
-	var (
-		g     *graph.Graph
-		anoms []anomaly.Anomaly
-		expl  *explain.Explainer
-	)
-	switch opts.Workload {
-	case Register:
-		ro := opts.RegisterOpts
-		ro.Parallelism = p
-		an := rwregister.Analyze(h, ro)
-		g, anoms = an.Graph, an.Anomalies
-		expl = &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders}
-	case SetAdd:
-		an := setadd.Analyze(h, setadd.Opts{Parallelism: p})
-		g, anoms = an.Graph, an.Anomalies
-		expl = &explain.Explainer{Ops: an.Ops}
-	case Counter:
-		an := counter.Analyze(h, counter.Opts{Parallelism: p})
-		g, anoms = graph.New(), an.Anomalies
-		ops := map[int]op.Op{}
-		for _, o := range h.Completions() {
-			ops[o.Index] = o
-		}
-		expl = &explain.Explainer{Ops: ops}
-	default:
-		an := listappend.Analyze(h, listappend.Opts{
-			DetectLostUpdates: opts.DetectLostUpdates,
-			Parallelism:       p,
-		})
-		g, anoms = an.Graph, an.Anomalies
-		expl = &explain.Explainer{Ops: an.Ops, ListOrders: an.VersionOrders}
+	// The analyzer comes from the registry: core neither knows nor
+	// cares which datatype it is checking. Every analyzer receives the
+	// same shared options (including Parallelism) and returns a graph,
+	// its non-cycle anomalies, and an explainer.
+	info, ok := workload.Lookup(string(opts.Workload))
+	if !ok {
+		panic(fmt.Sprintf("core: unknown workload %q (registered: %s)",
+			opts.Workload, workload.NameList()))
 	}
+	an := info.Analyzer.Analyze(h, opts.Opts)
+	g, anoms, expl := an.Graph, an.Anomalies, an.Explainer
 
 	orderWG.Wait()
 	var extra graph.KindSet

@@ -229,7 +229,7 @@ func TestOptsForModels(t *testing.T) {
 		t.Error("serializable opts should use pure dependency edges")
 	}
 	o = OptsFor(Register, consistency.StrictSerializable)
-	if !o.RegisterOpts.LinearizableKeys {
+	if !o.LinearizableKeys {
 		t.Error("strict register opts should enable linearizable keys")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/gen"
 	"repro/internal/memdb"
+	"repro/internal/workload"
 )
 
 // The parallel pipeline's contract is byte-identical output at every
@@ -35,22 +36,14 @@ func renderFull(r *CheckResult) string {
 
 func checkAt(t *testing.T, w Workload, iso memdb.Isolation, f memdb.Faults, seed int64, txns, parallelism int) string {
 	t.Helper()
-	var gw gen.Workload
-	var mw memdb.Workload
-	switch w {
-	case Register:
-		gw, mw = gen.Register, memdb.WorkloadRegister
-	case SetAdd:
-		gw, mw = gen.Set, memdb.WorkloadSet
-	case Counter:
-		gw, mw = gen.Counter, memdb.WorkloadCounter
-	default:
-		gw, mw = gen.ListAppend, memdb.WorkloadList
+	info, ok := workload.Lookup(string(w))
+	if !ok {
+		t.Fatalf("workload %q not registered", w)
 	}
-	g := gen.New(gen.Config{Workload: gw, ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
+	g := gen.New(gen.Config{Workload: info.Gen, ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
 	h := memdb.Run(memdb.RunConfig{
 		Clients: 10, Txns: txns, Isolation: iso, Faults: f,
-		Source: g, Seed: seed, Workload: mw, InfoProb: 0.02,
+		Source: g, Seed: seed, Workload: info.DB, InfoProb: 0.02,
 	})
 	opts := OptsFor(w, consistency.StrictSerializable)
 	opts.Parallelism = parallelism
@@ -58,9 +51,14 @@ func checkAt(t *testing.T, w Workload, iso memdb.Isolation, f memdb.Faults, seed
 }
 
 // TestParallelismDeterministic is the core acceptance test: Parallelism 1
-// and Parallelism N produce byte-identical reports.
+// and Parallelism N produce byte-identical reports. The workload list
+// comes from the registry, so newly registered workloads (bank) are
+// covered automatically.
 func TestParallelismDeterministic(t *testing.T) {
-	workloads := []Workload{ListAppend, Register, SetAdd, Counter}
+	var workloads []Workload
+	for _, info := range workload.All() {
+		workloads = append(workloads, Workload(info.Name))
+	}
 	engines := []struct {
 		name   string
 		iso    memdb.Isolation

@@ -7,6 +7,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/gen"
 	"repro/internal/memdb"
+	"repro/internal/workload"
 )
 
 // End-to-end coverage for the weaker datatypes of §3 (sets and
@@ -17,22 +18,14 @@ import (
 
 func runWorkload(t *testing.T, w Workload, iso memdb.Isolation, f memdb.Faults, seed int64, txns int) *CheckResult {
 	t.Helper()
-	var gw gen.Workload
-	var mw memdb.Workload
-	switch w {
-	case Register:
-		gw, mw = gen.Register, memdb.WorkloadRegister
-	case SetAdd:
-		gw, mw = gen.Set, memdb.WorkloadSet
-	case Counter:
-		gw, mw = gen.Counter, memdb.WorkloadCounter
-	default:
-		gw, mw = gen.ListAppend, memdb.WorkloadList
+	info, ok := workload.Lookup(string(w))
+	if !ok {
+		t.Fatalf("workload %q not registered", w)
 	}
-	g := gen.New(gen.Config{Workload: gw, ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
+	g := gen.New(gen.Config{Workload: info.Gen, ActiveKeys: 5, MaxWritesPerKey: 40}, seed)
 	h := memdb.Run(memdb.RunConfig{
 		Clients: 10, Txns: txns, Isolation: iso, Faults: f,
-		Source: g, Seed: seed, Workload: mw,
+		Source: g, Seed: seed, Workload: info.DB,
 	})
 	return Check(h, OptsFor(w, consistency.StrictSerializable))
 }
@@ -57,6 +50,61 @@ func TestSoundnessCounterWorkload(t *testing.T) {
 			t.Fatalf("seed %d: counter false positives: %v\n%s",
 				seed, r.AnomalyTypes(), r.Anomalies[0].Explanation)
 		}
+	}
+}
+
+// TestSoundnessBankWorkload: faultless serializable bank histories —
+// opening deposit, transfers, read-all observations — check clean.
+func TestSoundnessBankWorkload(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		r := runWorkload(t, Bank, memdb.StrictSerializable, memdb.Faults{}, seed, 300)
+		if len(r.Anomalies) != 0 {
+			t.Fatalf("seed %d: bank false positives: %v\n%s",
+				seed, r.AnomalyTypes(), r.Anomalies[0].Explanation)
+		}
+	}
+}
+
+// TestSoundnessBankWorkloadWithInfoOps: lost commit acknowledgements
+// must not fabricate anomalies — an indeterminate transfer whose commit
+// actually failed may not collect anti-dependency edges.
+func TestSoundnessBankWorkloadWithInfoOps(t *testing.T) {
+	info, _ := workload.Lookup(string(Bank))
+	for seed := int64(0); seed < 10; seed++ {
+		g := gen.New(gen.Config{Workload: info.Gen, ActiveKeys: 5}, seed)
+		h := memdb.Run(memdb.RunConfig{
+			Clients: 10, Txns: 400, Isolation: memdb.StrictSerializable,
+			Source: g, Seed: seed, Workload: info.DB, InfoProb: 0.05,
+		})
+		r := Check(h, OptsFor(Bank, consistency.StrictSerializable))
+		if len(r.Anomalies) != 0 {
+			t.Fatalf("seed %d: info ops caused bank false positives: %v\n%s",
+				seed, r.AnomalyTypes(), r.Anomalies[0].Explanation)
+		}
+	}
+}
+
+// TestBankWorkloadDetectsStaleReads: transfers resolved against stale
+// balances lose money, which the total invariant (and the dependency
+// cycles) catch.
+func TestBankWorkloadDetectsStaleReads(t *testing.T) {
+	foundMismatch := false
+	foundInvalid := false
+	for seed := int64(0); seed < 10 && !(foundMismatch && foundInvalid); seed++ {
+		r := runWorkload(t, Bank, memdb.SnapshotIsolation,
+			memdb.Faults{StaleReadProb: 0.3}, seed, 600)
+		if r.HasAnomaly(anomaly.TotalMismatch) {
+			foundMismatch = true
+		}
+		if !r.Valid {
+			foundInvalid = true
+		}
+	}
+	if !foundMismatch {
+		t.Error("stale reads never broke the bank total across 10 seeds")
+	}
+	if !foundInvalid {
+		t.Error("stale reads never invalidated a bank history across 10 seeds")
 	}
 }
 

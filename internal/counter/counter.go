@@ -25,16 +25,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/op"
 	"repro/internal/par"
+	"repro/internal/workload"
 )
-
-// Opts configures the analysis.
-type Opts struct {
-	// Parallelism caps the worker pool used for the per-transaction
-	// bounds checks and per-process monotonicity checks: <= 0 means one
-	// worker per CPU, 1 runs fully sequentially. The analysis is
-	// identical at every setting.
-	Parallelism int
-}
 
 // Analysis is the result of counter checking.
 type Analysis struct {
@@ -43,10 +35,13 @@ type Analysis struct {
 	// Bounds per key: the [lo, hi] envelope of possible counter values
 	// over the whole history.
 	Bounds map[string][2]int
+	// Ops indexes analyzed completion ops by index, for explanations.
+	Ops map[int]op.Op
 }
 
-// Analyze checks a counter history.
-func Analyze(h *history.History, opts Opts) *Analysis {
+// Analyze checks a counter history. Of the shared options only
+// Parallelism applies.
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	// Possible value envelope per key, over all interpretations: an
 	// increment by a committed or indeterminate transaction may or may
 	// not be visible to any given read (we have no ordering), so the
@@ -56,7 +51,9 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 	hi := map[string]int{}
 	allNonNegative := map[string]bool{}
 	keys := map[string]bool{}
+	ops := map[int]op.Op{}
 	for _, o := range h.Completions() {
+		ops[o.Index] = o
 		for _, m := range o.Mops {
 			if m.F != op.FIncrement {
 				continue
@@ -79,7 +76,7 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 		}
 	}
 
-	a := &Analysis{Bounds: map[string][2]int{}}
+	a := &Analysis{Bounds: map[string][2]int{}, Ops: ops}
 	sortedKeys := make([]string, 0, len(keys))
 	for k := range keys {
 		sortedKeys = append(sortedKeys, k)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/workload"
 )
 
 func hasAnomaly(a *Analysis, typ anomaly.Type) bool {
@@ -22,7 +23,7 @@ func TestCleanCounterHistory(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 0, op.OK, op.Increment("c", 2)),
 		op.Txn(2, 0, op.OK, op.ReadReg("c", 3)),
-	}), Opts{})
+	}), workload.Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}
@@ -35,7 +36,7 @@ func TestReadAboveEnvelope(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
-	}), Opts{})
+	}), workload.Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("expected garbage read, got %v", a.Anomalies)
 	}
@@ -45,7 +46,7 @@ func TestReadBelowEnvelope(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", -2)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", -5)),
-	}), Opts{})
+	}), workload.Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("expected garbage read, got %v", a.Anomalies)
 	}
@@ -56,7 +57,7 @@ func TestAbortedIncrementsExcluded(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.Fail, op.Increment("c", 10)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 10)),
-	}), Opts{})
+	}), workload.Opts{})
 	if !hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("aborted increment should not justify the read: %v", a.Anomalies)
 	}
@@ -67,7 +68,7 @@ func TestIndeterminateIncrementsIncluded(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.Info, op.Increment("c", 10)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 10)),
-	}), Opts{})
+	}), workload.Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}
@@ -79,7 +80,7 @@ func TestSessionMonotonicity(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 1, op.OK, op.ReadReg("c", 3)),
-	}), Opts{})
+	}), workload.Opts{})
 	if !hasAnomaly(a, anomaly.Internal) {
 		t.Fatalf("expected non-monotonic session read, got %v", a.Anomalies)
 	}
@@ -90,7 +91,7 @@ func TestMonotonicityNotAppliedAcrossProcesses(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 2, op.OK, op.ReadReg("c", 3)),
-	}), Opts{})
+	}), workload.Opts{})
 	// Different processes: no session constraint. The read of 3 is within
 	// the envelope [0, 5].
 	if len(a.Anomalies) != 0 {
@@ -103,7 +104,7 @@ func TestMonotonicitySkippedWithNegativeIncrements(t *testing.T) {
 		op.Txn(0, 0, op.OK, op.Increment("c", 5), op.Increment("c", -1)),
 		op.Txn(1, 1, op.OK, op.ReadReg("c", 5)),
 		op.Txn(2, 1, op.OK, op.ReadReg("c", 4)),
-	}), Opts{})
+	}), workload.Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("decrements make non-monotonic reads legal: %v", a.Anomalies)
 	}
@@ -114,7 +115,7 @@ func TestNilReadIsZero(t *testing.T) {
 	a := Analyze(history.MustNew([]op.Op{
 		op.Txn(0, 0, op.OK, op.Increment("c", 1)),
 		op.Txn(1, 1, op.OK, op.ReadNil("c")),
-	}), Opts{})
+	}), workload.Opts{})
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("anomalies: %v", a.Anomalies)
 	}

@@ -87,6 +87,10 @@ func (e *Explainer) edgeReason(s graph.Step) string {
 			return fmt.Sprintf("%s appended %d after %s appended %d to key %s",
 				to.Name(), e2, from.Name(), e1, key)
 		}
+		if key, prev, next, ok := e.wwRegWitness(from, to); ok {
+			return fmt.Sprintf("%s wrote key %s = %s, replacing %s's write of %s",
+				to.Name(), key, next, from.Name(), prev)
+		}
 		return fmt.Sprintf("%s overwrote a version %s installed", to.Name(), from.Name())
 	case graph.Process:
 		return fmt.Sprintf("process %d executed %s before %s",
@@ -190,6 +194,34 @@ func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok boo
 		}
 	}
 	return "", "", "", false
+}
+
+// wwRegWitness proves a register ww edge: an inferred version edge
+// prev -> next where `from` wrote prev and `to` wrote next. Keys are
+// tried in sorted order so the witness is deterministic.
+func (e *Explainer) wwRegWitness(from, to op.Op) (key, prev, next string, ok bool) {
+	keys := make([]string, 0, len(e.RegOrders))
+	for k := range e.RegOrders {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, edge := range e.RegOrders[k] {
+			if writesValue(from, k, edge[0]) && writesValue(to, k, edge[1]) {
+				return k, edge[0], edge[1], true
+			}
+		}
+	}
+	return "", "", "", false
+}
+
+func writesValue(o op.Op, key, val string) bool {
+	for _, m := range o.Mops {
+		if m.F == op.FWrite && m.Key == key && fmt.Sprintf("%d", m.Arg) == val {
+			return true
+		}
+	}
+	return false
 }
 
 // wwWitness finds a key and adjacent elements proving a ww edge. Keys

@@ -26,6 +26,12 @@ const (
 	Set
 	// Counter emits small increments and counter-read mops.
 	Counter
+	// Bank emits transfer transactions over a fixed set of accounts —
+	// read both accounts, then write both with a delta the engine
+	// resolves against the balances actually read — interleaved with
+	// read-all transactions observing every account, the shape whose
+	// total-balance invariant makes histories self-checking.
+	Bank
 )
 
 // Config parameterizes generation.
@@ -113,6 +119,9 @@ func (g *Gen) retire(i int) {
 // across the whole run, which is what makes versions recoverable
 // (§4.2.3: "we can ensure the first criterion by picking unique values").
 func (g *Gen) Next() []op.Mop {
+	if g.cfg.Workload == Bank {
+		return g.nextBank()
+	}
 	n := g.cfg.MinOps + g.rng.Intn(g.cfg.MaxOps-g.cfg.MinOps+1)
 	mops := make([]op.Mop, 0, n)
 	written := map[string]bool{}
@@ -147,6 +156,34 @@ func (g *Gen) Next() []op.Mop {
 		}
 	}
 	return mops
+}
+
+// nextBank emits one bank transaction. With probability ReadRatio it is
+// a read of every account (the invariant-checking observation); the
+// rest are transfers: read the two accounts involved, then write both
+// with a signed delta. Bank write arguments are deltas, not balances —
+// the engine resolves each against the balance it actually read, so the
+// recorded history carries real balances (see memdb.WorkloadBank).
+// Accounts are the initial ActiveKeys keys and are never retired.
+func (g *Gen) nextBank() []op.Mop {
+	if len(g.active) < 2 || g.rng.Float64() < g.cfg.ReadRatio {
+		mops := make([]op.Mop, len(g.active))
+		for i, k := range g.active {
+			mops[i] = op.Read(k)
+		}
+		return mops
+	}
+	fi := g.rng.Intn(len(g.active))
+	ti := g.rng.Intn(len(g.active) - 1)
+	if ti >= fi {
+		ti++
+	}
+	amt := 1 + g.rng.Intn(5)
+	from, to := g.active[fi], g.active[ti]
+	return []op.Mop{
+		op.Read(from), op.Read(to),
+		op.Write(from, -amt), op.Write(to, amt),
+	}
 }
 
 // Keys returns the currently active keys (for tests).

@@ -173,3 +173,51 @@ func TestNoReadAfterWrite(t *testing.T) {
 		}
 	}
 }
+
+func TestBankWorkloadShapes(t *testing.T) {
+	g := New(Config{Workload: Bank, ActiveKeys: 4}, 9)
+	accounts := map[string]bool{}
+	for _, k := range g.Keys() {
+		accounts[k] = true
+	}
+	sawTransfer, sawReadAll := false, false
+	for i := 0; i < 500; i++ {
+		mops := g.Next()
+		writes := 0
+		deltaSum := 0
+		for _, m := range mops {
+			if !accounts[m.Key] {
+				t.Fatalf("txn %d touches unknown account %q (accounts never retire)", i, m.Key)
+			}
+			if m.IsWrite() {
+				if m.F != op.FWrite {
+					t.Fatalf("bank workload emitted %v", m.F)
+				}
+				writes++
+				deltaSum += m.Arg
+			}
+		}
+		switch writes {
+		case 0:
+			// Read-all: one read per account.
+			sawReadAll = true
+			if len(mops) != len(accounts) {
+				t.Fatalf("txn %d reads %d of %d accounts", i, len(mops), len(accounts))
+			}
+		case 2:
+			// Transfer: deltas conserve money and follow two reads.
+			sawTransfer = true
+			if deltaSum != 0 {
+				t.Fatalf("txn %d deltas sum to %d, money not conserved", i, deltaSum)
+			}
+			if len(mops) != 4 || !mops[0].IsRead() || !mops[1].IsRead() {
+				t.Fatalf("txn %d is not read-read-write-write: %v", i, mops)
+			}
+		default:
+			t.Fatalf("txn %d has %d writes", i, writes)
+		}
+	}
+	if !sawTransfer || !sawReadAll {
+		t.Fatalf("missing shapes: transfer=%v readAll=%v", sawTransfer, sawReadAll)
+	}
+}

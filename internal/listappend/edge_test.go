@@ -7,12 +7,13 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/workload"
 )
 
 // Edge-case coverage for the list-append analyzer.
 
 func TestEmptyHistory(t *testing.T) {
-	a := Analyze(history.MustNew(nil), Opts{})
+	a := Analyze(history.MustNew(nil), workload.Opts{})
 	if len(a.Anomalies) != 0 || a.Graph.NumNodes() != 0 {
 		t.Errorf("empty history produced output: %v", a.Anomalies)
 	}

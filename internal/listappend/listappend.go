@@ -33,23 +33,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/op"
 	"repro/internal/par"
+	"repro/internal/workload"
 )
-
-// Opts configures the analysis.
-type Opts struct {
-	// DetectLostUpdates enables the real-time lost-update inference: a
-	// committed append whose element is missing from a longest read whose
-	// transaction was invoked after the append's transaction completed.
-	// This inference leans on real-time order, which Adya's formalism
-	// does not grant (§2), so it is only sound against databases claiming
-	// a real-time-consistent model; the core checker enables it when
-	// checking strong-session or strict models.
-	DetectLostUpdates bool
-	// Parallelism caps the worker pool used for per-key inference and
-	// per-transaction checks: <= 0 means one worker per CPU, 1 runs
-	// fully sequentially. The analysis is identical at every setting.
-	Parallelism int
-}
 
 // Analysis is the result of dependency inference over one history.
 type Analysis struct {
@@ -80,7 +65,7 @@ type cleanRead struct {
 
 // analyzer carries the indices built over one history.
 type analyzer struct {
-	opts Opts
+	opts workload.Opts
 	h    *history.History
 
 	ops      map[int]op.Op // completion ops by index
@@ -98,7 +83,9 @@ type analyzer struct {
 }
 
 // Analyze infers the dependency graph and non-cycle anomalies for h.
-func Analyze(h *history.History, opts Opts) *Analysis {
+// Of the shared options it consumes Parallelism and DetectLostUpdates
+// (see workload.Opts).
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	a := &analyzer{
 		opts:         opts,
 		h:            h,

@@ -7,11 +7,12 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/workload"
 )
 
 func analyze(t *testing.T, ops ...op.Op) *Analysis {
 	t.Helper()
-	return Analyze(history.MustNew(ops), Opts{})
+	return Analyze(history.MustNew(ops), workload.Opts{})
 }
 
 func hasAnomaly(a *Analysis, typ anomaly.Type) bool {
@@ -224,7 +225,7 @@ func TestCrashedClientAppendIsNotGarbage(t *testing.T) {
 		{Index: 1, Process: 1, Type: op.Invoke, Mops: []op.Mop{op.Read("x")}},
 		{Index: 2, Process: 1, Type: op.OK, Mops: []op.Mop{op.ReadList("x", []int{1})}},
 	})
-	a := Analyze(h, Opts{})
+	a := Analyze(h, workload.Opts{})
 	if hasAnomaly(a, anomaly.GarbageRead) {
 		t.Fatalf("crashed client's append misreported as garbage: %v", a.Anomalies)
 	}
@@ -377,12 +378,12 @@ func TestLostUpdateDetection(t *testing.T) {
 	b.Complete(2, op.OK, r)
 	h := b.MustHistory()
 
-	a := Analyze(h, Opts{DetectLostUpdates: true})
+	a := Analyze(h, workload.Opts{DetectLostUpdates: true})
 	if !hasAnomaly(a, anomaly.LostUpdate) {
 		t.Fatalf("expected lost update, got %v", a.Anomalies)
 	}
 	// Without the option the inference must stay off.
-	a2 := Analyze(h, Opts{})
+	a2 := Analyze(h, workload.Opts{})
 	if hasAnomaly(a2, anomaly.LostUpdate) {
 		t.Fatal("lost update reported with detection disabled")
 	}
@@ -396,7 +397,7 @@ func TestNoLostUpdateForConcurrentRead(t *testing.T) {
 	b.Complete(0, op.OK, []op.Mop{op.Append("x", 1)})
 	b.Complete(1, op.OK, []op.Mop{op.ReadList("x", []int{})})
 	h := b.MustHistory()
-	a := Analyze(h, Opts{DetectLostUpdates: true})
+	a := Analyze(h, workload.Opts{DetectLostUpdates: true})
 	if hasAnomaly(a, anomaly.LostUpdate) {
 		t.Fatalf("concurrent read misreported as lost update: %v", a.Anomalies)
 	}

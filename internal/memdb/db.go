@@ -168,6 +168,21 @@ func (db *DB) FinalLists() map[string][]int {
 	return out
 }
 
+// FinalRegs returns the final committed value of every register key
+// (bank balances included): the engine's ground truth, for comparing
+// against checker inferences and invariants.
+func (db *DB) FinalRegs() map[string]int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make(map[string]int, len(db.regs))
+	for k, vs := range db.regs {
+		if len(vs) > 0 {
+			out[k] = vs[len(vs)-1].reg
+		}
+	}
+	return out
+}
+
 // visibleList returns the newest version of key with ts <= snapTS, or an
 // empty value.
 func (db *DB) visibleList(key string, snapTS int64) []int {

@@ -3,6 +3,8 @@ package memdb
 import (
 	"testing"
 
+	"repro/internal/gen"
+
 	"repro/internal/op"
 )
 
@@ -412,5 +414,38 @@ func TestFinalListsGroundTruth(t *testing.T) {
 	tx2 := db.Begin()
 	if got := tx2.ReadList("k"); got[0] != 1 {
 		t.Fatal("FinalLists aliased engine state")
+	}
+}
+
+// TestBankRunConservesMoney: under the correct serializable engine the
+// bank workload's ground truth holds — the opening deposit's total is
+// conserved and no account ever ends negative — and the recorded
+// history's committed writes are absolute balances, not deltas.
+func TestBankRunConservesMoney(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := gen.New(gen.Config{Workload: gen.Bank, ActiveKeys: 4}, seed)
+		h, db := RunOnDB(RunConfig{
+			Clients: 8, Txns: 300, Isolation: StrictSerializable,
+			Source: g, Seed: seed, Workload: WorkloadBank,
+		})
+		regs := db.FinalRegs()
+		total := 0
+		for k, v := range regs {
+			if v < 0 {
+				t.Fatalf("seed %d: account %s ends at %d", seed, k, v)
+			}
+			total += v
+		}
+		if want := 4 * 100; total != want {
+			t.Fatalf("seed %d: final total %d, want %d", seed, total, want)
+		}
+		for _, o := range h.OKs() {
+			for _, m := range o.Mops {
+				if m.F == op.FWrite && m.Arg < 0 {
+					t.Fatalf("seed %d: committed %s recorded a delta, not a balance: %v",
+						seed, o.Name(), m)
+				}
+			}
+		}
 	}
 }

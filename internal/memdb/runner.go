@@ -25,7 +25,22 @@ const (
 	WorkloadSet
 	// WorkloadCounter reads counters.
 	WorkloadCounter
+	// WorkloadBank executes bank transfers over register accounts. A
+	// write mop's Arg is a signed *delta*: execution reads the account
+	// inside the transaction and installs balance+delta, recording the
+	// installed balance (not the delta) in the completed mop. A
+	// transfer that would drive an account negative aborts, as a
+	// correct banking client must — which is exactly what makes the
+	// history self-checking: under sound isolation the total balance is
+	// invariant and no balance goes negative.
+	WorkloadBank
 )
+
+// bankInitialBalance is each account's opening deposit; Run installs it
+// with a committed all-accounts write transaction recorded at the head
+// of the history, so a black-box checker can recover both the account
+// set and the invariant total from the observation itself.
+const bankInitialBalance = 100
 
 // RunConfig drives a simulated multi-client run against one DB.
 type RunConfig struct {
@@ -89,6 +104,10 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := history.NewBuilder()
 
+	if cfg.Workload == WorkloadBank {
+		openBankAccounts(cfg, db, b)
+	}
+
 	type client struct {
 		process int
 		txn     *Txn
@@ -132,15 +151,6 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 			continue
 		}
 
-		if c.step < len(c.mops) {
-			m := c.mops[c.step]
-			c.results[c.step] = executeMop(c.txn, m, cfg.Workload)
-			c.step++
-			continue
-		}
-
-		// All mops done: decide the outcome.
-		active--
 		complete := func(t op.Type, mops []op.Mop) {
 			if cfg.ExposeTimestamps {
 				b.Append(op.Op{Process: c.process, Type: t,
@@ -149,6 +159,26 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 				b.Complete(c.process, t, mops)
 			}
 		}
+
+		if c.step < len(c.mops) {
+			m := c.mops[c.step]
+			res, insufficient := executeMop(c.txn, m, cfg.Workload)
+			if insufficient {
+				// A bank transfer found the source account short: the
+				// client aborts rather than overdraw.
+				active--
+				c.txn.Abort()
+				complete(op.Fail, c.mops)
+				c.txn = nil
+				continue
+			}
+			c.results[c.step] = res
+			c.step++
+			continue
+		}
+
+		// All mops done: decide the outcome.
+		active--
 		switch {
 		case cfg.AbortProb > 0 && rng.Float64() < cfg.AbortProb:
 			c.txn.Abort()
@@ -160,7 +190,17 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 			} else {
 				c.txn.Abort()
 			}
-			complete(op.Info, c.mops)
+			if cfg.Workload == WorkloadBank {
+				// The client did execute its mops (only the commit ack
+				// vanished), so it knows the balances its deltas
+				// resolved to; record them, as a Jepsen client would.
+				// Without this, indeterminate writes would be recorded
+				// as deltas and the checker could not recover the
+				// possibly-installed balances.
+				complete(op.Info, c.results)
+			} else {
+				complete(op.Info, c.mops)
+			}
 			// The client thread abandons this process, as Jepsen does.
 			c.process = nextProcess
 			nextProcess++
@@ -177,41 +217,96 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 }
 
 // executeMop runs one micro-op against the transaction and returns the
-// completed mop with its observed value filled in.
-func executeMop(t *Txn, m op.Mop, w Workload) op.Mop {
+// completed mop with its observed value filled in. The second result is
+// true only for a bank write that would overdraw its account, asking
+// the runner to abort the transaction.
+func executeMop(t *Txn, m op.Mop, w Workload) (op.Mop, bool) {
 	switch m.F {
 	case op.FAppend:
 		t.Append(m.Key, m.Arg)
-		return m
+		return m, false
 	case op.FWrite:
-		t.WriteReg(m.Key, m.Arg)
-		return m
-	case op.FAdd:
-		t.AddSet(m.Key, m.Arg)
-		return m
-	case op.FIncrement:
-		t.Inc(m.Key, m.Arg)
-		return m
-	case op.FRead:
-		switch w {
-		case WorkloadRegister:
+		if w == WorkloadBank {
+			// A bank write is a read-modify-write: resolve the signed
+			// delta against the balance this transaction observes and
+			// install (and record) the resulting absolute balance.
 			v, isNil := t.ReadReg(m.Key)
 			if isNil {
-				return op.ReadNil(m.Key)
+				v = 0
 			}
-			return op.ReadReg(m.Key, v)
+			balance := v + m.Arg
+			if balance < 0 {
+				return m, true
+			}
+			t.WriteReg(m.Key, balance)
+			return op.Write(m.Key, balance), false
+		}
+		t.WriteReg(m.Key, m.Arg)
+		return m, false
+	case op.FAdd:
+		t.AddSet(m.Key, m.Arg)
+		return m, false
+	case op.FIncrement:
+		t.Inc(m.Key, m.Arg)
+		return m, false
+	case op.FRead:
+		switch w {
+		case WorkloadRegister, WorkloadBank:
+			v, isNil := t.ReadReg(m.Key)
+			if isNil {
+				return op.ReadNil(m.Key), false
+			}
+			return op.ReadReg(m.Key, v), false
 		case WorkloadSet:
-			return op.ReadList(m.Key, t.ReadSet(m.Key))
+			return op.ReadList(m.Key, t.ReadSet(m.Key)), false
 		case WorkloadCounter:
-			return op.ReadReg(m.Key, t.ReadCounter(m.Key))
+			return op.ReadReg(m.Key, t.ReadCounter(m.Key)), false
 		default:
 			v := t.ReadList(m.Key)
 			if v == nil {
 				v = []int{}
 			}
-			return op.ReadList(m.Key, v)
+			return op.ReadList(m.Key, v), false
 		}
 	default:
-		return m
+		return m, false
 	}
+}
+
+// openBankAccounts runs the bank workload's opening deposit: one
+// committed transaction writing every account's initial balance,
+// recorded at the head of the history. It both seeds the engine and
+// publishes the account set and invariant total to black-box checkers.
+// The account list comes from the transaction source when it exposes
+// one (gen.Gen does); without it no deposit is made and accounts open
+// lazily at balance zero.
+func openBankAccounts(cfg RunConfig, db *DB, b *history.Builder) {
+	src, ok := cfg.Source.(interface{ Keys() []string })
+	if !ok {
+		return
+	}
+	accounts := src.Keys()
+	if len(accounts) == 0 {
+		return
+	}
+	mops := make([]op.Mop, len(accounts))
+	for i, k := range accounts {
+		mops[i] = op.Write(k, bankInitialBalance)
+	}
+	record := func(t op.Type) {
+		if cfg.ExposeTimestamps {
+			b.Append(op.Op{Process: 0, Type: t, Mops: mops, Time: db.CurrentTS() + 1})
+		} else if t == op.Invoke {
+			b.Invoke(0, mops)
+		} else {
+			b.Complete(0, t, mops)
+		}
+	}
+	record(op.Invoke)
+	t := db.Begin()
+	for _, k := range accounts {
+		t.WriteReg(k, bankInitialBalance)
+	}
+	_ = t.Commit() // nothing is concurrent with the deposit
+	record(op.OK)
 }

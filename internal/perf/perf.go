@@ -21,6 +21,11 @@ import (
 	"repro/internal/history"
 	"repro/internal/memdb"
 	"repro/internal/serialcheck"
+	"repro/internal/workload"
+
+	// Populate the workload registry so Config.Workload resolves every
+	// built-in analyzer.
+	_ "repro/internal/workload/all"
 )
 
 // Point is one measurement.
@@ -31,6 +36,10 @@ type Point struct {
 	Seconds     float64
 	Outcome     string // "valid", "invalid", "serializable", "unknown", ...
 	Anomalies   int    // elle only
+	// Workload is the resolved workload the point measured — always the
+	// registry's canonical name, so a fallback from an unknown
+	// Config.Workload is visible in the output.
+	Workload string
 }
 
 // Config parameterizes the sweep.
@@ -51,6 +60,10 @@ type Config struct {
 	// Parallelism is Elle's worker count per check (<= 0 one per CPU,
 	// 1 sequential) — the knob the parallel-speedup sweeps vary.
 	Parallelism int
+	// Workload selects any registered workload by name or alias
+	// (default list-append). The Knossos baseline only understands
+	// list histories, so it is skipped for every other workload.
+	Workload string
 }
 
 // DefaultConfig mirrors Figure 4's axes at a scale that completes on a
@@ -67,10 +80,18 @@ func DefaultConfig() Config {
 	}
 }
 
-// GenerateHistory builds one Figure 4 workload history: n transactions at
-// concurrency c against the serializable engine.
+// GenerateHistory builds one Figure 4 workload history: n list-append
+// transactions at concurrency c against the serializable engine.
 func GenerateHistory(n, c int, seed int64) *history.History {
+	return GenerateWorkloadHistory(workload.Info{}, n, c, seed)
+}
+
+// GenerateWorkloadHistory is GenerateHistory for any registered
+// workload: info carries the generator and engine semantics (the zero
+// Info generates list-append).
+func GenerateWorkloadHistory(info workload.Info, n, c int, seed int64) *history.History {
 	g := gen.New(gen.Config{
+		Workload:        info.Gen,
 		ActiveKeys:      100,
 		MaxWritesPerKey: 100,
 		MinOps:          1,
@@ -82,6 +103,7 @@ func GenerateHistory(n, c int, seed int64) *history.History {
 		Isolation: memdb.StrictSerializable,
 		Source:    g,
 		Seed:      seed,
+		Workload:  info.DB,
 		// A small rate of lost commit acknowledgements, as fault-injection
 		// tests produce: each one moves its client to a fresh logical
 		// process, so logical concurrency grows over time — the paper
@@ -92,20 +114,30 @@ func GenerateHistory(n, c int, seed int64) *history.History {
 }
 
 // Sweep runs the measurement grid, invoking report (if non-nil) after
-// each point.
+// each point. An unknown Config.Workload falls back to list-append.
 func Sweep(cfg Config, report func(Point)) []Point {
+	name := cfg.Workload
+	if name == "" {
+		name = string(workload.ListAppend)
+	}
+	info, ok := workload.Lookup(name)
+	if !ok {
+		info, _ = workload.Lookup(string(workload.ListAppend))
+	}
 	var out []Point
 	emit := func(p Point) {
+		p.Workload = string(info.Name)
 		out = append(out, p)
 		if report != nil {
 			report(p)
 		}
 	}
+	baseline := cfg.Baseline && info.Name == workload.ListAppend
 	for _, c := range cfg.Concurrencies {
 		for _, n := range cfg.Lengths {
-			h := GenerateHistory(n, c, cfg.Seed)
+			h := GenerateWorkloadHistory(info, n, c, cfg.Seed)
 			if cfg.Elle {
-				opts := core.OptsFor(core.ListAppend, consistency.StrictSerializable)
+				opts := core.OptsFor(core.Workload(info.Name), consistency.StrictSerializable)
 				opts.Parallelism = cfg.Parallelism
 				start := time.Now()
 				r := core.Check(h, opts)
@@ -119,7 +151,7 @@ func Sweep(cfg Config, report func(Point)) []Point {
 					Seconds: sec, Outcome: outcome, Anomalies: len(r.Anomalies),
 				})
 			}
-			if cfg.Baseline && (cfg.BaselineMaxOps == 0 || n <= cfg.BaselineMaxOps) {
+			if baseline && (cfg.BaselineMaxOps == 0 || n <= cfg.BaselineMaxOps) {
 				start := time.Now()
 				r := serialcheck.Check(h, serialcheck.Opts{Timeout: cfg.BaselineCap})
 				sec := time.Since(start).Seconds()
@@ -136,12 +168,12 @@ func Sweep(cfg Config, report func(Point)) []Point {
 // WriteCSV renders points as CSV with a header, the format the paper's
 // Figure 4 was plotted from.
 func WriteCSV(w io.Writer, points []Point) error {
-	if _, err := fmt.Fprintln(w, "checker,ops,concurrency,seconds,outcome,anomalies"); err != nil {
+	if _, err := fmt.Fprintln(w, "checker,ops,concurrency,seconds,outcome,anomalies,workload"); err != nil {
 		return err
 	}
 	for _, p := range points {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.6f,%s,%d\n",
-			p.Checker, p.Ops, p.Concurrency, p.Seconds, p.Outcome, p.Anomalies); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.6f,%s,%d,%s\n",
+			p.Checker, p.Ops, p.Concurrency, p.Seconds, p.Outcome, p.Anomalies, p.Workload); err != nil {
 			return err
 		}
 	}

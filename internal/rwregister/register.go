@@ -1,0 +1,27 @@
+package rwregister
+
+import (
+	"repro/internal/explain"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:          workload.RWRegister,
+		Aliases:       []string{"register"},
+		RegisterReads: true,
+		Gen:           gen.Register,
+		DB:            memdb.WorkloadRegister,
+		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
+			an := Analyze(h, opts)
+			return workload.Analysis{
+				Graph:     an.Graph,
+				Anomalies: an.Anomalies,
+				Explainer: &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders},
+			}
+		}),
+	})
+}

@@ -34,44 +34,11 @@ import (
 	"repro/internal/history"
 	"repro/internal/op"
 	"repro/internal/par"
+	"repro/internal/workload"
 )
 
 // nilVer encodes the initial version in per-key version graphs.
 const nilVer = math.MinInt64
-
-// Opts configures which inference rules run.
-type Opts struct {
-	// InitialState infers nil <x v for every non-initial version v.
-	InitialState bool
-	// WritesFollowReads infers v <x v' when one transaction reads v and
-	// then writes v' to the same key.
-	WritesFollowReads bool
-	// LinearizableKeys infers version orders from the real-time order of
-	// transactions touching a key, as per-key linearizability permits.
-	LinearizableKeys bool
-	// SequentialKeys infers version orders from each process's own
-	// session order: when one client touches a key at version vi and
-	// later touches it again at vj, per-key sequential consistency
-	// implies vi <x vj. Weaker than LinearizableKeys (no cross-client
-	// inference) but sound against databases claiming only sequential
-	// per-key behavior.
-	SequentialKeys bool
-	// Parallelism caps the worker pool used for per-key version-graph
-	// inference and per-transaction checks: <= 0 means one worker per
-	// CPU, 1 runs fully sequentially. The analysis is identical at every
-	// setting.
-	Parallelism int
-}
-
-// DefaultOpts enables every rule, matching the paper's Dgraph analysis.
-func DefaultOpts() Opts {
-	return Opts{
-		InitialState:      true,
-		WritesFollowReads: true,
-		LinearizableKeys:  true,
-		SequentialKeys:    true,
-	}
-}
 
 // Analysis is the result of register dependency inference.
 type Analysis struct {
@@ -92,7 +59,7 @@ type verKey struct {
 }
 
 type analyzer struct {
-	opts Opts
+	opts workload.Opts
 	h    *history.History
 
 	ops          map[int]op.Op
@@ -105,8 +72,12 @@ type analyzer struct {
 	anomalies    []anomaly.Anomaly
 }
 
-// Analyze infers dependencies and anomalies for a register history.
-func Analyze(h *history.History, opts Opts) *Analysis {
+// Analyze infers dependencies and anomalies for a register history. Of
+// the shared options it consumes Parallelism and the four version-order
+// inference rules (InitialState, WritesFollowReads, LinearizableKeys,
+// SequentialKeys); workload.DefaultOpts enables every rule, matching
+// the paper's Dgraph analysis.
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	a := &analyzer{
 		opts:         opts,
 		h:            h,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/anomaly"
 	"repro/internal/graph"
 	"repro/internal/op"
+	"repro/internal/workload"
 )
 
 // Tests for the §5.2 sequential-keys rule: a single process's successive
@@ -14,7 +15,7 @@ import (
 // information.
 
 func TestSequentialKeysOrdersVersions(t *testing.T) {
-	opts := Opts{SequentialKeys: true}
+	opts := workload.Opts{SequentialKeys: true}
 	// Process 7 wrote 1, then later (different txn) wrote 2; a reader
 	// saw 2. Session order gives 1 <x 2 without wfr or realtime.
 	a := analyze(t, opts,
@@ -31,7 +32,7 @@ func TestSequentialKeysOrdersVersions(t *testing.T) {
 }
 
 func TestSequentialKeysCrossProcessNoEdge(t *testing.T) {
-	opts := Opts{SequentialKeys: true}
+	opts := workload.Opts{SequentialKeys: true}
 	a := analyze(t, opts,
 		op.Txn(0, 1, op.OK, op.Write("x", 1)),
 		op.Txn(1, 2, op.OK, op.Write("x", 2)),
@@ -45,7 +46,7 @@ func TestSequentialKeysDetectsSessionRegression(t *testing.T) {
 	// Process 5 read 2, then later read 1 — with the writers recoverable
 	// and wfr linking 1 -> 2, the session edge 2 -> 1 closes a cyclic
 	// version order.
-	opts := Opts{InitialState: true, WritesFollowReads: true, SequentialKeys: true}
+	opts := workload.Opts{InitialState: true, WritesFollowReads: true, SequentialKeys: true}
 	a := analyze(t, opts,
 		op.Txn(0, 0, op.OK, op.Write("x", 1)),
 		op.Txn(1, 1, op.OK, op.ReadReg("x", 1), op.Write("x", 2)),
@@ -65,7 +66,7 @@ func TestSequentialKeysDetectsSessionRegression(t *testing.T) {
 
 func TestSequentialKeysRespectsAbortedTxns(t *testing.T) {
 	// A failed transaction contributes no session edges.
-	opts := Opts{SequentialKeys: true}
+	opts := workload.Opts{SequentialKeys: true}
 	a := analyze(t, opts,
 		op.Txn(0, 7, op.Fail, op.Write("x", 1)),
 		op.Txn(1, 7, op.OK, op.Write("x", 2)),
@@ -76,7 +77,7 @@ func TestSequentialKeysRespectsAbortedTxns(t *testing.T) {
 }
 
 func TestDefaultOptsEnableEverything(t *testing.T) {
-	o := DefaultOpts()
+	o := workload.DefaultOpts()
 	if !o.InitialState || !o.WritesFollowReads || !o.LinearizableKeys || !o.SequentialKeys {
 		t.Errorf("DefaultOpts = %+v", o)
 	}

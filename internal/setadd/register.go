@@ -1,0 +1,26 @@
+package setadd
+
+import (
+	"repro/internal/explain"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:    workload.SetAdd,
+		Aliases: []string{"set"},
+		Gen:     gen.Set,
+		DB:      memdb.WorkloadSet,
+		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
+			an := Analyze(h, opts)
+			return workload.Analysis{
+				Graph:     an.Graph,
+				Anomalies: an.Anomalies,
+				Explainer: &explain.Explainer{Ops: an.Ops},
+			}
+		}),
+	})
+}

@@ -27,15 +27,8 @@ import (
 	"repro/internal/history"
 	"repro/internal/op"
 	"repro/internal/par"
+	"repro/internal/workload"
 )
-
-// Opts configures the analysis.
-type Opts struct {
-	// Parallelism caps the worker pool used for per-transaction
-	// inference: <= 0 means one worker per CPU, 1 runs fully
-	// sequentially. The analysis is identical at every setting.
-	Parallelism int
-}
 
 // Analysis is the result of set dependency inference.
 type Analysis struct {
@@ -53,12 +46,13 @@ type elemKey struct {
 }
 
 // Analyze infers dependencies and anomalies for a set-add history.
-// Set reads are carried in Mop.List; element order is ignored.
+// Set reads are carried in Mop.List; element order is ignored. Of the
+// shared options only Parallelism applies.
 //
 // Inference is independent per committed transaction once the element
 // indices are built, so the per-transaction checks and edge emission fan
 // out across opts.Parallelism workers with ordered collection.
-func Analyze(h *history.History, opts Opts) *Analysis {
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	a := &analyzer{
 		opts:         opts,
 		ops:          map[int]op.Op{},
@@ -81,7 +75,7 @@ func Analyze(h *history.History, opts Opts) *Analysis {
 }
 
 type analyzer struct {
-	opts         Opts
+	opts         workload.Opts
 	ops          map[int]op.Op
 	oks          []op.Op
 	writer       map[elemKey]int

@@ -7,11 +7,12 @@ import (
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/workload"
 )
 
 func analyze(t *testing.T, ops ...op.Op) *Analysis {
 	t.Helper()
-	return Analyze(history.MustNew(ops), Opts{})
+	return Analyze(history.MustNew(ops), workload.Opts{})
 }
 
 func hasAnomaly(a *Analysis, typ anomaly.Type) bool {

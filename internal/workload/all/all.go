@@ -1,0 +1,18 @@
+// Package all registers every built-in workload analyzer. Import it for
+// side effects wherever the full registry must be populated — the core
+// checker, the CLIs, and the test harnesses all do:
+//
+//	import _ "repro/internal/workload/all"
+//
+// A new workload package adds itself to this list and is immediately
+// available to `elle -workload`, `ellegen -workload`, the facade, and
+// the registry-driven tests.
+package all
+
+import (
+	_ "repro/internal/bank"
+	_ "repro/internal/counter"
+	_ "repro/internal/listappend"
+	_ "repro/internal/rwregister"
+	_ "repro/internal/setadd"
+)
