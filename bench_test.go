@@ -133,6 +133,43 @@ func BenchmarkCheckBank(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckStream measures the incremental checker end to end on
+// the BenchmarkCheckParallel history: the full op sequence fed in
+// 1000-op chunks through the streaming session (maintained indices,
+// per-key edge caches, incremental SCCs), then Finish. The comparison
+// against BenchmarkCheckParallel at the same p bounds the streaming
+// overhead over a one-shot batch check.
+func BenchmarkCheckStream(b *testing.B) {
+	h := perf.GenerateHistory(100000, 20, 1)
+	for _, p := range parallelismLevels() {
+		opts := core.OptsFor(core.ListAppend, consistency.StrictSerializable)
+		opts.Parallelism = p
+		b.Run(fmt.Sprintf("n=100000/p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := core.CheckStream(opts)
+				ops := h.Ops
+				for len(ops) > 0 {
+					n := 1000
+					if n > len(ops) {
+						n = len(ops)
+					}
+					if _, err := st.Feed(ops[:n]); err != nil {
+						b.Fatal(err)
+					}
+					ops = ops[n:]
+				}
+				r, err := st.Finish()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Valid {
+					b.Fatalf("clean history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDecodeParallel measures streaming JSON-lines decoding of a
 // 100k-transaction history at increasing parse worker counts.
 func BenchmarkDecodeParallel(b *testing.B) {

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+)
+
+// encodeFaultedListHistory produces a JSON-lines list-append history
+// with planted anomalies, the follow-mode acceptance fixture.
+func encodeFaultedListHistory(t *testing.T, txns int) string {
+	t.Helper()
+	g := gen.New(gen.Config{Workload: gen.ListAppend, ActiveKeys: 5, MaxWritesPerKey: 40}, 11)
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 10, Txns: txns, Isolation: memdb.SnapshotIsolation,
+		Faults: memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1},
+		Source: g, Seed: 11, Workload: memdb.WorkloadList, InfoProb: 0.02,
+	})
+	var buf bytes.Buffer
+	if err := jsonhist.Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFollowMatchesBatch is the follow-mode acceptance test: `elle
+// -follow` on a file written in bursts emits, on stdout, exactly what a
+// batch `elle` run on the completed file emits — at parallelism 1 and
+// 8 — while surfacing provisional findings on stderr as the file grows.
+func TestFollowMatchesBatch(t *testing.T) {
+	content := encodeFaultedListHistory(t, 400)
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+
+	var batch bytes.Buffer
+	{
+		full := write(t, content)
+		var errb bytes.Buffer
+		if code := run([]string{"-model", "serializable", full}, strings.NewReader(""), &batch, &errb); code != 1 {
+			t.Fatalf("batch run: exit = %d, stderr: %s", code, errb.String())
+		}
+	}
+
+	lines := strings.SplitAfter(strings.TrimSuffix(content, "\n"), "\n")
+	for _, p := range []string{"1", "8"} {
+		// Write the history in bursts while -follow tails it.
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer f.Close()
+			for i := 0; i < len(lines); i += 100 {
+				end := i + 100
+				if end > len(lines) {
+					end = len(lines)
+				}
+				if _, err := f.WriteString(strings.Join(lines[i:end], "")); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Sync(); err != nil {
+					t.Error(err)
+					return
+				}
+				time.Sleep(30 * time.Millisecond)
+			}
+		}()
+
+		var out, errb bytes.Buffer
+		code := run([]string{"-follow", "-follow-idle", "500ms", "-model", "serializable", "-parallelism", p, path},
+			strings.NewReader(""), &out, &errb)
+		<-done
+		if code != 1 {
+			t.Fatalf("p=%s: exit = %d, want 1; stderr: %s", p, code, errb.String())
+		}
+		if out.String() != batch.String() {
+			t.Fatalf("p=%s: follow stdout diverges from batch:\n--- batch ---\n%s\n--- follow ---\n%s",
+				p, batch.String(), out.String())
+		}
+		if !strings.Contains(errb.String(), "stream complete") {
+			t.Errorf("p=%s: stderr missing completion line:\n%s", p, errb.String())
+		}
+		if !strings.Contains(errb.String(), "provisional") {
+			t.Errorf("p=%s: no provisional findings surfaced while following:\n%s", p, errb.String())
+		}
+	}
+}
+
+// TestFollowStdin: on stdin, follow mode streams to pipe EOF with no
+// idle heuristic, and still matches the batch report.
+func TestFollowStdin(t *testing.T) {
+	var batch, out, errb bytes.Buffer
+	if code := run([]string{"-model", "read-committed", write(t, g1aHistory)},
+		strings.NewReader(""), &batch, &errb); code != 1 {
+		t.Fatalf("batch: exit %d", code)
+	}
+	errb.Reset()
+	code := run([]string{"-follow", "-model", "read-committed", "-"},
+		strings.NewReader(g1aHistory), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != batch.String() {
+		t.Fatalf("follow stdout diverges from batch:\n%s\nvs\n%s", out.String(), batch.String())
+	}
+	if !strings.Contains(errb.String(), "G1a") {
+		t.Errorf("G1a not surfaced mid-stream:\n%s", errb.String())
+	}
+}
+
+// TestFollowMalformedInput: a bad line fails the stream with the usual
+// decoder error and exit 2.
+func TestFollowMalformedInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-"}, strings.NewReader("not json\n"), &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "line 1") {
+		t.Errorf("error lacks line number:\n%s", errb.String())
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	elle [flags] history.jsonl
 //	... | elle [flags] -
+//	elle -follow history.jsonl     # tail a growing history
 //
 // Flags:
 //
@@ -18,6 +19,14 @@
 //	                          (default strict-serializable)
 //	-parallelism N            worker count for decoding and checking
 //	                          (default 0 = one per CPU; 1 = sequential)
+//	-follow                   check incrementally while the input grows:
+//	                          provisional anomalies print to stderr as
+//	                          chunks prove them; the final report (on
+//	                          stdout) is byte-identical to a batch run
+//	                          over the completed file
+//	-follow-idle DURATION     in -follow mode, treat a file quiet for
+//	                          this long as complete (default 2s; stdin
+//	                          instead streams until EOF)
 //	-dot                      also print Graphviz DOT for each cycle witness
 //	-q                        print only the verdict line
 //	-json                     emit a machine-readable JSON report
@@ -32,9 +41,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/consistency"
 	"repro/internal/core"
+	"repro/internal/history"
 	"repro/internal/jsonhist"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -43,6 +54,13 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// output bundles the rendering flags shared by the batch and follow
+// paths.
+type output struct {
+	dot, quiet, jsonOut, showStats bool
+	stdout, stderr                 io.Writer
 }
 
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
@@ -54,6 +72,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"expected consistency model")
 	parallelism := fs.Int("parallelism", 0,
 		"worker count for decoding and checking (0 = one per CPU, 1 = sequential)")
+	follow := fs.Bool("follow", false,
+		"check incrementally while the input grows; anomalies print to stderr as they become provable")
+	followIdle := fs.Duration("follow-idle", 2*time.Second,
+		"in -follow mode, treat a file quiet for this long as complete")
 	dot := fs.Bool("dot", false, "print Graphviz DOT for each cycle witness")
 	quiet := fs.Bool("q", false, "print only the verdict line")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of prose")
@@ -92,6 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	in := stdin
+	fromFile := false
 	if name := fs.Arg(0); name != "-" {
 		f, err := os.Open(name)
 		if err != nil {
@@ -100,7 +123,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		defer f.Close()
 		in = f
+		fromFile = true
 	}
+
+	opts := core.OptsFor(w, m)
+	opts.Parallelism = *parallelism
+	out := output{dot: *dot, quiet: *quiet, jsonOut: *jsonOut, showStats: *showStats,
+		stdout: stdout, stderr: stderr}
+
+	if *follow {
+		return runFollow(in, fromFile, *followIdle, info, opts, out)
+	}
+
 	h, err := jsonhist.DecodeWith(in, jsonhist.DecodeOpts{
 		Register:    info.RegisterReads,
 		Parallelism: *parallelism,
@@ -109,13 +143,62 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "elle: %v\n", err)
 		return 2
 	}
+	return render(core.Check(h, opts), h, w, out)
+}
 
-	opts := core.OptsFor(w, m)
-	opts.Parallelism = *parallelism
-	res := core.Check(h, opts)
-	if *jsonOut {
-		if err := report.New(h, w, res).Write(stdout); err != nil {
-			fmt.Fprintf(stderr, "elle: %v\n", err)
+// runFollow tails the input through the streaming decoder and the
+// incremental checker: each decoded chunk feeds the stream, provisional
+// findings print to stderr the moment a chunk proves them, and once the
+// source is complete the definitive report — byte-identical to a batch
+// run over the finished file — renders on stdout.
+func runFollow(in io.Reader, fromFile bool, idle time.Duration, info workload.Info, opts core.Opts, out output) int {
+	src := in
+	if fromFile {
+		// A file hitting EOF may just not have been written yet; stdin's
+		// EOF (pipe close) is already definitive.
+		src = newTailReader(in, idle)
+	}
+	dec := jsonhist.NewStreamDecoder(src, jsonhist.DecodeOpts{
+		Register:    info.RegisterReads,
+		Parallelism: opts.Parallelism,
+		Tail:        true,
+	})
+	st := core.CheckStream(opts)
+	for {
+		ops, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fmt.Fprintf(out.stderr, "elle: %v\n", err)
+			return 2
+		}
+		d, err := st.Feed(ops)
+		if err != nil {
+			fmt.Fprintf(out.stderr, "elle: %v\n", err)
+			return 2
+		}
+		for _, a := range d.Anomalies {
+			fmt.Fprintf(out.stderr, "elle: provisional: %s\n", a)
+		}
+	}
+	res, err := st.Finish()
+	if err != nil {
+		fmt.Fprintf(out.stderr, "elle: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(out.stderr, "elle: stream complete: %d ops\n", st.Ops())
+	return render(res, st.History(), core.Workload(info.Name), out)
+}
+
+// render writes the report — prose or JSON — and maps the verdict to
+// the exit status. It is shared verbatim by the batch and follow paths,
+// which is what makes `elle -follow`'s final stdout byte-identical to a
+// batch run's.
+func render(res *core.CheckResult, h *history.History, w core.Workload, out output) int {
+	if out.jsonOut {
+		if err := report.New(h, w, res).Write(out.stdout); err != nil {
+			fmt.Fprintf(out.stderr, "elle: %v\n", err)
 			return 2
 		}
 		if res.Valid {
@@ -123,18 +206,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	if *showStats {
-		fmt.Fprint(stdout, stats.Compute(h).String())
+	if out.showStats {
+		fmt.Fprint(out.stdout, stats.Compute(h).String())
 	}
-	fmt.Fprint(stdout, res.Summary())
-	if !*quiet {
+	fmt.Fprint(out.stdout, res.Summary())
+	if !out.quiet {
 		for i, a := range res.Anomalies {
-			fmt.Fprintf(stdout, "\n--- anomaly %d: %s ---\n", i+1, a.Type)
+			fmt.Fprintf(out.stdout, "\n--- anomaly %d: %s ---\n", i+1, a.Type)
 			if a.Explanation != "" {
-				fmt.Fprintln(stdout, a.Explanation)
+				fmt.Fprintln(out.stdout, a.Explanation)
 			}
-			if *dot && len(a.Cycle.Steps) > 0 {
-				fmt.Fprintln(stdout, res.Explainer.DOT(a.Cycle))
+			if out.dot && len(a.Cycle.Steps) > 0 {
+				fmt.Fprintln(out.stdout, res.Explainer.DOT(a.Cycle))
 			}
 		}
 	}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"io"
+	"time"
+)
+
+// tailReader adapts a growing file to the streaming decoder: EOF from
+// the underlying reader means "no more data yet", so reads poll until
+// new bytes appear, and only report io.EOF once the source has been
+// quiet for the idle window — the follow-mode heuristic for "the run is
+// over". Stdin needs no such wrapper: a pipe blocks until data or
+// close, so plain EOF is already definitive there.
+type tailReader struct {
+	r    io.Reader
+	idle time.Duration // quiet period after which the stream is declared complete
+	poll time.Duration // delay between retries at EOF
+	last time.Time     // time of the last successful read
+}
+
+func newTailReader(r io.Reader, idle time.Duration) *tailReader {
+	return &tailReader{r: r, idle: idle, poll: 25 * time.Millisecond, last: time.Now()}
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	for {
+		n, err := t.r.Read(p)
+		if n > 0 {
+			t.last = time.Now()
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if err == nil {
+			continue
+		}
+		if time.Since(t.last) >= t.idle {
+			return 0, io.EOF
+		}
+		time.Sleep(t.poll)
+	}
+}

@@ -3,15 +3,20 @@
 // history with Elle, and reports whether the run reproduced the anomaly
 // signature the paper documents for that system.
 //
+// The campaign list is derived from the casestudy scenario table and the
+// analyzers from the workload registry, so neither is hard-coded here:
+// a new scenario (or a scenario over a newly registered workload) shows
+// up in -db and the usage text with no CLI edits.
+//
 // Usage:
 //
-//	ellecase                  run all four campaigns
+//	ellecase                  run every campaign
 //	ellecase -db tidb         run one campaign
 //	ellecase -db tidb -v      ... and print each anomaly's explanation
 //
 // Flags:
 //
-//	-db NAME     tidb | yugabyte | fauna | dgraph | all (default all)
+//	-db NAME     one campaign (tidb, yugabyte, fauna, dgraph, …) or all
 //	-clients N   concurrent client threads (default 10)
 //	-txns N      transactions per campaign (default 2000)
 //	-seed N      run seed (default 1)
@@ -26,8 +31,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/casestudy"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -35,9 +42,10 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	names := casestudy.Names()
 	fs := flag.NewFlagSet("ellecase", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	db := fs.String("db", "all", "campaign: tidb, yugabyte, fauna, dgraph, or all")
+	db := fs.String("db", "all", "campaign: "+strings.Join(names, ", ")+", or all")
 	clients := fs.Int("clients", 10, "concurrent client threads")
 	txns := fs.Int("txns", 2000, "transactions per campaign")
 	seed := fs.Int64("seed", 1, "run seed")
@@ -52,10 +60,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		s, ok := casestudy.Find(*db)
 		if !ok {
-			fmt.Fprintf(stderr, "ellecase: unknown database %q (tidb, yugabyte, fauna, dgraph, all)\n", *db)
+			fmt.Fprintf(stderr, "ellecase: unknown database %q (%s, all)\n",
+				*db, strings.Join(names, ", "))
 			return 2
 		}
 		scenarios = []casestudy.Scenario{s}
+	}
+	// Every scenario's analyzer must come from the live registry; a
+	// scenario naming a workload nothing registered is a configuration
+	// error worth a clear message, not a core panic.
+	for _, s := range scenarios {
+		if _, ok := workload.Lookup(string(s.Workload)); !ok {
+			fmt.Fprintf(stderr, "ellecase: campaign %s needs workload %q, which is not registered (have: %s)\n",
+				s.Name, s.Workload, workload.NameList())
+			return 2
+		}
 	}
 
 	cfg := casestudy.Config{Clients: *clients, Txns: *txns, Seed: *seed}

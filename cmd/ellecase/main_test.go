@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/casestudy"
 )
 
 func TestSingleCampaign(t *testing.T) {
@@ -50,5 +52,12 @@ func TestUnknownDatabase(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown database") {
 		t.Errorf("stderr = %q", errb.String())
+	}
+	// The offered campaign list is derived from the scenario table, not
+	// hard-coded.
+	for _, name := range casestudy.Names() {
+		if !strings.Contains(errb.String(), name) {
+			t.Errorf("error message missing campaign %q:\n%s", name, errb.String())
+		}
 	}
 }

@@ -21,7 +21,10 @@
 //     compact (completions only) or complete (invoke/ok/fail/info pairs,
 //     as a real test harness records them).
 //   - Check: dependency inference + cycle search + anomaly
-//     classification against a claimed consistency model.
+//     classification against a claimed consistency model. CheckStream
+//     is its incremental counterpart: feed the history in chunks and
+//     anomalies surface as they become provable, with a Finish result
+//     byte-identical to the batch Check.
 //   - Workload generation (GenConfig, NewGen) and the in-memory engine
 //     (DB, Run) for producing histories to check.
 //   - The search baseline (CheckSerializable) used by the paper's
@@ -150,6 +153,28 @@ const (
 
 // Check analyzes a history under the given options.
 func Check(h *History, opts CheckOpts) *CheckResult { return core.Check(h, opts) }
+
+// Streaming.
+type (
+	// Stream is an in-progress incremental check: feed the history in
+	// index-ordered chunks, read provisional findings from each Delta,
+	// and Finish for the definitive result — byte-identical to Check
+	// over the concatenated chunks. See CheckStream.
+	Stream = core.Stream
+	// Delta is what one Stream.Feed returns: the anomalies the chunk
+	// made provable (provisional — the final report confirms them) and
+	// the running op count.
+	Delta = workload.Delta
+)
+
+// CheckStream begins an incremental check: the streaming counterpart of
+// Check, for histories that are still being produced — a live test run,
+// a tailed log — or too large to hold before analyzing. Workloads with
+// native incremental analyzers (list-append, rw-register) maintain
+// per-key version orders and dependency edges across feeds and surface
+// anomalies as chunks prove them; every other workload streams through
+// a buffer-then-batch adapter and reports everything at Finish.
+func CheckStream(opts CheckOpts) *Stream { return core.CheckStream(opts) }
 
 // OptsFor returns the options the paper's methodology implies for
 // checking workload w against claimed model m.

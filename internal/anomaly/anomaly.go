@@ -4,6 +4,10 @@
 // real-world phenomena of §6.1 (garbage reads, duplicate writes, internal
 // inconsistency), plus cyclic-version-order reports from the register
 // analyzer (§7.4).
+//
+// docs/ANOMALIES.md is the human-readable index of this catalogue: every
+// code with its paper definition, its position in the consistency
+// lattice, and whether the streaming checker can surface it mid-stream.
 package anomaly
 
 import (

@@ -112,6 +112,17 @@ func Scenarios() []Scenario {
 	}
 }
 
+// Names returns every campaign name in paper order — what the CLI
+// offers on its -db flag and prints for an unknown name.
+func Names() []string {
+	scenarios := Scenarios()
+	out := make([]string, 0, len(scenarios))
+	for _, s := range scenarios {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
 // Find returns the scenario with the given name.
 func Find(name string) (Scenario, bool) {
 	for _, s := range Scenarios() {

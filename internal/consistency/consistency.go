@@ -7,6 +7,9 @@
 // the session/real-time strengthenings of §5.1 of the Elle paper: an edge
 // M → M' means "M is stronger than M'": every history satisfying M
 // satisfies M', so an anomaly that violates M' also violates M.
+//
+// docs/ANOMALIES.md renders the lattice and the anomaly→model
+// violates-relation below as one cross-referenced glossary.
 package consistency
 
 import (

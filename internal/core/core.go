@@ -214,61 +214,91 @@ func joinModels(ms []consistency.Model) string {
 // history produce identical reports at any parallelism level.
 func Check(h *history.History, opts Opts) *CheckResult {
 	opts = opts.withDefaults()
-	p := opts.Parallelism
 
 	// The process, real-time, and timestamp orders depend only on the
 	// history, not on inference, so they build while the analyzer runs.
-	var procG, rtG, tsG *graph.Graph
-	var orderWG sync.WaitGroup
-	build := func(dst **graph.Graph, f func(*history.History) *graph.Graph) {
-		if par.Procs(p) == 1 {
-			*dst = f(h)
-			return
-		}
-		orderWG.Add(1)
-		go func() {
-			defer orderWG.Done()
-			*dst = f(h)
-		}()
-	}
-	if opts.ProcessEdges {
-		build(&procG, txngraph.ProcessGraph)
-	}
-	if opts.RealtimeEdges {
-		build(&rtG, txngraph.RealtimeGraph)
-	}
-	if opts.TimestampEdges {
-		build(&tsG, txngraph.TimestampGraph)
-	}
+	orders := startOrderGraphs(h, opts)
 
 	// The analyzer comes from the registry: core neither knows nor
 	// cares which datatype it is checking. Every analyzer receives the
 	// same shared options (including Parallelism) and returns a graph,
 	// its non-cycle anomalies, and an explainer.
-	info, ok := workload.Lookup(string(opts.Workload))
+	info := lookup(opts.Workload)
+	an := info.Analyzer.Analyze(h, opts.Opts)
+	return classify(h, opts, an, orders)
+}
+
+// lookup resolves a workload name or panics with the registered set; a
+// bad name is a programming error at this layer (the CLIs validate).
+func lookup(w Workload) workload.Info {
+	info, ok := workload.Lookup(string(w))
 	if !ok {
 		panic(fmt.Sprintf("core: unknown workload %q (registered: %s)",
-			opts.Workload, workload.NameList()))
+			w, workload.NameList()))
 	}
-	an := info.Analyzer.Analyze(h, opts.Opts)
+	return info
+}
+
+// orderGraphs carries the in-flight builds of the §5.1 ordering graphs;
+// wait joins them.
+type orderGraphs struct {
+	proc, rt, ts *graph.Graph
+	wg           sync.WaitGroup
+}
+
+// startOrderGraphs kicks off the process/real-time/timestamp graph
+// builds opts asks for, concurrently when the parallelism budget allows
+// it, so they overlap with dependency inference (batch) or with the
+// streaming session's own finish work.
+func startOrderGraphs(h *history.History, opts Opts) *orderGraphs {
+	o := &orderGraphs{}
+	build := func(dst **graph.Graph, f func(*history.History) *graph.Graph) {
+		if par.Procs(opts.Parallelism) == 1 {
+			*dst = f(h)
+			return
+		}
+		o.wg.Add(1)
+		go func() {
+			defer o.wg.Done()
+			*dst = f(h)
+		}()
+	}
+	if opts.ProcessEdges {
+		build(&o.proc, txngraph.ProcessGraph)
+	}
+	if opts.RealtimeEdges {
+		build(&o.rt, txngraph.RealtimeGraph)
+	}
+	if opts.TimestampEdges {
+		build(&o.ts, txngraph.TimestampGraph)
+	}
+	return o
+}
+
+// classify is the back half of a check, shared by the batch Check and
+// the streaming Stream.Finish: merge the extra ordering graphs into the
+// inferred dependency graph, search for anomalous cycles, classify
+// every anomaly, and evaluate the consistency lattice.
+func classify(h *history.History, opts Opts, an workload.Analysis, orders *orderGraphs) *CheckResult {
+	p := opts.Parallelism
 	g, anoms, expl := an.Graph, an.Anomalies, an.Explainer
 
-	orderWG.Wait()
+	orders.wg.Wait()
 	var extra graph.KindSet
 	if opts.ProcessEdges {
-		g.Merge(procG)
+		g.Merge(orders.proc)
 		extra |= graph.Process.Mask()
 	}
 	if opts.RealtimeEdges {
-		g.Merge(rtG)
+		g.Merge(orders.rt)
 		extra |= graph.Realtime.Mask()
 	}
 	if opts.TimestampEdges {
-		g.Merge(tsG)
+		g.Merge(orders.ts)
 		extra |= graph.Timestamp.Mask()
 	}
 
-	cycles := findAnomalousCycles(g, extra, p)
+	cycles := g.AnomalousCycles(extra, p)
 	anoms = append(anoms, par.Map(p, len(cycles), func(i int) anomaly.Anomaly {
 		c := cycles[i]
 		return anomaly.Anomaly{
@@ -301,63 +331,6 @@ func Check(h *history.History, opts Opts) *CheckResult {
 		},
 	}
 	return res
-}
-
-// findAnomalousCycles runs the §6 searches, from most to least specific,
-// deduplicating cycles that multiple searches find: G0 over ww edges, G1c
-// over ww+wr, G-single with exactly one rw, and G2 with one or more rw.
-// Extra ordering edges (process, realtime) participate in every search;
-// CycleType downgrades cycles that need them to the -process / -realtime
-// variants.
-//
-// The four searches are independent reads of the finished graph, so they
-// run concurrently (each additionally fanning out per SCC); deduplication
-// walks the results in fixed search order, keeping the report identical
-// at every parallelism level. The worker budget is split across the two
-// levels — outer searches × inner per-SCC workers ≤ p — so the check
-// never runs more cycle-search goroutines than Opts.Parallelism allows.
-func findAnomalousCycles(g *graph.Graph, extra graph.KindSet, p int) []graph.Cycle {
-	budget := par.Procs(p)
-	outer := budget
-	if outer > 4 {
-		outer = 4
-	}
-	inner := budget / outer
-	if inner < 1 {
-		inner = 1
-	}
-	searches := []func() []graph.Cycle{
-		func() []graph.Cycle { return g.FindCyclesP(graph.KSWW|extra, inner) },
-		func() []graph.Cycle { return g.FindCyclesP(graph.KSWWWR|extra, inner) },
-		func() []graph.Cycle { return g.FindCyclesWithExactlyOneP(graph.RW, graph.KSWWWR|extra, inner) },
-		func() []graph.Cycle { return g.FindCyclesWithAtLeastOneP(graph.RW, graph.KSDep|extra, inner) },
-	}
-	found := par.Map(outer, len(searches), func(i int) []graph.Cycle { return searches[i]() })
-
-	seen := map[string]bool{}
-	var out []graph.Cycle
-	for _, cs := range found {
-		for _, c := range cs {
-			sig := cycleSignature(c)
-			if !seen[sig] {
-				seen[sig] = true
-				out = append(out, c)
-			}
-		}
-	}
-	return out
-}
-
-// cycleSignature canonicalizes a cycle by its sorted node set; two
-// witnesses over the same transactions are considered the same finding.
-func cycleSignature(c graph.Cycle) string {
-	nodes := c.Nodes()
-	sort.Ints(nodes)
-	var b strings.Builder
-	for _, n := range nodes {
-		fmt.Fprintf(&b, "%d,", n)
-	}
-	return b.String()
 }
 
 func sortAnomalies(as []anomaly.Anomaly) {

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/par"
+)
+
+// AnomalousCycles runs the §6 searches, from most to least specific,
+// deduplicating cycles that multiple searches find: G0 over ww edges,
+// G1c over ww+wr, G-single with exactly one rw, and G2 with one or more
+// rw. Extra ordering edges (process, realtime, timestamp) participate
+// in every search; anomaly classification downgrades cycles that need
+// them to the -process / -realtime / -timestamp variants.
+//
+// The four searches are independent reads of the finished graph, so
+// they run concurrently (each additionally fanning out per SCC);
+// deduplication walks the results in fixed search order, keeping the
+// report identical at every parallelism level. The worker budget is
+// split across the two levels — outer searches × inner per-SCC workers
+// <= p — so the search never runs more goroutines than p allows.
+//
+// Both the batch checker and the streaming sessions call this: the
+// batch path over the whole graph, the streaming path over the induced
+// subgraph of the components a chunk dirtied.
+func (g *Graph) AnomalousCycles(extra KindSet, p int) []Cycle {
+	budget := par.Procs(p)
+	outer := budget
+	if outer > 4 {
+		outer = 4
+	}
+	inner := budget / outer
+	if inner < 1 {
+		inner = 1
+	}
+	searches := []func() []Cycle{
+		func() []Cycle { return g.FindCyclesP(KSWW|extra, inner) },
+		func() []Cycle { return g.FindCyclesP(KSWWWR|extra, inner) },
+		func() []Cycle { return g.FindCyclesWithExactlyOneP(RW, KSWWWR|extra, inner) },
+		func() []Cycle { return g.FindCyclesWithAtLeastOneP(RW, KSDep|extra, inner) },
+	}
+	found := par.Map(outer, len(searches), func(i int) []Cycle { return searches[i]() })
+
+	seen := map[string]bool{}
+	var out []Cycle
+	for _, cs := range found {
+		for _, c := range cs {
+			sig := CycleKey(c)
+			if !seen[sig] {
+				seen[sig] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// CycleKey canonicalizes a cycle by its sorted node set; two witnesses
+// over the same transactions are considered the same finding, both by
+// the batch deduplication above and by the streaming sessions' "already
+// surfaced" bookkeeping.
+func CycleKey(c Cycle) string {
+	nodes := c.Nodes()
+	sort.Ints(nodes)
+	var b strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/op"
+)
+
+// Stream incrementally validates and accumulates an observation that
+// arrives in chunks — the history-side half of the streaming checker.
+// It enforces the same structural rules as New (index uniqueness,
+// invoke/completion pairing, one outstanding invocation per process)
+// as each op arrives, so a malformed stream fails at the offending
+// chunk instead of at the end, and maintains the invoke/completion
+// index spans analyzers need without re-walking the prefix.
+//
+// One streaming-only restriction applies: ops must arrive in strictly
+// ascending Index order. New can sort a batch before validating;
+// a stream cannot reorder what it has already analyzed.
+type Stream struct {
+	ops        []op.Op
+	completion []int
+	invocation []int
+	open       map[int]int    // process -> position of outstanding invoke
+	spans      map[int][2]int // completion op index -> [invoke index, completion index]
+
+	hasInvoke   bool
+	firstComp   int // op index of the first completion accepted in compact mode
+	completions int
+	err         error // sticky: a stream that errored stays errored
+}
+
+// NewStream returns an empty Stream.
+func NewStream() *Stream {
+	return &Stream{open: map[int]int{}, firstComp: -1}
+}
+
+// Add validates and ingests one op. Errors are sticky: once Add fails,
+// every later call returns the same error.
+func (s *Stream) Add(o op.Op) error {
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.add(o); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+// AddAll ingests ops in order, stopping at the first error.
+func (s *Stream) AddAll(ops []op.Op) error {
+	for _, o := range ops {
+		if err := s.Add(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// add validates o fully before mutating any state, so a rejected op
+// leaves no trace: History over a stream that errored contains only
+// the ops accepted before the failure.
+func (s *Stream) add(o op.Op) error {
+	if n := len(s.ops); n > 0 {
+		last := s.ops[n-1].Index
+		if o.Index == last {
+			return &Error{Index: o.Index, Msg: "duplicate index"}
+		}
+		if o.Index < last {
+			return &Error{Index: o.Index,
+				Msg: fmt.Sprintf("arrived after index %d: a stream must be index-ordered", last)}
+		}
+	}
+
+	if o.Type == op.Invoke {
+		if !s.hasInvoke && s.firstComp >= 0 {
+			// The stream looked compact until now; New over the same ops
+			// would have rejected its first completion.
+			return &Error{Index: s.firstComp,
+				Msg: fmt.Sprintf("completion for process %d with no outstanding invocation", s.firstCompProcess())}
+		}
+		if prev, ok := s.open[o.Process]; ok {
+			return &Error{Index: o.Index,
+				Msg: fmt.Sprintf("process %d invoked while op index %d is outstanding", o.Process, s.ops[prev].Index)}
+		}
+		s.hasInvoke = true
+		s.open[o.Process] = s.append(o)
+		return nil
+	}
+
+	if !s.hasInvoke {
+		// Compact so far: the op completes atomically at its own index.
+		s.append(o)
+		s.completions++
+		if s.firstComp < 0 {
+			s.firstComp = o.Index
+		}
+		s.setSpan(o.Index, o.Index, o.Index)
+		return nil
+	}
+	inv, ok := s.open[o.Process]
+	if !ok {
+		return &Error{Index: o.Index,
+			Msg: fmt.Sprintf("completion for process %d with no outstanding invocation", o.Process)}
+	}
+	pos := s.append(o)
+	s.completions++
+	delete(s.open, o.Process)
+	s.completion[inv] = pos
+	s.invocation[pos] = inv
+	s.setSpan(o.Index, s.ops[inv].Index, o.Index)
+	return nil
+}
+
+func (s *Stream) append(o op.Op) int {
+	pos := len(s.ops)
+	s.ops = append(s.ops, o)
+	s.completion = append(s.completion, -1)
+	s.invocation = append(s.invocation, -1)
+	return pos
+}
+
+func (s *Stream) setSpan(index, invoke, complete int) {
+	if s.spans == nil {
+		s.spans = map[int][2]int{}
+	}
+	s.spans[index] = [2]int{invoke, complete}
+}
+
+// firstCompProcess recovers the process of the first compact-mode
+// completion, for the retroactive pairing error.
+func (s *Stream) firstCompProcess() int {
+	for _, o := range s.ops {
+		if o.Type != op.Invoke {
+			return o.Process
+		}
+	}
+	return 0
+}
+
+// Len returns the number of ops ingested (including invokes).
+func (s *Stream) Len() int { return len(s.ops) }
+
+// Completions returns the number of completion ops ingested.
+func (s *Stream) Completions() int { return s.completions }
+
+// Err returns the sticky error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// SpanOf returns the invoke and completion indices bounding the
+// completion op with the given index, matching History.Span. It returns
+// [index, index] for unknown indices, which is also the compact answer.
+func (s *Stream) SpanOf(index int) [2]int {
+	if sp, ok := s.spans[index]; ok {
+		return sp
+	}
+	return [2]int{index, index}
+}
+
+// History returns the accumulated ops as a validated History. It is
+// equivalent to New over the same ops (which a streaming caller must
+// have delivered in index order), without re-validating the stream.
+// The History aliases the stream's internal state: take it once, when
+// the stream is complete, and do not Add afterwards.
+func (s *Stream) History() *History {
+	h := &History{Ops: s.ops, compact: !s.hasInvoke}
+	if !h.compact {
+		h.completion = s.completion
+		h.invocation = s.invocation
+	}
+	return h
+}

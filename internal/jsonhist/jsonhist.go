@@ -19,7 +19,6 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/op"
-	"repro/internal/par"
 )
 
 // rawOp is the wire form of one op.
@@ -40,6 +39,15 @@ type DecodeOpts struct {
 	// one per CPU, 1 parses sequentially. The decoded history is
 	// identical at every setting.
 	Parallelism int
+	// ChunkBytes is how many raw history bytes one parse unit carries;
+	// <= 0 means ~1 MB, which amortizes fan-out against JSON parsing
+	// for batch decoding.
+	ChunkBytes int
+	// Tail tunes the streaming decoder for following a live source:
+	// every line is emitted as soon as it parses — no chunk batching,
+	// no read-ahead — so a paused producer never delays delivery of
+	// what has already arrived. Batch decoding ignores it.
+	Tail bool
 }
 
 // Decode reads a JSON-lines history. Blank lines are skipped. The
@@ -74,114 +82,22 @@ type parsed struct {
 // and the first malformed line (in line order) is reported just as the
 // sequential decoder would. Reading and parsing are pipelined: while one
 // round of chunks parses, the next round is read from the stream.
+//
+// DecodeWith is NewStreamDecoder + collect-everything; callers that
+// want the ops as they parse (the incremental checker) drive the
+// StreamDecoder directly.
 func DecodeWith(r io.Reader, opts DecodeOpts) (*history.History, error) {
-	p := par.Procs(opts.Parallelism)
-	br := bufio.NewReaderSize(r, 1<<20)
-
+	d := NewStreamDecoder(r, opts)
 	var ops []op.Op
-	line := 0
-	readErr := error(nil)
-	done := false
-	// nextChunk gathers whole lines (of any length — long lines are
-	// reassembled across buffer refills) until the chunk target.
-	nextChunk := func() (chunk, bool) {
-		c := chunk{firstLine: line + 1}
-		size := 0
-		for size < chunkTarget {
-			text, err := br.ReadBytes('\n')
-			if err != nil {
-				if err == io.EOF {
-					// A final unterminated line is still a line.
-					if len(text) > 0 {
-						line++
-						c.lines = append(c.lines, text)
-					}
-				} else {
-					// Drop the truncated fragment: the read failure is
-					// the real error, and parsing the fragment would
-					// mask it with a phantom syntax error.
-					readErr = err
-				}
-				done = true
-				break
-			}
-			line++
-			size += len(text)
-			c.lines = append(c.lines, text)
-		}
-		return c, len(c.lines) > 0
-	}
-	readRound := func() []chunk {
-		var round []chunk
-		for len(round) < p && !done {
-			if c, ok := nextChunk(); ok {
-				round = append(round, c)
-			}
-		}
-		return round
-	}
-	parseChunk := func(c chunk) parsed {
-		out := make([]op.Op, 0, len(c.lines))
-		for j, text := range c.lines {
-			if len(trimSpace(text)) == 0 {
-				continue
-			}
-			var raw rawOp
-			if err := json.Unmarshal(text, &raw); err != nil {
-				return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
-			}
-			o, err := decodeOp(raw, opts.Register)
-			if err != nil {
-				return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
-			}
-			out = append(out, o)
-		}
-		return parsed{ops: out}
-	}
-
-	// pending holds the in-flight parse of the previous round; flush
-	// collects it in chunk order, so errors surface first-in-line-order.
-	var pending chan []parsed
-	flush := func() error {
-		if pending == nil {
-			return nil
-		}
-		results := <-pending
-		pending = nil
-		for _, res := range results {
-			if res.err != nil {
-				return res.err
-			}
-			ops = append(ops, res.ops...)
-		}
-		return nil
-	}
 	for {
-		round := readRound() // overlaps with the parse of the previous round
-		if err := flush(); err != nil {
-			return nil, err
-		}
-		if len(round) == 0 {
+		chunk, err := d.Next()
+		if err == io.EOF {
 			break
 		}
-		if p <= 1 {
-			for _, c := range round {
-				res := parseChunk(c)
-				if res.err != nil {
-					return nil, res.err
-				}
-				ops = append(ops, res.ops...)
-			}
-			continue
+		if err != nil {
+			return nil, err
 		}
-		ch := make(chan []parsed, 1)
-		go func(rd []chunk) {
-			ch <- par.Map(p, len(rd), func(i int) parsed { return parseChunk(rd[i]) })
-		}(round)
-		pending = ch
-	}
-	if readErr != nil {
-		return nil, fmt.Errorf("jsonhist: %w", readErr)
+		ops = append(ops, chunk...)
 	}
 	return history.New(ops)
 }

@@ -1,0 +1,208 @@
+package jsonhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/op"
+	"repro/internal/par"
+)
+
+// StreamDecoder incrementally parses a JSON-lines history, yielding ops
+// chunk by chunk — the bridge between a (possibly still growing) byte
+// stream and the incremental checker's Feed calls.
+//
+// In the default (batch) tuning it behaves exactly like DecodeWith's
+// internals: whole lines are gathered into ~1 MB chunks, a round of up
+// to Parallelism chunks parses across the worker pool while the next
+// round is read from the stream, and Next returns each round's ops in
+// input order, reporting the first malformed line (in line order) just
+// as the sequential decoder would.
+//
+// With Opts.Tail set it trades throughput for latency: one line per
+// chunk, one chunk per round, no read-ahead — every line is delivered
+// the moment it parses, so a paused producer (a live test run writing
+// its history) never delays ops that have already arrived.
+type StreamDecoder struct {
+	opts DecodeOpts
+	p    int
+	br   *bufio.Reader
+
+	line     int
+	readErr  error
+	readDone bool
+	pending  chan []parsed
+	err      error // sticky terminal state, io.EOF included
+}
+
+// NewStreamDecoder returns a decoder reading from r under opts.
+func NewStreamDecoder(r io.Reader, opts DecodeOpts) *StreamDecoder {
+	bufSize := 1 << 20
+	if opts.Tail {
+		// A tailing reader delivers small bursts; a huge buffer only
+		// adds copy slack.
+		bufSize = 1 << 16
+	}
+	return &StreamDecoder{
+		opts: opts,
+		p:    par.Procs(opts.Parallelism),
+		br:   bufio.NewReaderSize(r, bufSize),
+	}
+}
+
+// Next returns the next chunk of decoded ops, in input order. It
+// returns io.EOF when the stream is exhausted; any other error (a
+// malformed line, a failed read) is terminal and sticky.
+func (d *StreamDecoder) Next() ([]op.Op, error) {
+	if d.err != nil {
+		return nil, d.err
+	}
+	for {
+		if d.pending == nil {
+			round := d.readRound()
+			if len(round) == 0 {
+				return nil, d.terminate()
+			}
+			d.launch(round)
+		}
+		// Read the next round while the pending one parses — unless
+		// tailing, where waiting for more input must never delay ops
+		// already in flight.
+		var next []chunk
+		if !d.opts.Tail {
+			next = d.readRound()
+		}
+		results := <-d.pending
+		d.pending = nil
+		if len(next) > 0 {
+			d.launch(next)
+		}
+		var ops []op.Op
+		for _, res := range results {
+			if res.err != nil {
+				d.err = res.err
+				return nil, d.err
+			}
+			ops = append(ops, res.ops...)
+		}
+		if len(ops) > 0 {
+			return ops, nil
+		}
+		// A round of blank lines only: keep going.
+	}
+}
+
+// terminate resolves the end of the stream into the sticky error state.
+func (d *StreamDecoder) terminate() error {
+	if d.readErr != nil {
+		d.err = fmt.Errorf("jsonhist: %w", d.readErr)
+	} else {
+		d.err = io.EOF
+	}
+	return d.err
+}
+
+// chunkBytes resolves the per-chunk byte target.
+func (d *StreamDecoder) chunkBytes() int {
+	if d.opts.Tail {
+		return 1 // any positive size: one line per chunk
+	}
+	if d.opts.ChunkBytes > 0 {
+		return d.opts.ChunkBytes
+	}
+	return chunkTarget
+}
+
+// nextChunk gathers whole lines (of any length — long lines are
+// reassembled across buffer refills) until the chunk target.
+func (d *StreamDecoder) nextChunk() (chunk, bool) {
+	c := chunk{firstLine: d.line + 1}
+	target := d.chunkBytes()
+	size := 0
+	for size < target {
+		text, err := d.br.ReadBytes('\n')
+		if err != nil {
+			if err == io.EOF {
+				// A final unterminated line is still a line.
+				if len(text) > 0 {
+					d.line++
+					c.lines = append(c.lines, text)
+				}
+			} else {
+				// Drop the truncated fragment: the read failure is the
+				// real error, and parsing the fragment would mask it
+				// with a phantom syntax error.
+				d.readErr = err
+			}
+			d.readDone = true
+			break
+		}
+		d.line++
+		size += len(text)
+		c.lines = append(c.lines, text)
+	}
+	return c, len(c.lines) > 0
+}
+
+// readRound gathers up to one worker's worth of chunks (one chunk when
+// tailing).
+func (d *StreamDecoder) readRound() []chunk {
+	width := d.p
+	if d.opts.Tail {
+		width = 1
+	}
+	var round []chunk
+	for len(round) < width && !d.readDone {
+		if c, ok := d.nextChunk(); ok {
+			round = append(round, c)
+		}
+	}
+	return round
+}
+
+// launch starts parsing a round: inline for sequential or single-chunk
+// rounds, across the worker pool otherwise.
+func (d *StreamDecoder) launch(round []chunk) {
+	ch := make(chan []parsed, 1)
+	if d.p <= 1 || len(round) == 1 {
+		ch <- []parsed{d.parseRoundInline(round)}
+	} else {
+		go func(rd []chunk) {
+			ch <- par.Map(d.p, len(rd), func(i int) parsed { return d.parseChunk(rd[i]) })
+		}(round)
+	}
+	d.pending = ch
+}
+
+func (d *StreamDecoder) parseRoundInline(round []chunk) parsed {
+	var all parsed
+	for _, c := range round {
+		res := d.parseChunk(c)
+		if res.err != nil {
+			return res
+		}
+		all.ops = append(all.ops, res.ops...)
+	}
+	return all
+}
+
+func (d *StreamDecoder) parseChunk(c chunk) parsed {
+	out := make([]op.Op, 0, len(c.lines))
+	for j, text := range c.lines {
+		if len(trimSpace(text)) == 0 {
+			continue
+		}
+		var raw rawOp
+		if err := json.Unmarshal(text, &raw); err != nil {
+			return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
+		}
+		o, err := decodeOp(raw, d.opts.Register)
+		if err != nil {
+			return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
+		}
+		out = append(out, o)
+	}
+	return parsed{ops: out}
+}

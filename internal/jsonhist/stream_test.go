@@ -1,0 +1,123 @@
+package jsonhist
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestStreamDecoderMatchesDecode(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 500; i++ {
+		b.WriteString(`{"index":`)
+		b.WriteString(itoa(i))
+		b.WriteString(`,"type":"ok","process":0,"value":[["append",1,`)
+		b.WriteString(itoa(i))
+		b.WriteString(`]]}` + "\n")
+	}
+	input := b.String()
+	want, err := Decode(strings.NewReader(input), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []DecodeOpts{
+		{Parallelism: 1},
+		{Parallelism: 4, ChunkBytes: 128},
+		{Parallelism: 4, Tail: true},
+	} {
+		d := NewStreamDecoder(strings.NewReader(input), opts)
+		var ops []op.Op
+		chunks := 0
+		for {
+			c, err := d.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("%+v: %v", opts, err)
+			}
+			chunks++
+			ops = append(ops, c...)
+		}
+		if len(ops) != len(want.Ops) {
+			t.Fatalf("%+v: got %d ops, want %d", opts, len(ops), len(want.Ops))
+		}
+		for i := range ops {
+			if ops[i].Index != want.Ops[i].Index {
+				t.Fatalf("%+v: op %d has index %d, want %d", opts, i, ops[i].Index, want.Ops[i].Index)
+			}
+		}
+		if opts.Tail && chunks != 500 {
+			t.Fatalf("tail mode delivered %d chunks, want one per line", chunks)
+		}
+		if opts.ChunkBytes == 128 && chunks < 10 {
+			t.Fatalf("small chunks delivered only %d Next calls", chunks)
+		}
+		// The terminal state is sticky.
+		if _, err := d.Next(); err != io.EOF {
+			t.Fatalf("after EOF: %v", err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestStreamDecoderErrorOrder(t *testing.T) {
+	// The malformed line must be reported with its line number, and the
+	// error must be sticky, exactly like the batch decoder.
+	input := `{"index":0,"type":"ok","process":0,"value":[]}
+not json
+{"index":2,"type":"ok","process":0,"value":[]}
+`
+	_, werr := Decode(strings.NewReader(input), false)
+	if werr == nil {
+		t.Fatal("batch decode should fail")
+	}
+	d := NewStreamDecoder(strings.NewReader(input), DecodeOpts{Parallelism: 4})
+	var got error
+	for {
+		_, err := d.Next()
+		if err != nil {
+			got = err
+			break
+		}
+	}
+	if got == io.EOF || got == nil {
+		t.Fatal("stream decode should fail")
+	}
+	if got.Error() != werr.Error() {
+		t.Fatalf("stream error %q != batch error %q", got, werr)
+	}
+	if _, err := d.Next(); err == nil || err.Error() != got.Error() {
+		t.Fatalf("error not sticky: %v", err)
+	}
+}
+
+func TestStreamDecoderBlankAndUnterminated(t *testing.T) {
+	input := "\n\n" + `{"index":0,"type":"ok","process":0,"value":[["r","x",null]]}` // no trailing newline
+	d := NewStreamDecoder(strings.NewReader(input), DecodeOpts{Parallelism: 2})
+	ops, err := d.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].Index != 0 {
+		t.Fatalf("ops = %+v", ops)
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}

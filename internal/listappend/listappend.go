@@ -82,37 +82,34 @@ type analyzer struct {
 	anomalies    []anomaly.Anomaly
 }
 
-// Analyze infers the dependency graph and non-cycle anomalies for h.
-// Of the shared options it consumes Parallelism and DetectLostUpdates
-// (see workload.Opts).
-func Analyze(h *history.History, opts workload.Opts) *Analysis {
-	a := &analyzer{
+// newAnalyzer returns an analyzer with empty indices; the history is
+// attached by Analyze (batch) or at Finish (streaming sessions).
+func newAnalyzer(opts workload.Opts) *analyzer {
+	return &analyzer{
 		opts:         opts,
-		h:            h,
 		ops:          map[int]op.Op{},
 		spanOf:       map[int][2]int{},
 		attempts:     map[elemKey][]int{},
 		writer:       map[elemKey]int{},
 		failedWriter: map[elemKey]int{},
 	}
+}
+
+// Analyze infers the dependency graph and non-cycle anomalies for h.
+// Of the shared options it consumes Parallelism and DetectLostUpdates
+// (see workload.Opts).
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
+	a := newAnalyzer(opts)
+	a.h = h
 	for pos, o := range h.Ops {
 		if o.Type == op.Invoke {
 			continue
 		}
-		a.ops[o.Index] = o
 		inv, comp := h.Span(pos)
-		a.spanOf[o.Index] = [2]int{inv, comp}
-		switch o.Type {
-		case op.OK:
-			a.oks = append(a.oks, o)
-		case op.Fail:
-			a.fails = append(a.fails, o)
-		case op.Info:
-			a.infos = append(a.infos, o)
-		}
+		a.addOp(o, [2]int{inv, comp})
 	}
 	p := opts.Parallelism
-	a.indexWrites()
+	a.anomalies = append(a.anomalies, a.duplicateAppendAnomalies()...)
 
 	// Per-transaction checks: every committed op is validated against its
 	// own reads and writes, and against the write indices, independently.
@@ -127,7 +124,9 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	// imply. Results are merged in sorted-key order.
 	keys, byKey := a.cleanReadsByKey()
 	perKey := par.Map(p, len(keys), func(i int) keyOrder {
-		return a.versionOrderFor(keys[i], byKey[keys[i]])
+		k := keys[i]
+		longest := longestRead(byKey[k])
+		return keyOrder{elems: longest.list, anoms: a.incompatAnomalies(k, byKey[k], longest)}
 	})
 	orders := make(map[string][]int, len(keys))
 	for i, k := range keys {
@@ -136,15 +135,7 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	}
 	g := a.buildGraph(keys, byKey, orders)
 
-	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
-		return a.abortedIntermediateAnomalies(a.oks[i])
-	}))
-	a.collect(par.Map(p, len(keys), func(i int) []anomaly.Anomaly {
-		return a.dirtyUpdateAnomalies(keys[i], orders[keys[i]])
-	}))
-	if opts.DetectLostUpdates {
-		a.checkLostUpdates(orders)
-	}
+	a.finishAnomalies(keys, orders)
 	return &Analysis{
 		Graph:         g,
 		Anomalies:     a.anomalies,
@@ -153,24 +144,69 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	}
 }
 
+// finishAnomalies runs the checks that need the final write indices and
+// version orders — G1a/G1b, dirty updates, lost updates — shared by the
+// batch Analyze and the streaming session's Finish.
+func (a *analyzer) finishAnomalies(keys []string, orders map[string][]int) {
+	p := a.opts.Parallelism
+	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
+		return a.abortedIntermediateAnomalies(a.oks[i])
+	}))
+	a.collect(par.Map(p, len(keys), func(i int) []anomaly.Anomaly {
+		return a.dirtyUpdateAnomalies(keys[i], orders[keys[i]])
+	}))
+	if a.opts.DetectLostUpdates {
+		a.checkLostUpdates(orders)
+	}
+}
+
 func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
 	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
-// indexWrites builds the attempt and recoverable-writer indices, reporting
-// duplicate appends (which destroy recoverability, §4.2.3).
-func (a *analyzer) indexWrites() {
+// addOp indexes one completion op: the op and span indices every check
+// reads, and the per-element attempt index with its recoverability
+// transitions — the first attempt on an element claims the writer slot,
+// a second attempt destroys recoverability (§4.2.3) and evicts it.
+// Ops must be added in ascending index order.
+func (a *analyzer) addOp(o op.Op, span [2]int) {
+	a.ops[o.Index] = o
+	a.spanOf[o.Index] = span
+	switch o.Type {
+	case op.OK:
+		a.oks = append(a.oks, o)
+	case op.Fail:
+		a.fails = append(a.fails, o)
+	case op.Info:
+		a.infos = append(a.infos, o)
+	}
+	for _, m := range o.Mops {
+		if m.F != op.FAppend {
+			continue
+		}
+		ek := elemKey{m.Key, m.Arg}
+		a.attempts[ek] = append(a.attempts[ek], o.Index)
+		switch len(a.attempts[ek]) {
+		case 1:
+			if o.Type == op.Fail {
+				a.failedWriter[ek] = o.Index
+			} else {
+				a.writer[ek] = o.Index
+			}
+		case 2:
+			delete(a.writer, ek)
+			delete(a.failedWriter, ek)
+		}
+	}
+}
+
+// duplicateAppendAnomalies reports every element appended more than
+// once, in sorted (key, element) order.
+func (a *analyzer) duplicateAppendAnomalies() []anomaly.Anomaly {
 	var keys []elemKey
-	for _, o := range a.ops {
-		for _, m := range o.Mops {
-			if m.F != op.FAppend {
-				continue
-			}
-			ek := elemKey{m.Key, m.Arg}
-			if len(a.attempts[ek]) == 0 {
-				keys = append(keys, ek)
-			}
-			a.attempts[ek] = append(a.attempts[ek], o.Index)
+	for ek, idxs := range a.attempts {
+		if len(idxs) > 1 {
+			keys = append(keys, ek)
 		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -179,31 +215,24 @@ func (a *analyzer) indexWrites() {
 		}
 		return keys[i].elem < keys[j].elem
 	})
+	var out []anomaly.Anomaly
 	for _, ek := range keys {
 		idxs := a.attempts[ek]
-		if len(idxs) > 1 {
-			sort.Ints(idxs)
-			ops := make([]op.Op, len(idxs))
-			for i, ix := range idxs {
-				ops[i] = a.ops[ix]
-			}
-			a.anomalies = append(a.anomalies, anomaly.Anomaly{
-				Type: anomaly.DuplicateAppends,
-				Ops:  ops,
-				Key:  ek.key,
-				Explanation: fmt.Sprintf(
-					"element %d was appended to key %s by %d distinct transactions; appends must be unique for versions to be recoverable",
-					ek.elem, ek.key, len(idxs)),
-			})
-			continue
+		sort.Ints(idxs)
+		ops := make([]op.Op, len(idxs))
+		for i, ix := range idxs {
+			ops[i] = a.ops[ix]
 		}
-		w := a.ops[idxs[0]]
-		if w.Type == op.Fail {
-			a.failedWriter[ek] = w.Index
-		} else {
-			a.writer[ek] = w.Index
-		}
+		out = append(out, anomaly.Anomaly{
+			Type: anomaly.DuplicateAppends,
+			Ops:  ops,
+			Key:  ek.key,
+			Explanation: fmt.Sprintf(
+				"element %d was appended to key %s by %d distinct transactions; appends must be unique for versions to be recoverable",
+				ek.elem, ek.key, len(idxs)),
+		})
 	}
+	return out
 }
 
 // readStructureAnomalies validates each committed read value of one
@@ -215,20 +244,8 @@ func (a *analyzer) readStructureAnomalies(o op.Op) []anomaly.Anomaly {
 		if !m.ListKnown() {
 			continue
 		}
-		seen := make(map[int]bool, len(m.List))
-		for _, e := range m.List {
-			if seen[e] {
-				out = append(out, anomaly.Anomaly{
-					Type: anomaly.DuplicateElements,
-					Ops:  []op.Op{o},
-					Key:  m.Key,
-					Explanation: fmt.Sprintf(
-						"%s read key %s as %s, which contains element %d more than once: some append was applied multiple times",
-						o.Name(), m.Key, op.FormatList(m.List), e),
-				})
-				break
-			}
-			seen[e] = true
+		if dup, ok := duplicateElements(o, m); ok {
+			out = append(out, dup)
 		}
 		for _, e := range m.List {
 			if !a.attempted(elemKey{m.Key, e}) {
@@ -245,6 +262,28 @@ func (a *analyzer) readStructureAnomalies(o op.Op) []anomaly.Anomaly {
 		}
 	}
 	return out
+}
+
+// duplicateElements reports a read value containing the same element
+// more than once — shared by readStructureAnomalies and the streaming
+// session, whose evidence for it is complete the moment the read is
+// observed.
+func duplicateElements(o op.Op, m op.Mop) (anomaly.Anomaly, bool) {
+	seen := make(map[int]bool, len(m.List))
+	for _, e := range m.List {
+		if seen[e] {
+			return anomaly.Anomaly{
+				Type: anomaly.DuplicateElements,
+				Ops:  []op.Op{o},
+				Key:  m.Key,
+				Explanation: fmt.Sprintf(
+					"%s read key %s as %s, which contains element %d more than once: some append was applied multiple times",
+					o.Name(), m.Key, op.FormatList(m.List), e),
+			}, true
+		}
+		seen[e] = true
+	}
+	return anomaly.Anomaly{}, false
 }
 
 // attempted reports whether any op (including unpaired invocations from
@@ -299,34 +338,46 @@ type keyOrder struct {
 	anoms []anomaly.Anomaly
 }
 
-// versionOrderFor infers the trace of the longest clean committed read of
-// key k — a prefix of ≪x (§4.3.2) — and reports incompatible orders:
-// pairs of committed reads neither of which is a prefix of the other,
-// which imply an aborted read in every interpretation (§4.3.1,
-// "Inconsistent Observations").
-func (a *analyzer) versionOrderFor(k string, reads []cleanRead) keyOrder {
+// longestRead returns the first read of maximal length: its trace is
+// the inferred version order ≪x of the key (§4.3.2). The streaming
+// session maintains the same value across feeds by replacing only on a
+// strictly longer read.
+func longestRead(reads []cleanRead) cleanRead {
 	longest := reads[0]
 	for _, r := range reads[1:] {
 		if len(r.list) > len(longest.list) {
 			longest = r
 		}
 	}
-	var out keyOrder
+	return longest
+}
+
+// incompatAnomalies reports incompatible orders against the longest
+// read of key k: pairs of committed reads neither of which is a prefix
+// of the other, which imply an aborted read in every interpretation
+// (§4.3.1, "Inconsistent Observations").
+func (a *analyzer) incompatAnomalies(k string, reads []cleanRead, longest cleanRead) []anomaly.Anomaly {
+	var out []anomaly.Anomaly
 	for _, r := range reads {
 		if !op.IsPrefix(r.list, longest.list) {
-			out.anoms = append(out.anoms, anomaly.Anomaly{
-				Type: anomaly.IncompatibleOrder,
-				Ops:  []op.Op{r.o, longest.o},
-				Key:  k,
-				Explanation: fmt.Sprintf(
-					"%s read key %s as %s but %s read it as %s; neither is a prefix of the other, so at least one observed an aborted version",
-					r.o.Name(), k, op.FormatList(r.list),
-					longest.o.Name(), op.FormatList(longest.list)),
-			})
+			out = append(out, incompatAnomaly(k, r, longest))
 		}
 	}
-	out.elems = longest.list
 	return out
+}
+
+// incompatAnomaly renders one incompatible-order finding; the streaming
+// session uses the same rendering for mid-stream surfacing.
+func incompatAnomaly(k string, r, longest cleanRead) anomaly.Anomaly {
+	return anomaly.Anomaly{
+		Type: anomaly.IncompatibleOrder,
+		Ops:  []op.Op{r.o, longest.o},
+		Key:  k,
+		Explanation: fmt.Sprintf(
+			"%s read key %s as %s but %s read it as %s; neither is a prefix of the other, so at least one observed an aborted version",
+			r.o.Name(), k, op.FormatList(r.list),
+			longest.o.Name(), op.FormatList(longest.list)),
+	}
 }
 
 // buildGraph emits the inferred serialization graph of §4.3.2: per-key
@@ -396,14 +447,7 @@ func (a *analyzer) abortedIntermediateAnomalies(o op.Op) []anomaly.Anomaly {
 		}
 		for _, e := range m.List {
 			if w, ok := a.failedWriter[elemKey{m.Key, e}]; ok {
-				out = append(out, anomaly.Anomaly{
-					Type: anomaly.G1a,
-					Ops:  []op.Op{o, a.ops[w]},
-					Key:  m.Key,
-					Explanation: fmt.Sprintf(
-						"%s read key %s as %s, but element %d was appended by %s, which aborted: an aborted read",
-						o.Name(), m.Key, op.FormatList(m.List), e, a.ops[w].Name()),
-				})
+				out = append(out, g1aAnomaly(o, m.Key, m.List, e, a.ops[w]))
 			}
 		}
 		if n := len(m.List); n > 0 {
@@ -524,6 +568,20 @@ func (a *analyzer) checkLostUpdates(orders map[string][]int) {
 		}
 		return out
 	}))
+}
+
+// g1aAnomaly renders one aborted-read finding: reader observed list for
+// key, whose element e was appended by the aborted writer. The
+// streaming session uses the same rendering for mid-stream surfacing.
+func g1aAnomaly(reader op.Op, key string, list []int, e int, writer op.Op) anomaly.Anomaly {
+	return anomaly.Anomaly{
+		Type: anomaly.G1a,
+		Ops:  []op.Op{reader, writer},
+		Key:  key,
+		Explanation: fmt.Sprintf(
+			"%s read key %s as %s, but element %d was appended by %s, which aborted: an aborted read",
+			reader.Name(), key, op.FormatList(list), e, writer.Name()),
+	}
 }
 
 func readPos(o op.Op, key string) int {

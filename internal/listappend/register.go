@@ -10,10 +10,11 @@ import (
 
 func init() {
 	workload.Register(workload.Info{
-		Name:    workload.ListAppend,
-		Aliases: []string{"list"},
-		Gen:     gen.ListAppend,
-		DB:      memdb.WorkloadList,
+		Name:        workload.ListAppend,
+		Aliases:     []string{"list"},
+		Gen:         gen.ListAppend,
+		DB:          memdb.WorkloadList,
+		Incremental: workload.IncrementalFunc(beginSession),
 		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
 			an := Analyze(h, opts)
 			return workload.Analysis{

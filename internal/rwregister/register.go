@@ -15,6 +15,7 @@ func init() {
 		RegisterReads: true,
 		Gen:           gen.Register,
 		DB:            memdb.WorkloadRegister,
+		Incremental:   workload.IncrementalFunc(beginSession),
 		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
 			an := Analyze(h, opts)
 			return workload.Analysis{

@@ -72,15 +72,11 @@ type analyzer struct {
 	anomalies    []anomaly.Anomaly
 }
 
-// Analyze infers dependencies and anomalies for a register history. Of
-// the shared options it consumes Parallelism and the four version-order
-// inference rules (InitialState, WritesFollowReads, LinearizableKeys,
-// SequentialKeys); workload.DefaultOpts enables every rule, matching
-// the paper's Dgraph analysis.
-func Analyze(h *history.History, opts workload.Opts) *Analysis {
-	a := &analyzer{
+// newAnalyzer returns an analyzer with empty indices; the history is
+// attached by Analyze (batch) or at Finish (streaming sessions).
+func newAnalyzer(opts workload.Opts) *analyzer {
+	return &analyzer{
 		opts:         opts,
-		h:            h,
 		ops:          map[int]op.Op{},
 		spanOf:       map[int][2]int{},
 		writer:       map[verKey]int{},
@@ -88,20 +84,25 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 		writeCount:   map[verKey]int{},
 		readers:      map[verKey][]int{},
 	}
+}
+
+// Analyze infers dependencies and anomalies for a register history. Of
+// the shared options it consumes Parallelism and the four version-order
+// inference rules (InitialState, WritesFollowReads, LinearizableKeys,
+// SequentialKeys); workload.DefaultOpts enables every rule, matching
+// the paper's Dgraph analysis.
+func Analyze(h *history.History, opts workload.Opts) *Analysis {
+	a := newAnalyzer(opts)
+	a.h = h
 	for pos, o := range h.Ops {
 		if o.Type == op.Invoke {
 			continue
 		}
-		a.ops[o.Index] = o
 		inv, comp := h.Span(pos)
-		a.spanOf[o.Index] = [2]int{inv, comp}
-		if o.Type == op.OK {
-			a.oks = append(a.oks, o)
-		}
+		a.addOp(o, [2]int{inv, comp})
 	}
 	p := opts.Parallelism
-	a.indexWrites()
-	a.indexReads()
+	a.anomalies = append(a.anomalies, a.duplicateWriteAnomalies()...)
 
 	// Per-transaction checks are independent per committed op; fan them
 	// out with ordered collection so the report order matches the
@@ -124,19 +125,13 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	// are identical at every parallelism level.
 	keys := a.keys()
 	perKey := par.Map(p, len(keys), func(i int) keyResult {
-		return a.analyzeKey(keys[i])
+		return a.analyzeKey(keys[i], a.oks)
 	})
 	orders := map[string][][2]string{}
 	for i, k := range keys {
 		r := perKey[i]
 		if r.cyclic != nil {
-			a.report(anomaly.Anomaly{
-				Type: anomaly.CyclicVersionOrder,
-				Key:  k,
-				Explanation: fmt.Sprintf(
-					"the inferred version order for key %s is cyclic (%s); its version edges are discarded to avoid trivial transaction cycles",
-					k, formatVersionCycle(r.cyclic)),
-			})
+			a.report(cvoAnomaly(k, r.cyclic))
 			continue
 		}
 		orders[k] = r.verEdges
@@ -157,14 +152,17 @@ type keyResult struct {
 
 // analyzeKey runs the whole per-key pipeline for key k: build the version
 // graph from the enabled rules, reject it if cyclic, otherwise reduce it
-// and explode it into transaction dependencies.
-func (a *analyzer) analyzeKey(k string) keyResult {
-	vg := a.versionGraph(k)
+// and explode it into transaction dependencies. oks is the committed-op
+// list the per-key rules scan: the full list in batch runs, the key's
+// own op list in streaming sessions (the rules filter by key either
+// way, so the results agree).
+func (a *analyzer) analyzeKey(k string, oks []op.Op) keyResult {
+	vg := a.versionGraph(k, oks)
 	if cyc := cyclicWitness(vg); cyc != nil {
 		return keyResult{cyclic: cyc}
 	}
 	reduce(vg)
-	verEdges, edges := a.emitEdges(k, vg)
+	verEdges, edges := a.emitEdges(k, vg, oks)
 	return keyResult{verEdges: verEdges, edges: edges}
 }
 
@@ -172,26 +170,46 @@ func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
 	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
-func (a *analyzer) indexWrites() {
-	var vks []verKey
-	for _, o := range a.ops {
-		for _, m := range o.Mops {
-			if m.F != op.FWrite {
-				continue
-			}
+// addOp indexes one completion op: the op and span maps, the per-value
+// write index with its recoverability transitions (first write claims
+// the writer slot, a second write evicts it), and the reader index.
+// Ops must be added in ascending index order.
+func (a *analyzer) addOp(o op.Op, span [2]int) {
+	a.ops[o.Index] = o
+	a.spanOf[o.Index] = span
+	if o.Type == op.OK {
+		a.oks = append(a.oks, o)
+	}
+	for _, m := range o.Mops {
+		switch {
+		case m.F == op.FWrite:
 			vk := verKey{m.Key, m.Arg}
-			if a.writeCount[vk] == 0 {
-				vks = append(vks, vk)
-			}
 			a.writeCount[vk]++
-			if a.writeCount[vk] > 1 {
-				continue
+			switch a.writeCount[vk] {
+			case 1:
+				if o.Type == op.Fail {
+					a.failedWriter[vk] = o.Index
+				} else {
+					a.writer[vk] = o.Index
+				}
+			case 2:
+				delete(a.writer, vk)
+				delete(a.failedWriter, vk)
 			}
-			if o.Type == op.Fail {
-				a.failedWriter[vk] = o.Index
-			} else {
-				a.writer[vk] = o.Index
-			}
+		case m.F == op.FRead && o.Type == op.OK && m.RegKnown && !m.RegNil:
+			vk := verKey{m.Key, m.Reg}
+			a.readers[vk] = append(a.readers[vk], o.Index)
+		}
+	}
+}
+
+// duplicateWriteAnomalies reports every value written more than once,
+// in sorted (key, value) order.
+func (a *analyzer) duplicateWriteAnomalies() []anomaly.Anomaly {
+	var vks []verKey
+	for vk, n := range a.writeCount {
+		if n > 1 {
+			vks = append(vks, vk)
 		}
 	}
 	sort.Slice(vks, func(i, j int) bool {
@@ -200,29 +218,28 @@ func (a *analyzer) indexWrites() {
 		}
 		return vks[i].val < vks[j].val
 	})
+	var out []anomaly.Anomaly
 	for _, vk := range vks {
-		if a.writeCount[vk] > 1 {
-			delete(a.writer, vk)
-			delete(a.failedWriter, vk)
-			a.report(anomaly.Anomaly{
-				Type: anomaly.DuplicateAppends,
-				Key:  vk.key,
-				Explanation: fmt.Sprintf(
-					"value %d was written to key %s by %d transactions; writes must be unique for versions to be recoverable",
-					vk.val, vk.key, a.writeCount[vk]),
-			})
-		}
+		out = append(out, anomaly.Anomaly{
+			Type: anomaly.DuplicateAppends,
+			Key:  vk.key,
+			Explanation: fmt.Sprintf(
+				"value %d was written to key %s by %d transactions; writes must be unique for versions to be recoverable",
+				vk.val, vk.key, a.writeCount[vk]),
+		})
 	}
+	return out
 }
 
-func (a *analyzer) indexReads() {
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			if m.F == op.FRead && m.RegKnown && !m.RegNil {
-				vk := verKey{m.Key, m.Reg}
-				a.readers[vk] = append(a.readers[vk], o.Index)
-			}
-		}
+// cvoAnomaly renders one cyclic-version-order finding; the streaming
+// session uses the same rendering for mid-stream surfacing.
+func cvoAnomaly(k string, cyc []int) anomaly.Anomaly {
+	return anomaly.Anomaly{
+		Type: anomaly.CyclicVersionOrder,
+		Key:  k,
+		Explanation: fmt.Sprintf(
+			"the inferred version order for key %s is cyclic (%s); its version edges are discarded to avoid trivial transaction cycles",
+			k, formatVersionCycle(cyc)),
 	}
 }
 
@@ -248,14 +265,7 @@ func (a *analyzer) readAnomalies(o op.Op) []anomaly.Anomaly {
 			continue
 		}
 		if w, ok := a.failedWriter[vk]; ok {
-			out = append(out, anomaly.Anomaly{
-				Type: anomaly.G1a,
-				Ops:  []op.Op{o, a.ops[w]},
-				Key:  m.Key,
-				Explanation: fmt.Sprintf(
-					"%s read key %s = %d, which was written by %s, which aborted: an aborted read",
-					o.Name(), m.Key, m.Reg, a.ops[w].Name()),
-			})
+			out = append(out, g1aAnomaly(o, m.Key, m.Reg, a.ops[w]))
 		}
 		if w, ok := a.writer[vk]; ok && w != o.Index {
 			wo := a.ops[w]
@@ -312,6 +322,20 @@ func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
 		}
 	}
 	return out
+}
+
+// g1aAnomaly renders one aborted-read finding: reader observed value v
+// of key, written by the aborted writer. The streaming session uses the
+// same rendering for mid-stream surfacing.
+func g1aAnomaly(reader op.Op, key string, v int, writer op.Op) anomaly.Anomaly {
+	return anomaly.Anomaly{
+		Type: anomaly.G1a,
+		Ops:  []op.Op{reader, writer},
+		Key:  key,
+		Explanation: fmt.Sprintf(
+			"%s read key %s = %d, which was written by %s, which aborted: an aborted read",
+			reader.Name(), key, v, writer.Name()),
+	}
 }
 
 func regString(isNil bool, v int) string {

@@ -13,7 +13,7 @@ import (
 // versionGraph builds the per-key partial version order for key k from
 // the enabled inference rules. Nodes are written/observed values, with
 // nilVer standing in for the initial version.
-func (a *analyzer) versionGraph(k string) map[int]map[int]bool {
+func (a *analyzer) versionGraph(k string, oks []op.Op) map[int]map[int]bool {
 	vg := map[int]map[int]bool{}
 	addVer := func(v int) {
 		if vg[v] == nil {
@@ -39,7 +39,7 @@ func (a *analyzer) versionGraph(k string) map[int]map[int]bool {
 	}
 
 	if a.opts.WritesFollowReads {
-		for _, o := range a.oks {
+		for _, o := range oks {
 			cur, haveCur := nilVer, false
 			for _, m := range o.Mops {
 				if m.Key != k {
@@ -66,10 +66,10 @@ func (a *analyzer) versionGraph(k string) map[int]map[int]bool {
 	}
 
 	if a.opts.LinearizableKeys {
-		a.linearizableEdges(k, addEdge)
+		a.linearizableEdges(k, oks, addEdge)
 	}
 	if a.opts.SequentialKeys {
-		a.sequentialEdges(k, addEdge)
+		a.sequentialEdges(k, oks, addEdge)
 	}
 	return vg
 }
@@ -77,7 +77,7 @@ func (a *analyzer) versionGraph(k string) map[int]map[int]bool {
 // sequentialEdges infers vi <x vj whenever one committed process touched
 // key k at version vi in one transaction and at vj in a later one: the
 // session's view of a sequentially consistent key must be monotone.
-func (a *analyzer) sequentialEdges(k string, addEdge func(u, v int)) {
+func (a *analyzer) sequentialEdges(k string, oks []op.Op, addEdge func(u, v int)) {
 	type touch struct {
 		process     int
 		index       int
@@ -85,9 +85,9 @@ func (a *analyzer) sequentialEdges(k string, addEdge func(u, v int)) {
 		ok          bool
 	}
 	byProcess := map[int]touch{}
-	// a.oks is in index order, so per-process iteration follows the
+	// oks is in index order, so per-process iteration follows the
 	// session order.
-	for _, o := range a.oks {
+	for _, o := range oks {
 		first, last, have := nilVer, nilVer, false
 		for _, m := range o.Mops {
 			if m.Key != k {
@@ -146,14 +146,14 @@ func (a *analyzer) versionsOf(k string) []int {
 // transaction B began and first touched k at version vj. The sweep
 // mirrors the real-time transitive reduction: it maintains the frontier
 // of completed transactions not yet transitively covered.
-func (a *analyzer) linearizableEdges(k string, addEdge func(u, v int)) {
+func (a *analyzer) linearizableEdges(k string, oks []op.Op, addEdge func(u, v int)) {
 	type span struct {
 		invoke, complete int
 		first, last      int // versions; nilVer possible
 		hasFirst         bool
 	}
 	var spans []span
-	for _, o := range a.oks {
+	for _, o := range oks {
 		first, last, have := nilVer, nilVer, false
 		for _, m := range o.Mops {
 			if m.Key != k {
@@ -315,7 +315,7 @@ func reachableAvoiding(vg map[int]map[int]bool, u, v int) bool {
 // emitEdges explodes key k's reduced version order into ww and rw
 // transaction dependencies, returning the direct version edges for
 // reporting alongside the dependency edges.
-func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool) ([][2]string, []graph.Edge) {
+func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool, oks []op.Op) ([][2]string, []graph.Edge) {
 	var edges [][2]string
 	var deps []graph.Edge
 	for _, u := range sortedTargets(allNodes(vg)) {
@@ -332,7 +332,7 @@ func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool) ([][2]string, []
 			// rw: every reader of u anti-depends on the writer of its
 			// successor v.
 			if wv, ok := a.writer[verKey{k, v}]; ok {
-				for _, r := range a.readersOf(k, u) {
+				for _, r := range a.readersOf(k, u, oks) {
 					deps = append(deps, graph.Edge{From: r, To: wv, Kind: graph.RW})
 				}
 			}
@@ -343,12 +343,12 @@ func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool) ([][2]string, []
 
 // readersOf returns ok transactions that read version v of key k; v may
 // be nilVer.
-func (a *analyzer) readersOf(k string, v int) []int {
+func (a *analyzer) readersOf(k string, v int, oks []op.Op) []int {
 	if v != nilVer {
 		return a.readers[verKey{k, v}]
 	}
 	var out []int
-	for _, o := range a.oks {
+	for _, o := range oks {
 		for _, m := range o.Mops {
 			if m.F == op.FRead && m.Key == k && m.RegKnown && m.RegNil {
 				out = append(out, o.Index)

@@ -141,6 +141,10 @@ type Info struct {
 	Aliases []string
 	// Analyzer performs dependency inference for the workload.
 	Analyzer Analyzer
+	// Incremental, when non-nil, supplies native streaming sessions for
+	// the workload (see BeginSession). Workloads without one stream
+	// through the generic buffer-then-batch adapter.
+	Incremental Incremental
 	// RegisterReads selects register decoding for JSON read values
 	// (scalar rather than list observations).
 	RegisterReads bool

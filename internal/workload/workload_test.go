@@ -96,3 +96,32 @@ func TestAnalyzersHonorTheContract(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionsHonorTheContract: every registered workload opens a
+// streaming session (native or adapter) whose empty run matches the
+// batch contract, and sessions reject use after Finish.
+func TestSessionsHonorTheContract(t *testing.T) {
+	for _, info := range workload.All() {
+		sess := workload.BeginSession(info, workload.DefaultOpts())
+		if d, err := sess.Feed(nil); err != nil || d.Ops != 0 {
+			t.Errorf("%s: empty feed: %+v, %v", info.Name, d, err)
+		}
+		an, err := sess.Finish()
+		if err != nil {
+			t.Errorf("%s: Finish: %v", info.Name, err)
+			continue
+		}
+		if an.Graph == nil || an.Explainer == nil {
+			t.Errorf("%s: session Finish returned nil graph or explainer", info.Name)
+		}
+		if len(an.Anomalies) != 0 {
+			t.Errorf("%s: anomalies on empty stream: %v", info.Name, an.Anomalies)
+		}
+		if _, err := sess.Feed(nil); err == nil {
+			t.Errorf("%s: Feed after Finish should fail", info.Name)
+		}
+		if _, err := sess.Finish(); err == nil {
+			t.Errorf("%s: double Finish should fail", info.Name)
+		}
+	}
+}
