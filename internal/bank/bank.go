@@ -63,10 +63,13 @@ type Analysis struct {
 	Graph *graph.Graph
 	// Anomalies are the non-cycle anomalies found during inference.
 	Anomalies []anomaly.Anomaly
-	// VersionOrders maps each account to the direct balance-version
+	// Keys is the history's key interner; VersionOrders is indexed by
+	// its KeyIDs.
+	Keys *history.Interner
+	// VersionOrders holds, per account KeyID, the direct balance-version
 	// edges observed through overwrites, in explain.RegOrders format
 	// ("nil" encodes the initial version).
-	VersionOrders map[string][][2]string
+	VersionOrders [][][2]string
 	// Ops indexes analyzed completion ops by index.
 	Ops map[int]op.Op
 	// Accounts is the recovered account set, sorted.
@@ -76,8 +79,18 @@ type Analysis struct {
 	TotalKnown bool
 }
 
+// VersionOrder returns the direct version edges observed for account
+// key, or nil.
+func (a *Analysis) VersionOrder(key string) [][2]string {
+	id, ok := a.Keys.ID(key)
+	if !ok || int(id) >= len(a.VersionOrders) {
+		return nil
+	}
+	return a.VersionOrders[id]
+}
+
 type verKey struct {
-	key string
+	key history.KeyID
 	val int
 }
 
@@ -90,19 +103,23 @@ type overwrite struct {
 
 type analyzer struct {
 	opts workload.Opts
+	in   *history.Interner
 
 	ops        map[int]op.Op
 	oks        []op.Op
 	writeCount map[verKey]int   // writes by may-have-committed txns
 	writer     map[verKey]int   // unique such writer (writeCount == 1)
 	readers    map[verKey][]int // committed readers of (key, val)
-	nilReaders map[string][]int // committed readers of key's nil version
-	overwrites map[string][]overwrite
+	nilReaders [][]int          // committed readers of each key's nil version, by KeyID
+	overwrites [][]overwrite    // observed direct version transitions, by KeyID
 	accounts   []string
 	total      int
 	totalKnown bool
 	anomalies  []anomaly.Anomaly
 }
+
+// kid resolves an interned key (see history.Interner.MustID).
+func (a *analyzer) kid(k string) history.KeyID { return a.in.MustID(k) }
 
 // Analyze infers dependencies and checks invariants for a bank history.
 // Of the shared options it consumes Parallelism, WritesFollowReads
@@ -110,12 +127,13 @@ type analyzer struct {
 func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	a := &analyzer{
 		opts:       opts,
+		in:         h.Keys(),
 		ops:        map[int]op.Op{},
 		writeCount: map[verKey]int{},
 		writer:     map[verKey]int{},
 		readers:    map[verKey][]int{},
-		nilReaders: map[string][]int{},
-		overwrites: map[string][]overwrite{},
+		nilReaders: make([][]int, h.Keys().Len()),
+		overwrites: make([][]overwrite, h.Keys().Len()),
 	}
 	for _, o := range h.Completions() {
 		a.ops[o.Index] = o
@@ -145,7 +163,7 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 		verEdges, edges := a.keyEdges(k)
 		return keyResult{verEdges: verEdges, edges: edges}
 	})
-	orders := map[string][][2]string{}
+	orders := make([][][2]string, a.in.Len())
 	for i, k := range keys {
 		if len(perKey[i].verEdges) > 0 {
 			orders[k] = perKey[i].verEdges
@@ -157,6 +175,7 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	return &Analysis{
 		Graph:         g,
 		Anomalies:     a.anomalies,
+		Keys:          a.in,
 		VersionOrders: orders,
 		Ops:           a.ops,
 		Accounts:      a.accounts,
@@ -186,23 +205,24 @@ func (a *analyzer) index() {
 		}
 		// cur tracks the last balance this transaction knows per key —
 		// the writes-follow-reads state machine.
-		cur := map[string]int{}
-		have := map[string]bool{}
+		cur := map[history.KeyID]int{}
+		have := map[history.KeyID]bool{}
 		for _, m := range o.Mops {
+			k := a.kid(m.Key)
 			switch m.F {
 			case op.FWrite:
-				vk := verKey{m.Key, m.Arg}
+				vk := verKey{k, m.Arg}
 				a.writeCount[vk]++
 				if a.writeCount[vk] == 1 {
 					a.writer[vk] = o.Index
 				} else {
 					delete(a.writer, vk)
 				}
-				if have[m.Key] && cur[m.Key] != m.Arg {
-					a.overwrites[m.Key] = append(a.overwrites[m.Key],
-						overwrite{prev: cur[m.Key], next: m.Arg, txn: o.Index})
+				if have[k] && cur[k] != m.Arg {
+					a.overwrites[k] = append(a.overwrites[k],
+						overwrite{prev: cur[k], next: m.Arg, txn: o.Index})
 				}
-				cur[m.Key], have[m.Key] = m.Arg, true
+				cur[k], have[k] = m.Arg, true
 			case op.FRead:
 				if !m.RegKnown {
 					continue
@@ -211,12 +231,12 @@ func (a *analyzer) index() {
 				if !m.RegNil {
 					v = m.Reg
 					if o.Type == op.OK {
-						a.readers[verKey{m.Key, m.Reg}] = append(a.readers[verKey{m.Key, m.Reg}], o.Index)
+						a.readers[verKey{k, m.Reg}] = append(a.readers[verKey{k, m.Reg}], o.Index)
 					}
 				} else if o.Type == op.OK {
-					a.nilReaders[m.Key] = append(a.nilReaders[m.Key], o.Index)
+					a.nilReaders[k] = append(a.nilReaders[k], o.Index)
 				}
-				cur[m.Key], have[m.Key] = v, true
+				cur[k], have[k] = v, true
 			}
 		}
 	}
@@ -326,7 +346,7 @@ func (a *analyzer) checkOp(o op.Op) []anomaly.Anomaly {
 						o.Name(), m.Reg, m.Key),
 				})
 			}
-			if !m.RegNil && a.writeCount[verKey{m.Key, m.Reg}] == 0 {
+			if !m.RegNil && a.writeCount[verKey{a.kid(m.Key), m.Reg}] == 0 {
 				out = append(out, anomaly.Anomaly{
 					Type: anomaly.GarbageRead,
 					Ops:  []op.Op{o},
@@ -393,7 +413,7 @@ func (a *analyzer) checkOp(o op.Op) []anomaly.Anomaly {
 // whose commit actually failed would collect anti-dependency edges that
 // hold in no interpretation, seeding false cycles. It also returns the
 // version edges for explanations.
-func (a *analyzer) keyEdges(k string) ([][2]string, []graph.Edge) {
+func (a *analyzer) keyEdges(k history.KeyID) ([][2]string, []graph.Edge) {
 	var verEdges [][2]string
 	var deps []graph.Edge
 	seenVer := map[[2]string]bool{}
@@ -443,7 +463,7 @@ func (a *analyzer) keyEdges(k string) ([][2]string, []graph.Edge) {
 // to have committed in every interpretation: it returned ok, or it is
 // the unique writer of the installed balance and a committed
 // transaction read that balance.
-func (a *analyzer) provenCommitted(k string, ow overwrite) bool {
+func (a *analyzer) provenCommitted(k history.KeyID, ow overwrite) bool {
 	if a.ops[ow.txn].Type == op.OK {
 		return true
 	}
@@ -461,7 +481,7 @@ func (a *analyzer) emitWR(g *graph.Graph) {
 	}
 	sort.Slice(vks, func(i, j int) bool {
 		if vks[i].key != vks[j].key {
-			return vks[i].key < vks[j].key
+			return a.in.Less(vks[i].key, vks[j].key)
 		}
 		return vks[i].val < vks[j].val
 	})
@@ -478,26 +498,33 @@ func (a *analyzer) emitWR(g *graph.Graph) {
 	}
 }
 
-// keys returns every account that contributed an index entry, sorted.
-func (a *analyzer) keys() []string {
-	set := map[string]bool{}
+// keys returns every account that contributed an index entry, sorted
+// by name.
+func (a *analyzer) keys() []history.KeyID {
+	seen := make([]bool, a.in.Len())
 	for vk := range a.writeCount {
-		set[vk.key] = true
+		seen[vk.key] = true
 	}
 	for vk := range a.readers {
-		set[vk.key] = true
+		seen[vk.key] = true
 	}
 	for k := range a.nilReaders {
-		set[k] = true
+		if len(a.nilReaders[k]) > 0 {
+			seen[k] = true
+		}
 	}
 	for k := range a.overwrites {
-		set[k] = true
+		if len(a.overwrites[k]) > 0 {
+			seen[k] = true
+		}
 	}
-	out := make([]string, 0, len(set))
-	for k := range set {
-		out = append(out, k)
+	out := make([]history.KeyID, 0, len(seen))
+	for k, ok := range seen {
+		if ok {
+			out = append(out, history.KeyID(k))
+		}
 	}
-	sort.Strings(out)
+	a.in.SortKeyIDs(out)
 	return out
 }
 

@@ -187,10 +187,10 @@ func TestExplainerRendersBankCycle(t *testing.T) {
 	if !hasEdge(an.Graph, 1, 2, graph.RW) || !hasEdge(an.Graph, 2, 1, graph.RW) {
 		t.Fatalf("missing rw edges for the lost update")
 	}
-	if len(an.VersionOrders["a"]) == 0 {
+	if len(an.VersionOrder("a")) == 0 {
 		t.Fatal("no version edges recorded for account a")
 	}
-	expl := &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders}
+	expl := &explain.Explainer{Ops: an.Ops, Keys: an.Keys, RegOrders: an.VersionOrders}
 	text := expl.Cycle(graph.Cycle{Steps: []graph.Step{
 		{From: 1, To: 2, Via: graph.RW},
 		{From: 2, To: 1, Via: graph.RW},

@@ -19,7 +19,7 @@ func init() {
 			return workload.Analysis{
 				Graph:     an.Graph,
 				Anomalies: an.Anomalies,
-				Explainer: &explain.Explainer{Ops: an.Ops, RegOrders: an.VersionOrders},
+				Explainer: &explain.Explainer{Ops: an.Ops, Keys: an.Keys, RegOrders: an.VersionOrders},
 			}
 		}),
 	})

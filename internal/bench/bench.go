@@ -1,0 +1,167 @@
+// Package bench defines the checker's stable benchmark suite and the
+// machine-readable result format consumed by the CI perf-regression
+// gate (see cmd/ellebench and docs/BENCHMARKS.md).
+//
+// The cases cover the hot path end to end at p=1 — batch check,
+// streaming check, register and bank inference, JSON-lines decode —
+// so a regression in allocation behavior or single-core throughput
+// anywhere in the pipeline moves at least one number. Parallel speedup
+// is deliberately not gated: it depends on the runner's core count,
+// where ns/op at p=1 and allocs/op at any p are stable properties of
+// the code.
+package bench
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// Case is one named benchmark the harness can run.
+type Case struct {
+	// Name identifies the case in BENCH_*.json; it is stable across
+	// releases so baselines stay comparable.
+	Name string
+	// F is the benchmark body, in testing.Benchmark form.
+	F func(b *testing.B)
+}
+
+// Histories are generated once per process, not once per testing.B
+// calibration round.
+var (
+	listHistory = sync.OnceValue(func() *history.History {
+		return perf.GenerateHistory(100000, 20, 1)
+	})
+	listEncoded = sync.OnceValue(func() []byte {
+		var buf bytes.Buffer
+		if err := jsonhist.Encode(&buf, listHistory()); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	})
+	registerHistory = sync.OnceValue(func() *history.History {
+		g := gen.New(gen.Config{Workload: gen.Register, ActiveKeys: 100, MaxWritesPerKey: 100}, 1)
+		return memdb.Run(memdb.RunConfig{
+			Clients: 20, Txns: 50000, Isolation: memdb.StrictSerializable,
+			Source: g, Seed: 1, Workload: memdb.WorkloadRegister,
+		})
+	})
+	bankHistory = sync.OnceValue(func() *history.History {
+		info, ok := workload.Lookup(string(workload.Bank))
+		if !ok {
+			panic("bench: bank workload not registered")
+		}
+		g := gen.New(gen.Config{Workload: info.Gen, ActiveKeys: 10}, 1)
+		return memdb.Run(memdb.RunConfig{
+			Clients: 20, Txns: 20000, Isolation: memdb.StrictSerializable,
+			Source: g, Seed: 1, Workload: info.DB,
+		})
+	})
+)
+
+func checkOpts(w core.Workload) core.Opts {
+	opts := core.OptsFor(w, consistency.StrictSerializable)
+	opts.Parallelism = 1
+	return opts
+}
+
+// Cases returns the benchmark suite in its canonical order.
+func Cases() []Case {
+	return []Case{
+		{Name: "check-parallel/n=100000/p=1", F: func(b *testing.B) {
+			h := listHistory()
+			opts := checkOpts(core.ListAppend)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := core.Check(h, opts)
+				if !r.Valid {
+					b.Fatalf("clean history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		}},
+		{Name: "check-stream/n=100000/p=1", F: func(b *testing.B) {
+			h := listHistory()
+			opts := checkOpts(core.ListAppend)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := core.CheckStream(opts)
+				ops := h.Ops
+				for len(ops) > 0 {
+					n := 1000
+					if n > len(ops) {
+						n = len(ops)
+					}
+					if _, err := st.Feed(ops[:n]); err != nil {
+						b.Fatal(err)
+					}
+					ops = ops[n:]
+				}
+				r, err := st.Finish()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Valid {
+					b.Fatalf("clean history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		}},
+		{Name: "check-register/n=50000/p=1", F: func(b *testing.B) {
+			h := registerHistory()
+			opts := checkOpts(core.Register)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Check(h, opts)
+			}
+		}},
+		{Name: "check-bank/n=20000/p=1", F: func(b *testing.B) {
+			h := bankHistory()
+			opts := checkOpts(core.Bank)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := core.Check(h, opts)
+				if !r.Valid {
+					b.Fatalf("clean bank history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		}},
+		{Name: "decode/n=100000/p=1", F: func(b *testing.B) {
+			raw := listEncoded()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := jsonhist.DecodeWith(bytes.NewReader(raw),
+					jsonhist.DecodeOpts{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "tarjan/n=100000", F: func(b *testing.B) {
+			res := core.Check(listHistory(), checkOpts(core.ListAppend))
+			g := res.Graph
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g.SCCs(graph.KSDep | graph.KSOrders)
+			}
+		}},
+	}
+}
+
+// Find returns the named case.
+func Find(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}

@@ -31,8 +31,8 @@ func TestInferredOrderIsPrefixOfTruth(t *testing.T) {
 		}
 		// Re-run the analyzer to get version orders (core doesn't expose
 		// them directly; the explainer does).
-		orders := res.Explainer.ListOrders
-		for key, inferred := range orders {
+		for _, key := range res.Explainer.ListOrderKeys() {
+			inferred := res.Explainer.ListOrder(key)
 			actual, ok := truth[key]
 			if !ok {
 				if len(inferred) > 0 {
@@ -60,12 +60,11 @@ func TestObservationCoverage(t *testing.T) {
 	})
 	truth := db.FinalLists()
 	res := Check(h, OptsFor(ListAppend, consistency.StrictSerializable))
-	orders := res.Explainer.ListOrders
 
 	totalTrue, totalSeen := 0, 0
 	for key, actual := range truth {
 		totalTrue += len(actual)
-		totalSeen += len(orders[key])
+		totalSeen += len(res.Explainer.ListOrder(key))
 	}
 	if totalTrue == 0 {
 		t.Fatal("engine committed nothing")

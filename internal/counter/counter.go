@@ -46,44 +46,46 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	// increment by a committed or indeterminate transaction may or may
 	// not be visible to any given read (we have no ordering), so the
 	// envelope spans from the sum of negative deltas to the sum of
-	// positive deltas among possibly-committed increments.
-	lo := map[string]int{}
-	hi := map[string]int{}
-	allNonNegative := map[string]bool{}
-	keys := map[string]bool{}
+	// positive deltas among possibly-committed increments. All per-key
+	// state is dense, indexed by the history interner's KeyIDs.
+	in := h.Keys()
+	n := in.Len()
+	lo := make([]int, n)
+	hi := make([]int, n)
+	incremented := make([]bool, n)
+	nonNegative := make([]bool, n)
 	ops := map[int]op.Op{}
+	kid := in.MustID
 	for _, o := range h.Completions() {
 		ops[o.Index] = o
 		for _, m := range o.Mops {
 			if m.F != op.FIncrement {
 				continue
 			}
-			keys[m.Key] = true
-			if _, ok := allNonNegative[m.Key]; !ok {
-				allNonNegative[m.Key] = true
+			k := kid(m.Key)
+			if !incremented[k] {
+				incremented[k] = true
+				nonNegative[k] = true
 			}
 			if m.Arg < 0 {
-				allNonNegative[m.Key] = false
+				nonNegative[k] = false
 			}
 			if !o.MayHaveCommitted() {
 				continue
 			}
 			if m.Arg >= 0 {
-				hi[m.Key] += m.Arg
+				hi[k] += m.Arg
 			} else {
-				lo[m.Key] += m.Arg
+				lo[k] += m.Arg
 			}
 		}
 	}
 
 	a := &Analysis{Bounds: map[string][2]int{}, Ops: ops}
-	sortedKeys := make([]string, 0, len(keys))
-	for k := range keys {
-		sortedKeys = append(sortedKeys, k)
-	}
-	sort.Strings(sortedKeys)
-	for _, k := range sortedKeys {
-		a.Bounds[k] = [2]int{lo[k], hi[k]}
+	for _, k := range in.SortedIDs() {
+		if incremented[k] {
+			a.Bounds[in.Key(k)] = [2]int{lo[k], hi[k]}
+		}
 	}
 
 	// Bounds check on every committed read; each transaction is
@@ -100,7 +102,8 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 			if !m.RegNil {
 				v = m.Reg
 			}
-			l, hb := lo[m.Key], hi[m.Key]
+			k := kid(m.Key)
+			l, hb := lo[k], hi[k]
 			if v < l || v > hb {
 				out = append(out, anomaly.Anomaly{
 					Type: anomaly.GarbageRead,
@@ -127,8 +130,8 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	sort.Ints(procs)
 	a.Anomalies = anomaly.AppendGroups(a.Anomalies, par.Map(opts.Parallelism, len(procs), func(i int) []anomaly.Anomaly {
 		var out []anomaly.Anomaly
-		last := map[string]int{}
-		lastOp := map[string]op.Op{}
+		last := map[history.KeyID]int{}
+		lastOp := map[history.KeyID]op.Op{}
 		for _, o := range byProcess[procs[i]] {
 			if o.Type != op.OK {
 				continue
@@ -137,25 +140,26 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 				if m.F != op.FRead || !m.RegKnown {
 					continue
 				}
-				if !allNonNegative[m.Key] {
+				k := kid(m.Key)
+				if !incremented[k] || !nonNegative[k] {
 					continue
 				}
 				v := 0
 				if !m.RegNil {
 					v = m.Reg
 				}
-				if prev, seen := last[m.Key]; seen && v < prev {
+				if prev, seen := last[k]; seen && v < prev {
 					out = append(out, anomaly.Anomaly{
 						Type: anomaly.Internal,
-						Ops:  []op.Op{lastOp[m.Key], o},
+						Ops:  []op.Op{lastOp[k], o},
 						Key:  m.Key,
 						Explanation: fmt.Sprintf(
 							"process %d observed counter %s fall from %d (%s) to %d (%s) despite only non-negative increments: a non-monotonic session read",
-							o.Process, m.Key, prev, lastOp[m.Key].Name(), v, o.Name()),
+							o.Process, m.Key, prev, lastOp[k].Name(), v, o.Name()),
 					})
 				}
-				last[m.Key] = v
-				lastOp[m.Key] = o
+				last[k] = v
+				lastOp[k] = o
 			}
 		}
 		return out

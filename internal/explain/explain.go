@@ -7,24 +7,84 @@ package explain
 
 import (
 	"fmt"
-	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/history"
 	"repro/internal/op"
 )
 
 // Explainer renders cycles against the ops and version orders of one
-// analysis.
+// analysis. Version orders arrive in the analyzers' compact KeyID-
+// indexed form: Keys translates ids to names, and the order slices are
+// indexed by history.KeyID (entries may be nil; the slices may be
+// shorter than the key space).
 type Explainer struct {
 	// Ops maps transaction ids to their completion ops.
 	Ops map[int]op.Op
-	// ListOrders maps keys to inferred element orders (list-append).
-	ListOrders map[string][]int
-	// RegOrders maps keys to the direct edges of the inferred register
-	// version order, as "u" -> "v" value strings with "nil" for the
-	// initial version (rw-register workloads).
-	RegOrders map[string][][2]string
+	// Keys is the history's key interner; nil when the analysis carries
+	// no version orders.
+	Keys *history.Interner
+	// ListOrders holds inferred element orders (list-append), indexed by
+	// KeyID.
+	ListOrders [][]int
+	// RegOrders holds the direct edges of the inferred register version
+	// order, indexed by KeyID, as "u" -> "v" value strings with "nil"
+	// for the initial version (rw-register and bank workloads).
+	RegOrders [][][2]string
+
+	// sortedIDs caches Keys.SortedIDs(): the interner is immutable by
+	// the time an Explainer exists, and cycle rendering (parallel across
+	// cycles) walks the sorted key list once per ww witness.
+	sortedOnce sync.Once
+	sortedIDs  []history.KeyID
+}
+
+// keyIDsByName returns every KeyID ordered by key name, computed once.
+func (e *Explainer) keyIDsByName() []history.KeyID {
+	e.sortedOnce.Do(func() { e.sortedIDs = e.Keys.SortedIDs() })
+	return e.sortedIDs
+}
+
+// ListOrder returns the inferred element order for key, or nil if none
+// was inferred.
+func (e *Explainer) ListOrder(key string) []int {
+	if e.Keys == nil {
+		return nil
+	}
+	id, ok := e.Keys.ID(key)
+	if !ok || int(id) >= len(e.ListOrders) {
+		return nil
+	}
+	return e.ListOrders[id]
+}
+
+// RegOrder returns the direct version edges inferred for key, or nil.
+func (e *Explainer) RegOrder(key string) [][2]string {
+	if e.Keys == nil {
+		return nil
+	}
+	id, ok := e.Keys.ID(key)
+	if !ok || int(id) >= len(e.RegOrders) {
+		return nil
+	}
+	return e.RegOrders[id]
+}
+
+// ListOrderKeys returns the keys with a non-empty inferred element
+// order, sorted by name.
+func (e *Explainer) ListOrderKeys() []string {
+	var out []string
+	if e.Keys == nil {
+		return out
+	}
+	for _, id := range e.keyIDsByName() {
+		if int(id) < len(e.ListOrders) && len(e.ListOrders[id]) > 0 {
+			out = append(out, e.Keys.Key(id))
+		}
+	}
+	return out
 }
 
 // Cycle renders a Figure 2-style explanation: the transactions involved,
@@ -157,8 +217,8 @@ func (e *Explainer) rwWitness(from, to op.Op) (string, int, bool) {
 		if !m.ListKnown() {
 			continue
 		}
-		order, ok := e.ListOrders[m.Key]
-		if !ok || len(m.List) >= len(order) {
+		order := e.ListOrder(m.Key)
+		if len(m.List) >= len(order) {
 			continue
 		}
 		next := order[len(m.List)]
@@ -182,7 +242,7 @@ func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok boo
 		if !m.RegNil {
 			observed = fmt.Sprintf("%d", m.Reg)
 		}
-		for _, edge := range e.RegOrders[m.Key] {
+		for _, edge := range e.RegOrder(m.Key) {
 			if edge[0] != observed {
 				continue
 			}
@@ -200,13 +260,15 @@ func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok boo
 // prev -> next where `from` wrote prev and `to` wrote next. Keys are
 // tried in sorted order so the witness is deterministic.
 func (e *Explainer) wwRegWitness(from, to op.Op) (key, prev, next string, ok bool) {
-	keys := make([]string, 0, len(e.RegOrders))
-	for k := range e.RegOrders {
-		keys = append(keys, k)
+	if e.Keys == nil {
+		return "", "", "", false
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		for _, edge := range e.RegOrders[k] {
+	for _, id := range e.keyIDsByName() {
+		if int(id) >= len(e.RegOrders) {
+			continue
+		}
+		k := e.Keys.Key(id)
+		for _, edge := range e.RegOrders[id] {
 			if writesValue(from, k, edge[0]) && writesValue(to, k, edge[1]) {
 				return k, edge[0], edge[1], true
 			}
@@ -226,15 +288,17 @@ func writesValue(o op.Op, key, val string) bool {
 
 // wwWitness finds a key and adjacent elements proving a ww edge. Keys
 // are tried in sorted order so the same edge always gets the same
-// witness, whatever map the orders arrived in.
+// witness, whatever order the analyzer stored them in.
 func (e *Explainer) wwWitness(from, to op.Op) (string, int, int, bool) {
-	keys := make([]string, 0, len(e.ListOrders))
-	for key := range e.ListOrders {
-		keys = append(keys, key)
+	if e.Keys == nil {
+		return "", 0, 0, false
 	}
-	sort.Strings(keys)
-	for _, key := range keys {
-		order := e.ListOrders[key]
+	for _, id := range e.keyIDsByName() {
+		if int(id) >= len(e.ListOrders) {
+			continue
+		}
+		key := e.Keys.Key(id)
+		order := e.ListOrders[id]
 		for i := 0; i+1 < len(order); i++ {
 			e1, e2 := order[i], order[i+1]
 			if appends(from, key, e1) && appends(to, key, e2) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/history"
 	"repro/internal/op"
 )
 
@@ -14,9 +15,13 @@ func fixture() (*Explainer, graph.Cycle) {
 		op.ReadList("34", []int{2, 1}), op.Append("36", 5), op.Append("34", 4))
 	t2 := op.Txn(2, 2, op.OK, op.Append("34", 5))
 	t3 := op.Txn(3, 3, op.OK, op.ReadList("34", []int{2, 1, 5, 4}))
+	keys := history.NewInterner()
+	orders := make([][]int, 1)
+	orders[keys.Intern("34")] = []int{2, 1, 5, 4}
 	e := &Explainer{
 		Ops:        map[int]op.Op{1: t1, 2: t2, 3: t3},
-		ListOrders: map[string][]int{"34": {2, 1, 5, 4}},
+		Keys:       keys,
+		ListOrders: orders,
 	}
 	c := graph.Cycle{Steps: []graph.Step{
 		{From: 1, To: 2, Via: graph.RW},
@@ -127,9 +132,13 @@ func TestUnknownNodeName(t *testing.T) {
 func TestRegisterRWReason(t *testing.T) {
 	r := op.Txn(1, 1, op.OK, op.ReadNil("2434"))
 	w := op.Txn(2, 2, op.OK, op.Write("2434", 10))
+	keys := history.NewInterner()
+	regOrders := make([][][2]string, 1)
+	regOrders[keys.Intern("2434")] = [][2]string{{"nil", "10"}}
 	e := &Explainer{
 		Ops:       map[int]op.Op{1: r, 2: w},
-		RegOrders: map[string][][2]string{"2434": {{"nil", "10"}}},
+		Keys:      keys,
+		RegOrders: regOrders,
 	}
 	got := e.edgeReason(graph.Step{From: 1, To: 2, Via: graph.RW})
 	if !strings.Contains(got, "T1 read key 2434 = nil, which T2 overwrote with 10") {

@@ -7,9 +7,11 @@
 package graph
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 )
 
 // Kind is a single dependency relationship between two transactions.
@@ -108,19 +110,44 @@ var (
 	KSOrders = Process.Mask() | Realtime.Mask()
 )
 
+// halfEdge is one adjacency entry: the target's dense id plus the set
+// of kinds the edge carries. Per-node adjacency is a slice of these,
+// sorted by target id — a compact CSR-style layout that replaces the
+// map-per-node representation, eliminating a map allocation per node
+// and hashing on every edge visit.
+type halfEdge struct {
+	to int32
+	ks KindSet
+}
+
 // Graph is a directed multigraph over int-identified nodes (transaction
 // indices). Parallel edges of different kinds between the same pair are
 // merged into one adjacency entry with a KindSet label.
 type Graph struct {
 	ids   map[int]int32 // external node id -> dense id
 	nodes []int         // dense id -> external node id
-	adj   []map[int32]KindSet
+	adj   [][]halfEdge  // per-node out-edges, sorted by target dense id
 	edges int
 }
 
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{ids: map[int]int32{}}
+}
+
+// searchHalf returns the position of to in out, or the insertion point
+// keeping out sorted if absent.
+func searchHalf(out []halfEdge, to int32) int {
+	lo, hi := 0, len(out)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if out[mid].to < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Ensure adds node n if absent and returns its dense id.
@@ -152,20 +179,48 @@ func (g *Graph) AddEdges(edges []Edge) {
 // AddEdge records a dependency of the given kind from node a to node b,
 // creating the nodes as needed. Self-edges are ignored: per Adya's
 // footnote, a transaction never depends on itself in a serialization graph.
-func (g *Graph) AddEdge(a, b int, k Kind) {
+func (g *Graph) AddEdge(a, b int, k Kind) { g.addMask(a, b, k.Mask()) }
+
+// addMask records an edge carrying every kind in ks at once.
+func (g *Graph) addMask(a, b int, ks KindSet) {
 	if a == b {
 		g.Ensure(a)
 		return
 	}
 	ai, bi := g.Ensure(a), g.Ensure(b)
-	if g.adj[ai] == nil {
-		g.adj[ai] = map[int32]KindSet{}
+	out := g.adj[ai]
+	i := searchHalf(out, bi)
+	if i < len(out) && out[i].to == bi {
+		out[i].ks |= ks
+		return
 	}
-	prev, existed := g.adj[ai][bi]
-	g.adj[ai][bi] = prev | k.Mask()
-	if !existed {
-		g.edges++
+	out = append(out, halfEdge{})
+	copy(out[i+1:], out[i:])
+	out[i] = halfEdge{to: bi, ks: ks}
+	g.adj[ai] = out
+	g.edges++
+}
+
+// addKindDense records kind k on edge ai→bi (dense ids, ai != bi),
+// reporting whether k was newly added — the fused lookup-or-insert
+// graph.Incr drives, which re-feeds mostly-present edge lists after
+// every streaming scan.
+func (g *Graph) addKindDense(ai, bi int32, k Kind) bool {
+	out := g.adj[ai]
+	i := searchHalf(out, bi)
+	if i < len(out) && out[i].to == bi {
+		if out[i].ks.Has(k) {
+			return false
+		}
+		out[i].ks |= k.Mask()
+		return true
 	}
+	out = append(out, halfEdge{})
+	copy(out[i+1:], out[i:])
+	out[i] = halfEdge{to: bi, ks: k.Mask()}
+	g.adj[ai] = out
+	g.edges++
+	return true
 }
 
 // Merge adds every node and edge of o into g.
@@ -173,11 +228,8 @@ func (g *Graph) Merge(o *Graph) {
 	for ai, out := range o.adj {
 		a := o.nodes[ai]
 		g.Ensure(a)
-		for bi, ks := range out {
-			b := o.nodes[bi]
-			for _, k := range ks.Kinds() {
-				g.AddEdge(a, b, k)
-			}
+		for _, e := range out {
+			g.addMask(a, o.nodes[e.to], e.ks)
 		}
 	}
 	for _, n := range o.nodes {
@@ -214,7 +266,11 @@ func (g *Graph) Label(a, b int) KindSet {
 	if !ok {
 		return 0
 	}
-	return g.adj[ai][bi]
+	out := g.adj[ai]
+	if i := searchHalf(out, bi); i < len(out) && out[i].to == bi {
+		return out[i].ks
+	}
+	return 0
 }
 
 // Out calls f for every out-edge of node a whose label intersects mask.
@@ -224,30 +280,42 @@ func (g *Graph) Out(a int, mask KindSet, f func(b int, label KindSet)) {
 	if !ok {
 		return
 	}
-	for bi, ks := range g.adj[ai] {
-		if ks.Intersects(mask) {
-			f(g.nodes[bi], ks)
+	for _, e := range g.adj[ai] {
+		if e.ks.Intersects(mask) {
+			f(g.nodes[e.to], e.ks)
 		}
 	}
 }
 
+// scratchPool recycles the per-call target buffers of OutSorted, the
+// innermost loop of every BFS cycle search; without it each visit of a
+// node allocates a fresh slice.
+var scratchPool = sync.Pool{New: func() any { return new([]halfEdge) }}
+
 // OutSorted is Out with callbacks in ascending node order; used where
-// deterministic traversal matters (explanations, tests).
+// deterministic traversal matters (cycle searches, explanations, tests).
+// The callback may re-enter OutSorted (nested searches each draw their
+// own scratch buffer from the pool).
 func (g *Graph) OutSorted(a int, mask KindSet, f func(b int, label KindSet)) {
 	ai, ok := g.ids[a]
 	if !ok {
 		return
 	}
-	targets := make([]int32, 0, len(g.adj[ai]))
-	for bi, ks := range g.adj[ai] {
-		if ks.Intersects(mask) {
-			targets = append(targets, bi)
+	bufp := scratchPool.Get().(*[]halfEdge)
+	targets := (*bufp)[:0]
+	for _, e := range g.adj[ai] {
+		if e.ks.Intersects(mask) {
+			targets = append(targets, e)
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return g.nodes[targets[i]] < g.nodes[targets[j]] })
-	for _, bi := range targets {
-		f(g.nodes[bi], g.adj[ai][bi])
+	slices.SortFunc(targets, func(x, y halfEdge) int {
+		return cmp.Compare(g.nodes[x.to], g.nodes[y.to])
+	})
+	for _, e := range targets {
+		f(g.nodes[e.to], e.ks)
 	}
+	*bufp = targets[:0]
+	scratchPool.Put(bufp)
 }
 
 // Filter returns a new graph containing only edges whose label intersects
@@ -259,12 +327,9 @@ func (g *Graph) Filter(mask KindSet) *Graph {
 	}
 	for ai, adj := range g.adj {
 		a := g.nodes[ai]
-		for bi, ks := range adj {
-			if inter := ks & mask; inter != 0 {
-				b := g.nodes[bi]
-				for _, k := range inter.Kinds() {
-					out.AddEdge(a, b, k)
-				}
+		for _, e := range adj {
+			if inter := e.ks & mask; inter != 0 {
+				out.addMask(a, g.nodes[e.to], inter)
 			}
 		}
 	}

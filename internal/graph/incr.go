@@ -97,10 +97,9 @@ func (x *Incr) AddEdge(a, b int, k Kind) {
 	if a == b {
 		return
 	}
-	if x.g.Label(a, b).Has(k) {
-		return
+	if !x.g.addKindDense(ai, bi, k) {
+		return // the graph already held this edge kind
 	}
-	x.g.AddEdge(a, b, k)
 	if !x.mask.Has(k) {
 		return
 	}
@@ -386,14 +385,12 @@ func (g *Graph) Subgraph(nodes []int) *Graph {
 		if !ok {
 			continue
 		}
-		for bi, ks := range g.adj[ai] {
-			b := g.nodes[bi]
+		for _, e := range g.adj[ai] {
+			b := g.nodes[e.to]
 			if !in[b] {
 				continue
 			}
-			for _, k := range ks.Kinds() {
-				out.AddEdge(n, b, k)
-			}
+			out.addMask(n, b, e.ks)
 		}
 	}
 	return out

@@ -34,26 +34,38 @@ func (g *Graph) SCCs(mask KindSet) [][]int {
 		for len(callers) > 0 {
 			f := &callers[len(callers)-1]
 			v := f.v
-			if f.out == nil {
-				// First visit.
+			if !f.started {
+				// First visit. The frame walks the node's adjacency slice
+				// directly, filtering by mask inline — no neighbor list is
+				// materialized.
+				f.started = true
 				index[v] = next
 				low[v] = next
 				next++
 				stack = append(stack, v)
 				onStack[v] = true
-				f.out = g.neighbors(v, mask)
+				f.out = g.adj[v]
 			}
-			if f.i < len(f.out) {
-				w := f.out[f.i]
+			descended := false
+			for f.i < len(f.out) {
+				e := f.out[f.i]
 				f.i++
-				switch {
-				case index[w] == unvisited:
-					callers = append(callers, frame{v: w, parent: v})
-				case onStack[w]:
-					if index[w] < low[v] {
-						low[v] = index[w]
-					}
+				if !e.ks.Intersects(mask) {
+					continue
 				}
+				w := e.to
+				if index[w] == unvisited {
+					// Descend; the append may relocate callers, so f must
+					// not be touched again this iteration.
+					callers = append(callers, frame{v: w})
+					descended = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if descended {
 				continue
 			}
 			// All neighbors done: maybe emit a component, then return.
@@ -85,21 +97,8 @@ func (g *Graph) SCCs(mask KindSet) [][]int {
 }
 
 type frame struct {
-	v      int32
-	parent int32
-	out    []int32
-	i      int
-}
-
-// neighbors returns the dense ids reachable from v via edges intersecting
-// mask. The nil slice sentinel matters to frame initialization, so an
-// empty result is returned as a non-nil empty slice.
-func (g *Graph) neighbors(v int32, mask KindSet) []int32 {
-	out := make([]int32, 0, len(g.adj[v]))
-	for w, ks := range g.adj[v] {
-		if ks.Intersects(mask) {
-			out = append(out, w)
-		}
-	}
-	return out
+	v       int32
+	out     []halfEdge
+	i       int
+	started bool
 }

@@ -23,6 +23,7 @@ package history
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/op"
 )
@@ -37,6 +38,9 @@ type History struct {
 	completion []int
 	invocation []int
 	compact    bool
+
+	keys     *Interner
+	keysOnce sync.Once
 }
 
 // An Error describes a structural problem that makes an observation
@@ -72,7 +76,7 @@ func New(ops []op.Op) (*History, error) {
 		}
 	}
 
-	h := &History{Ops: sorted, compact: !hasInvoke}
+	h := &History{Ops: sorted, compact: !hasInvoke, keys: internAll(sorted)}
 	if h.compact {
 		return h, nil
 	}
@@ -115,6 +119,32 @@ func MustNew(ops []op.Op) *History {
 		panic(err)
 	}
 	return h
+}
+
+// internAll interns every mop key of ops, in op order — invocations
+// included, since analyzers consult crashed clients' attempted writes.
+func internAll(ops []op.Op) *Interner {
+	in := NewInterner()
+	for _, o := range ops {
+		for _, m := range o.Mops {
+			in.Intern(m.Key)
+		}
+	}
+	return in
+}
+
+// Keys returns the history-wide key interner: every key any op touches,
+// assigned dense KeyIDs in first-appearance (index) order. New and
+// Stream build it during ingestion; a History assembled some other way
+// gets one lazily on first call. The interner must be treated as
+// read-only.
+func (h *History) Keys() *Interner {
+	h.keysOnce.Do(func() {
+		if h.keys == nil {
+			h.keys = internAll(h.Ops)
+		}
+	})
+	return h.keys
 }
 
 // Compact reports whether the history contains completions only.

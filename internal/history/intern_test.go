@@ -1,0 +1,114 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/op"
+)
+
+func TestInternerAssignsDenseIDsInFirstAppearanceOrder(t *testing.T) {
+	in := NewInterner()
+	if got := in.Intern("b"); got != 0 {
+		t.Fatalf("first key id = %d", got)
+	}
+	if got := in.Intern("a"); got != 1 {
+		t.Fatalf("second key id = %d", got)
+	}
+	if got := in.Intern("b"); got != 0 {
+		t.Fatalf("re-intern changed id: %d", got)
+	}
+	if in.Len() != 2 {
+		t.Fatalf("len = %d", in.Len())
+	}
+	if in.Key(0) != "b" || in.Key(1) != "a" {
+		t.Fatalf("key lookup: %q %q", in.Key(0), in.Key(1))
+	}
+	if id, ok := in.ID("a"); !ok || id != 1 {
+		t.Fatalf("ID(a) = %d, %v", id, ok)
+	}
+	if _, ok := in.ID("missing"); ok {
+		t.Fatal("ID invented a key")
+	}
+	if !in.Less(1, 0) {
+		t.Fatal("Less must order by name, not id")
+	}
+	ids := in.SortedIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 0 {
+		t.Fatalf("SortedIDs = %v", ids)
+	}
+}
+
+func TestHistoryKeysMatchesStreamKeys(t *testing.T) {
+	ops := []op.Op{
+		op.Txn(0, 0, op.OK, op.Append("9", 1)),
+		op.Txn(1, 1, op.OK, op.ReadList("10", []int{}), op.Append("9", 2)),
+		op.Txn(2, 0, op.OK, op.Append("2", 3)),
+	}
+	h := MustNew(ops)
+	s := NewStream()
+	if err := s.AddAll(ops); err != nil {
+		t.Fatal(err)
+	}
+	hk, sk := h.Keys(), s.Keys()
+	if hk.Len() != 3 || sk.Len() != 3 {
+		t.Fatalf("interner sizes %d, %d", hk.Len(), sk.Len())
+	}
+	for id := KeyID(0); int(id) < hk.Len(); id++ {
+		if hk.Key(id) != sk.Key(id) {
+			t.Fatalf("id %d: %q vs %q", id, hk.Key(id), sk.Key(id))
+		}
+	}
+	// First-appearance order, not name order.
+	if hk.Key(0) != "9" || hk.Key(1) != "10" || hk.Key(2) != "2" {
+		t.Fatalf("interning order: %q %q %q", hk.Key(0), hk.Key(1), hk.Key(2))
+	}
+}
+
+func TestGrowKeyed(t *testing.T) {
+	var s [][]int
+	s = GrowKeyed(s, 3)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[3] = []int{1}
+	s = GrowKeyed(s, 1)
+	if len(s) != 4 || s[3] == nil {
+		t.Fatal("growing to a smaller id must not shrink or drop data")
+	}
+	s = GrowKeyed(s, 10)
+	if len(s) != 11 || s[3] == nil {
+		t.Fatal("regrow lost data")
+	}
+}
+
+// TestInternerLookupAllocs pins the hot-path lookup to zero
+// allocations: analyzers resolve every mop key through ID, so a single
+// allocation here multiplies by every micro-op in the history.
+func TestInternerLookupAllocs(t *testing.T) {
+	in := NewInterner()
+	keys := []string{"0", "1", "2", "3", "4", "5", "6", "7"}
+	for _, k := range keys {
+		in.Intern(k)
+	}
+	var sink KeyID
+	allocs := testing.AllocsPerRun(1000, func() {
+		for _, k := range keys {
+			id, ok := in.ID(k)
+			if !ok {
+				t.Fatal("lost key")
+			}
+			sink += id
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("interner lookup allocates %.1f times per 8 lookups; budget is 0", allocs)
+	}
+	// Re-interning an existing key is also allocation-free.
+	allocs = testing.AllocsPerRun(1000, func() {
+		sink += in.Intern("3")
+	})
+	if allocs != 0 {
+		t.Fatalf("re-intern allocates %.1f times; budget is 0", allocs)
+	}
+	_ = sink
+}

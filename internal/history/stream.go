@@ -24,6 +24,8 @@ type Stream struct {
 	open       map[int]int    // process -> position of outstanding invoke
 	spans      map[int][2]int // completion op index -> [invoke index, completion index]
 
+	keys *Interner
+
 	hasInvoke   bool
 	firstComp   int // op index of the first completion accepted in compact mode
 	completions int
@@ -32,8 +34,14 @@ type Stream struct {
 
 // NewStream returns an empty Stream.
 func NewStream() *Stream {
-	return &Stream{open: map[int]int{}, firstComp: -1}
+	return &Stream{open: map[int]int{}, firstComp: -1, keys: NewInterner()}
 }
+
+// Keys returns the stream's live key interner: every key of every
+// accepted op, assigned dense KeyIDs in arrival order — the same IDs
+// New assigns the same observation, since streams are index-ordered.
+// It grows as ops are accepted; between Adds it is safe to read.
+func (s *Stream) Keys() *Interner { return s.keys }
 
 // Add validates and ingests one op. Errors are sticky: once Add fails,
 // every later call returns the same error.
@@ -115,6 +123,9 @@ func (s *Stream) add(o op.Op) error {
 
 func (s *Stream) append(o op.Op) int {
 	pos := len(s.ops)
+	for _, m := range o.Mops {
+		s.keys.Intern(m.Key)
+	}
 	s.ops = append(s.ops, o)
 	s.completion = append(s.completion, -1)
 	s.invocation = append(s.invocation, -1)
@@ -164,7 +175,7 @@ func (s *Stream) SpanOf(index int) [2]int {
 // The History aliases the stream's internal state: take it once, when
 // the stream is complete, and do not Add afterwards.
 func (s *Stream) History() *History {
-	h := &History{Ops: s.ops, compact: !s.hasInvoke}
+	h := &History{Ops: s.ops, compact: !s.hasInvoke, keys: s.keys}
 	if !h.compact {
 		h.completion = s.completion
 		h.invocation = s.invocation

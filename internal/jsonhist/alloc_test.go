@@ -1,0 +1,60 @@
+package jsonhist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDecodeAllocsPerLine pins sequential per-line decode to its
+// allocation budget. The measured cost of this 3-mop line is ~79
+// allocations (json.Unmarshal of the op envelope plus the per-mop
+// RawMessage copies); the chunked reader itself contributes none per
+// line — line bytes land in one pooled contiguous buffer per chunk. A
+// breach here means a per-line allocation crept back into the decode
+// hot path (the budget leaves ~10% headroom for Go runtime drift).
+func TestDecodeAllocsPerLine(t *testing.T) {
+	line := `{"index":0,"type":"ok","process":3,"value":[["append",8,117],["r",9,[1,2,3,4,5]],["append",8,118]]}`
+	const lines = 500
+	const budget = 87.0 // per line
+	input := []byte(strings.Repeat(line+"\n", lines))
+	allocs := testing.AllocsPerRun(20, func() {
+		d := NewStreamDecoder(bytes.NewReader(input), DecodeOpts{Parallelism: 1})
+		if _, err := drain(d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perLine := allocs / lines
+	t.Logf("decode allocations per line: %.2f (budget %.0f)", perLine, budget)
+	if perLine > budget {
+		t.Fatalf("per-line decode allocates %.2f; budget is %.0f", perLine, budget)
+	}
+}
+
+// TestDecodeChunkingAllocsAmortize pins the chunk machinery itself:
+// decoding the same input as one chunk or as many small chunks must
+// cost nearly the same, proving chunk buffers recycle instead of
+// allocating per chunk boundary.
+func TestDecodeChunkingAllocsAmortize(t *testing.T) {
+	line := `{"index":0,"type":"ok","process":3,"value":[["append",8,1]]}`
+	const lines = 400
+	input := []byte(strings.Repeat(line+"\n", lines))
+	measure := func(chunkBytes int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			d := NewStreamDecoder(bytes.NewReader(input),
+				DecodeOpts{Parallelism: 1, ChunkBytes: chunkBytes})
+			if _, err := drain(d); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	one := measure(1 << 20)        // whole input in one chunk
+	many := measure(len(line) * 4) // ~100 chunks
+	perExtraChunk := (many - one) / 100
+	t.Logf("allocs one-chunk=%.0f many-chunks=%.0f (+%.2f per extra chunk)", one, many, perExtraChunk)
+	// ~7 today: the round channel and result slices; crucially O(1) per
+	// chunk, independent of the lines inside it.
+	if perExtraChunk > 12 {
+		t.Fatalf("each chunk boundary costs %.2f allocations; want O(1) per chunk (<= 12)", perExtraChunk)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 
 	"repro/internal/history"
 	"repro/internal/op"
@@ -63,11 +64,20 @@ func Decode(r io.Reader, register bool) (*history.History, error) {
 const chunkTarget = 1 << 20
 
 // chunk is one parse unit: a run of consecutive lines, copied out of the
-// read buffer so decoding never retains the underlying stream.
+// read buffer so decoding never retains the underlying stream. Lines are
+// packed back to back in one contiguous buffer with recorded end
+// offsets — one allocation per chunk rather than one per line — and the
+// buffers recycle through chunkPool once parsed.
 type chunk struct {
 	firstLine int
-	lines     [][]byte
+	buf       []byte // line bytes, concatenated (newlines included)
+	ends      []int  // end offset of each line within buf
 }
+
+// chunkPool recycles chunk buffers between reads; a decode of an n-line
+// history reuses a handful of chunk buffers instead of allocating n
+// line slices.
+var chunkPool = sync.Pool{New: func() any { return new(chunk) }}
 
 // parsed is one chunk's decode result.
 type parsed struct {

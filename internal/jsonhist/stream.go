@@ -70,7 +70,7 @@ func (d *StreamDecoder) Next() ([]op.Op, error) {
 		// Read the next round while the pending one parses — unless
 		// tailing, where waiting for more input must never delay ops
 		// already in flight.
-		var next []chunk
+		var next []*chunk
 		if !d.opts.Tail {
 			next = d.readRound()
 		}
@@ -116,44 +116,63 @@ func (d *StreamDecoder) chunkBytes() int {
 }
 
 // nextChunk gathers whole lines (of any length — long lines are
-// reassembled across buffer refills) until the chunk target.
-func (d *StreamDecoder) nextChunk() (chunk, bool) {
-	c := chunk{firstLine: d.line + 1}
+// reassembled across buffer refills) until the chunk target. Lines are
+// copied into the chunk's pooled contiguous buffer as they are read, so
+// the chunk never aliases the bufio window and a chunk of n lines costs
+// no per-line allocations.
+func (d *StreamDecoder) nextChunk() (*chunk, bool) {
+	c := chunkPool.Get().(*chunk)
+	c.firstLine = d.line + 1
+	c.buf = c.buf[:0]
+	c.ends = c.ends[:0]
 	target := d.chunkBytes()
-	size := 0
-	for size < target {
-		text, err := d.br.ReadBytes('\n')
+	for len(c.buf) < target && !d.readDone {
+		lineStart := len(c.buf)
+		var err error
+		for {
+			var frag []byte
+			frag, err = d.br.ReadSlice('\n')
+			c.buf = append(c.buf, frag...)
+			if err != bufio.ErrBufferFull {
+				break
+			}
+			// A line longer than the read buffer: keep accumulating it.
+		}
 		if err != nil {
 			if err == io.EOF {
 				// A final unterminated line is still a line.
-				if len(text) > 0 {
+				if len(c.buf) > lineStart {
 					d.line++
-					c.lines = append(c.lines, text)
+					c.ends = append(c.ends, len(c.buf))
 				}
 			} else {
 				// Drop the truncated fragment: the read failure is the
 				// real error, and parsing the fragment would mask it
 				// with a phantom syntax error.
 				d.readErr = err
+				c.buf = c.buf[:lineStart]
 			}
 			d.readDone = true
 			break
 		}
 		d.line++
-		size += len(text)
-		c.lines = append(c.lines, text)
+		c.ends = append(c.ends, len(c.buf))
 	}
-	return c, len(c.lines) > 0
+	if len(c.ends) == 0 {
+		chunkPool.Put(c)
+		return nil, false
+	}
+	return c, true
 }
 
 // readRound gathers up to one worker's worth of chunks (one chunk when
 // tailing).
-func (d *StreamDecoder) readRound() []chunk {
+func (d *StreamDecoder) readRound() []*chunk {
 	width := d.p
 	if d.opts.Tail {
 		width = 1
 	}
-	var round []chunk
+	var round []*chunk
 	for len(round) < width && !d.readDone {
 		if c, ok := d.nextChunk(); ok {
 			round = append(round, c)
@@ -164,19 +183,19 @@ func (d *StreamDecoder) readRound() []chunk {
 
 // launch starts parsing a round: inline for sequential or single-chunk
 // rounds, across the worker pool otherwise.
-func (d *StreamDecoder) launch(round []chunk) {
+func (d *StreamDecoder) launch(round []*chunk) {
 	ch := make(chan []parsed, 1)
 	if d.p <= 1 || len(round) == 1 {
 		ch <- []parsed{d.parseRoundInline(round)}
 	} else {
-		go func(rd []chunk) {
+		go func(rd []*chunk) {
 			ch <- par.Map(d.p, len(rd), func(i int) parsed { return d.parseChunk(rd[i]) })
 		}(round)
 	}
 	d.pending = ch
 }
 
-func (d *StreamDecoder) parseRoundInline(round []chunk) parsed {
+func (d *StreamDecoder) parseRoundInline(round []*chunk) parsed {
 	var all parsed
 	for _, c := range round {
 		res := d.parseChunk(c)
@@ -188,9 +207,16 @@ func (d *StreamDecoder) parseRoundInline(round []chunk) parsed {
 	return all
 }
 
-func (d *StreamDecoder) parseChunk(c chunk) parsed {
-	out := make([]op.Op, 0, len(c.lines))
-	for j, text := range c.lines {
+// parseChunk decodes one chunk's lines, returning its buffers to the
+// pool when done: nothing decodeOp produces aliases the chunk buffer
+// (json.RawMessage and string fields are copies).
+func (d *StreamDecoder) parseChunk(c *chunk) parsed {
+	defer chunkPool.Put(c)
+	out := make([]op.Op, 0, len(c.ends))
+	start := 0
+	for j, end := range c.ends {
+		text := c.buf[start:end]
+		start = end
 		if len(trimSpace(text)) == 0 {
 			continue
 		}

@@ -1,0 +1,71 @@
+package jsonhist
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/op"
+)
+
+// drain collects every op a StreamDecoder yields plus its terminal
+// error (io.EOF mapped to nil).
+func drain(d *StreamDecoder) ([]op.Op, error) {
+	var ops []op.Op
+	for {
+		chunk, err := d.Next()
+		if err == io.EOF {
+			return ops, nil
+		}
+		if err != nil {
+			return ops, err
+		}
+		ops = append(ops, chunk...)
+	}
+}
+
+// FuzzStreamDecoder: the streaming decoder must never panic on
+// arbitrary input, and every tuning — sequential, tiny parallel
+// chunks, tail mode — must decode the same ops and report the same
+// first error as the plain sequential decode.
+func FuzzStreamDecoder(f *testing.F) {
+	f.Add("")
+	f.Add("\n\n")
+	f.Add(`{"index":0,"type":"ok","process":0,"value":[["append","x",1]]}`)
+	f.Add(`{"index":0,"type":"invoke","process":0,"value":[["r","x",null]]}
+{"index":1,"type":"ok","process":0,"value":[["r","x",[1,2]]]}`)
+	f.Add(`{"index":0,"type":"ok","process":0,"value":[["w",10,2],["r",10,null]]}`)
+	f.Add("garbage\n" + `{"index":1,"type":"ok","process":0,"value":[]}`)
+	f.Add(`{"index":0,"type":"ok","process":0,"value":[["r","x",{"bad":1}]]}`)
+	f.Add(strings.Repeat(`{"index":0,"type":"ok","process":0,"value":[]}`+"\n", 4))
+
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, register := range []bool{false, true} {
+			base, baseErr := drain(NewStreamDecoder(strings.NewReader(input),
+				DecodeOpts{Register: register, Parallelism: 1}))
+			tunings := []DecodeOpts{
+				{Register: register, Parallelism: 2, ChunkBytes: 7},
+				{Register: register, Parallelism: 4, ChunkBytes: 64},
+				{Register: register, Parallelism: 1, Tail: true},
+			}
+			for _, opts := range tunings {
+				got, err := drain(NewStreamDecoder(strings.NewReader(input), opts))
+				if (err == nil) != (baseErr == nil) {
+					t.Fatalf("opts %+v: error presence diverged: %v vs %v", opts, err, baseErr)
+				}
+				if err != nil {
+					if err.Error() != baseErr.Error() {
+						t.Fatalf("opts %+v: error text diverged:\n  got:  %v\n  want: %v",
+							opts, err, baseErr)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Fatalf("opts %+v: decoded %d ops, want %d (first divergence matters)",
+						opts, len(got), len(base))
+				}
+			}
+		}
+	})
+}

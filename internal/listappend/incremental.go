@@ -2,7 +2,6 @@ package listappend
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/anomaly"
 	"repro/internal/explain"
@@ -37,16 +36,16 @@ type session struct {
 	a  *analyzer
 	hs *history.Stream
 
-	keyst  map[string]*keyState
-	keys   []string         // keys with clean reads, insertion order (sorted on demand)
-	orders map[string][]int // current version orders: longest clean read per key
+	keyst  []*keyState     // per-key maintained state, indexed by KeyID
+	keys   []history.KeyID // keys with clean reads, insertion order (sorted on demand)
+	orders [][]int         // current version orders: longest clean read per key
 
 	readersOf map[elemKey][]int // committed readers of each element, for late-abort G1a
 
 	incr      *graph.Incr
-	touched   map[string]bool // keys whose edge caches are stale
-	emitted   map[string]bool // mid-stream findings already surfaced
-	poisoned  bool            // evidence was retracted; rebuild incr at next scan
+	touched   map[history.KeyID]bool // keys whose edge caches are stale
+	emitted   map[string]bool        // mid-stream findings already surfaced
+	poisoned  bool                   // evidence was retracted; rebuild incr at next scan
 	sinceScan int
 	done      bool
 }
@@ -60,16 +59,24 @@ type keyState struct {
 }
 
 func beginSession(opts workload.Opts) workload.Session {
+	hs := history.NewStream()
 	return &session{
-		a:         newAnalyzer(opts),
-		hs:        history.NewStream(),
-		keyst:     map[string]*keyState{},
-		orders:    map[string][]int{},
+		a:         newAnalyzer(opts, hs.Keys()),
+		hs:        hs,
 		readersOf: map[elemKey][]int{},
 		incr:      graph.NewIncr(graph.KSDep),
-		touched:   map[string]bool{},
+		touched:   map[history.KeyID]bool{},
 		emitted:   map[string]bool{},
 	}
+}
+
+// keystAt reads the KeyID-indexed state slice, which grows on demand as
+// the stream interns new keys.
+func (s *session) keystAt(k history.KeyID) *keyState {
+	if int(k) < len(s.keyst) {
+		return s.keyst[k]
+	}
+	return nil
 }
 
 // Feed ingests one chunk, updating every maintained index, and returns
@@ -106,8 +113,9 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 		if m.F != op.FAppend {
 			continue
 		}
-		s.touched[m.Key] = true
-		ek := elemKey{m.Key, m.Arg}
+		k := a.kid(m.Key)
+		s.touched[k] = true
+		ek := elemKey{k, m.Arg}
 		switch len(a.attempts[ek]) {
 		case 1:
 			if o.Type == op.Fail {
@@ -115,21 +123,21 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 				// that is now known to be aborted.
 				for _, r := range s.readersOf[ek] {
 					ro := a.ops[r]
-					s.emit(d, fmt.Sprintf("g1a|%s|%d|%d|%d", ek.key, ek.elem, r, o.Index),
-						g1aAnomaly(ro, ek.key, readListOf(ro, ek), ek.elem, o))
+					s.emit(d, fmt.Sprintf("g1a|%d|%d|%d|%d", ek.key, ek.elem, r, o.Index),
+						g1aAnomaly(ro, m.Key, readListOf(ro, m.Key, ek.elem), ek.elem, o))
 				}
 			}
 		case 2:
 			// The evicted writer's edges may already be in the
 			// incremental graph; they are no longer evidence.
 			s.poisoned = true
-			s.emit(d, fmt.Sprintf("dup|%s|%d", ek.key, ek.elem), anomaly.Anomaly{
+			s.emit(d, fmt.Sprintf("dup|%d|%d", ek.key, ek.elem), anomaly.Anomaly{
 				Type: anomaly.DuplicateAppends,
 				Ops:  []op.Op{a.ops[a.attempts[ek][0]], o},
-				Key:  ek.key,
+				Key:  m.Key,
 				Explanation: fmt.Sprintf(
 					"element %d was appended to key %s by %d distinct transactions; appends must be unique for versions to be recoverable",
-					ek.elem, ek.key, len(a.attempts[ek])),
+					ek.elem, m.Key, len(a.attempts[ek])),
 			})
 		}
 	}
@@ -146,11 +154,12 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 		if dup, ok := duplicateElements(o, m); ok {
 			d.Anomalies = append(d.Anomalies, dup)
 		}
+		k := a.kid(m.Key)
 		for _, e := range m.List {
-			ek := elemKey{m.Key, e}
+			ek := elemKey{k, e}
 			s.readersOf[ek] = append(s.readersOf[ek], o.Index)
 			if w, ok := a.failedWriter[ek]; ok {
-				s.emit(d, fmt.Sprintf("g1a|%s|%d|%d|%d", ek.key, e, o.Index, w),
+				s.emit(d, fmt.Sprintf("g1a|%d|%d|%d|%d", ek.key, e, o.Index, w),
 					g1aAnomaly(o, m.Key, m.List, e, a.ops[w]))
 			}
 		}
@@ -165,19 +174,22 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 // maintained version order, surfacing incompatible orders as they
 // become provable.
 func (s *session) ingestCleanRead(o op.Op, m op.Mop, d *workload.Delta) {
-	s.touched[m.Key] = true
-	ks := s.keyst[m.Key]
+	k := s.a.kid(m.Key)
+	s.touched[k] = true
+	s.keyst = history.GrowKeyed(s.keyst, k)
+	s.orders = history.GrowKeyed(s.orders, k)
+	ks := s.keyst[k]
 	if ks == nil {
 		ks = &keyState{}
-		s.keyst[m.Key] = ks
-		s.keys = append(s.keys, m.Key)
+		s.keyst[k] = ks
+		s.keys = append(s.keys, k)
 	}
 	r := cleanRead{o, m.List}
 	ks.reads = append(ks.reads, r)
 	switch {
 	case !ks.has:
 		ks.longest, ks.has = r, true
-		s.orders[m.Key] = m.List
+		s.orders[k] = m.List
 	case len(m.List) > len(ks.longest.list):
 		// The trace grows; the displaced read keeps its edges only if it
 		// is a prefix of the new trace.
@@ -189,7 +201,7 @@ func (s *session) ingestCleanRead(o op.Op, m op.Mop, d *workload.Delta) {
 				incompatAnomaly(m.Key, old, r))
 		}
 		ks.longest = r
-		s.orders[m.Key] = m.List
+		s.orders[k] = m.List
 	case !op.IsPrefix(m.List, ks.longest.list):
 		s.emit(d, fmt.Sprintf("incompat|%s|%d|%d", m.Key, o.Index, ks.longest.o.Index),
 			incompatAnomaly(m.Key, r, ks.longest))
@@ -201,7 +213,7 @@ func (s *session) ingestCleanRead(o op.Op, m op.Mop, d *workload.Delta) {
 func (s *session) scan(d *workload.Delta) {
 	s.sinceScan = 0
 	for _, k := range s.drainTouched() {
-		ks := s.keyst[k]
+		ks := s.keystAt(k)
 		if ks == nil {
 			continue // appends without clean reads: no trace, no edges
 		}
@@ -220,8 +232,8 @@ func (s *session) scan(d *workload.Delta) {
 		// resurfacing.
 		s.poisoned = false
 		s.incr = graph.NewIncr(graph.KSDep)
-		keys := append([]string(nil), s.keys...)
-		sort.Strings(keys)
+		keys := append([]history.KeyID(nil), s.keys...)
+		s.a.in.SortKeyIDs(keys)
 		for _, k := range keys {
 			s.incr.AddEdges(s.keyst[k].edges)
 		}
@@ -239,7 +251,7 @@ func (s *session) scan(d *workload.Delta) {
 	if len(cycles) == 0 {
 		return
 	}
-	expl := &explain.Explainer{Ops: s.a.ops, ListOrders: s.orders}
+	expl := &explain.Explainer{Ops: s.a.ops, Keys: s.a.in, ListOrders: s.orders}
 	for _, c := range cycles {
 		s.emit(d, "cycle|"+graph.CycleKey(c), anomaly.Anomaly{
 			Type:        anomaly.CycleType(c),
@@ -249,13 +261,13 @@ func (s *session) scan(d *workload.Delta) {
 	}
 }
 
-func (s *session) drainTouched() []string {
-	keys := make([]string, 0, len(s.touched))
+func (s *session) drainTouched() []history.KeyID {
+	keys := make([]history.KeyID, 0, len(s.touched))
 	for k := range s.touched {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	s.touched = map[string]bool{}
+	s.a.in.SortKeyIDs(keys)
+	s.touched = map[history.KeyID]bool{}
 	return keys
 }
 
@@ -290,14 +302,14 @@ func (s *session) Finish() (workload.Analysis, error) {
 	p := a.opts.Parallelism
 
 	for k := range s.touched {
-		ks := s.keyst[k]
+		ks := s.keystAt(k)
 		if ks == nil {
 			continue
 		}
 		ks.edges = a.keyEdges(k, ks.reads, s.orders[k])
 	}
-	keys := append([]string(nil), s.keys...)
-	sort.Strings(keys)
+	keys := append([]history.KeyID(nil), s.keys...)
+	a.in.SortKeyIDs(keys)
 
 	a.anomalies = append(a.anomalies, a.duplicateAppendAnomalies()...)
 	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
@@ -326,7 +338,7 @@ func (s *session) Finish() (workload.Analysis, error) {
 	return workload.Analysis{
 		Graph:     g,
 		Anomalies: a.anomalies,
-		Explainer: &explain.Explainer{Ops: a.ops, ListOrders: s.orders},
+		Explainer: &explain.Explainer{Ops: a.ops, Keys: a.in, ListOrders: s.orders},
 	}, nil
 }
 
@@ -335,15 +347,15 @@ func (s *session) Finish() (workload.Analysis, error) {
 func (s *session) History() *history.History { return s.hs.History() }
 
 // readListOf recovers the list value with which reader observed
-// element ek — for the late-abort G1a path, where the read arrived
-// before its writer's failure.
-func readListOf(reader op.Op, ek elemKey) []int {
+// element elem of key — for the late-abort G1a path, where the read
+// arrived before its writer's failure.
+func readListOf(reader op.Op, key string, elem int) []int {
 	for _, m := range reader.Mops {
-		if !m.ListKnown() || m.Key != ek.key {
+		if !m.ListKnown() || m.Key != key {
 			continue
 		}
 		for _, e := range m.List {
-			if e == ek.elem {
+			if e == elem {
 				return m.List
 			}
 		}

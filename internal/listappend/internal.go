@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/anomaly"
+	"repro/internal/history"
 	"repro/internal/op"
 )
 
@@ -31,12 +32,13 @@ type keyModel struct {
 // reading nil — is the canonical violation.
 func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
 	var out []anomaly.Anomaly
-	models := map[string]*keyModel{}
+	models := map[history.KeyID]*keyModel{}
 	model := func(k string) *keyModel {
-		m, ok := models[k]
+		id := a.kid(k)
+		m, ok := models[id]
 		if !ok {
 			m = &keyModel{}
-			models[k] = m
+			models[id] = m
 		}
 		return m
 	}

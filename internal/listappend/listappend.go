@@ -43,16 +43,29 @@ type Analysis struct {
 	Graph *graph.Graph
 	// Anomalies are the non-cycle anomalies discovered during inference.
 	Anomalies []anomaly.Anomaly
-	// VersionOrders maps each key to the inferred order of its elements:
-	// the trace of the longest committed read, a prefix of ≪x. The
-	// initial (empty) version is implicit.
-	VersionOrders map[string][]int
+	// Keys is the history's key interner; VersionOrders is indexed by
+	// its KeyIDs.
+	Keys *history.Interner
+	// VersionOrders holds, per KeyID, the inferred order of the key's
+	// elements: the trace of the longest committed read, a prefix of ≪x.
+	// The initial (empty) version is implicit; keys without clean reads
+	// have a nil entry.
+	VersionOrders [][]int
 	// Ops indexes every analyzed completion op by op index.
 	Ops map[int]op.Op
 }
 
+// VersionOrder returns the inferred element order for key, or nil.
+func (a *Analysis) VersionOrder(key string) []int {
+	id, ok := a.Keys.ID(key)
+	if !ok || int(id) >= len(a.VersionOrders) {
+		return nil
+	}
+	return a.VersionOrders[id]
+}
+
 type elemKey struct {
-	key  string
+	key  history.KeyID
 	elem int
 }
 
@@ -63,10 +76,14 @@ type cleanRead struct {
 	list []int
 }
 
-// analyzer carries the indices built over one history.
+// analyzer carries the indices built over one history. Per-key state is
+// keyed by the history interner's dense KeyIDs (see history.Interner),
+// so the hot inference loops hash small fixed-size structs, never key
+// strings.
 type analyzer struct {
 	opts workload.Opts
 	h    *history.History
+	in   *history.Interner
 
 	ops      map[int]op.Op // completion ops by index
 	oks      []op.Op
@@ -82,11 +99,14 @@ type analyzer struct {
 	anomalies    []anomaly.Anomaly
 }
 
-// newAnalyzer returns an analyzer with empty indices; the history is
-// attached by Analyze (batch) or at Finish (streaming sessions).
-func newAnalyzer(opts workload.Opts) *analyzer {
+// newAnalyzer returns an analyzer with empty indices over the given
+// interner (the history's in batch runs, the stream's in sessions); the
+// history itself is attached by Analyze (batch) or at Finish (streaming
+// sessions).
+func newAnalyzer(opts workload.Opts, in *history.Interner) *analyzer {
 	return &analyzer{
 		opts:         opts,
+		in:           in,
 		ops:          map[int]op.Op{},
 		spanOf:       map[int][2]int{},
 		attempts:     map[elemKey][]int{},
@@ -95,11 +115,14 @@ func newAnalyzer(opts workload.Opts) *analyzer {
 	}
 }
 
+// kid resolves an interned key (see history.Interner.MustID).
+func (a *analyzer) kid(k string) history.KeyID { return a.in.MustID(k) }
+
 // Analyze infers the dependency graph and non-cycle anomalies for h.
 // Of the shared options it consumes Parallelism and DetectLostUpdates
 // (see workload.Opts).
 func Analyze(h *history.History, opts workload.Opts) *Analysis {
-	a := newAnalyzer(opts)
+	a := newAnalyzer(opts, h.Keys())
 	a.h = h
 	for pos, o := range h.Ops {
 		if o.Type == op.Invoke {
@@ -128,7 +151,7 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 		longest := longestRead(byKey[k])
 		return keyOrder{elems: longest.list, anoms: a.incompatAnomalies(k, byKey[k], longest)}
 	})
-	orders := make(map[string][]int, len(keys))
+	orders := make([][]int, a.in.Len())
 	for i, k := range keys {
 		orders[k] = perKey[i].elems
 		a.anomalies = append(a.anomalies, perKey[i].anoms...)
@@ -139,21 +162,31 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	return &Analysis{
 		Graph:         g,
 		Anomalies:     a.anomalies,
+		Keys:          a.in,
 		VersionOrders: orders,
 		Ops:           a.ops,
 	}
 }
 
+// orderAt reads a KeyID-indexed order slice that may be shorter than
+// the key space (streaming sessions grow it on demand).
+func orderAt(orders [][]int, k history.KeyID) []int {
+	if int(k) < len(orders) {
+		return orders[k]
+	}
+	return nil
+}
+
 // finishAnomalies runs the checks that need the final write indices and
 // version orders — G1a/G1b, dirty updates, lost updates — shared by the
 // batch Analyze and the streaming session's Finish.
-func (a *analyzer) finishAnomalies(keys []string, orders map[string][]int) {
+func (a *analyzer) finishAnomalies(keys []history.KeyID, orders [][]int) {
 	p := a.opts.Parallelism
 	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
 		return a.abortedIntermediateAnomalies(a.oks[i])
 	}))
 	a.collect(par.Map(p, len(keys), func(i int) []anomaly.Anomaly {
-		return a.dirtyUpdateAnomalies(keys[i], orders[keys[i]])
+		return a.dirtyUpdateAnomalies(keys[i], orderAt(orders, keys[i]))
 	}))
 	if a.opts.DetectLostUpdates {
 		a.checkLostUpdates(orders)
@@ -184,7 +217,7 @@ func (a *analyzer) addOp(o op.Op, span [2]int) {
 		if m.F != op.FAppend {
 			continue
 		}
-		ek := elemKey{m.Key, m.Arg}
+		ek := elemKey{a.in.Intern(m.Key), m.Arg}
 		a.attempts[ek] = append(a.attempts[ek], o.Index)
 		switch len(a.attempts[ek]) {
 		case 1:
@@ -211,7 +244,7 @@ func (a *analyzer) duplicateAppendAnomalies() []anomaly.Anomaly {
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].key != keys[j].key {
-			return keys[i].key < keys[j].key
+			return a.in.Less(keys[i].key, keys[j].key)
 		}
 		return keys[i].elem < keys[j].elem
 	})
@@ -223,13 +256,14 @@ func (a *analyzer) duplicateAppendAnomalies() []anomaly.Anomaly {
 		for i, ix := range idxs {
 			ops[i] = a.ops[ix]
 		}
+		kname := a.in.Key(ek.key)
 		out = append(out, anomaly.Anomaly{
 			Type: anomaly.DuplicateAppends,
 			Ops:  ops,
-			Key:  ek.key,
+			Key:  kname,
 			Explanation: fmt.Sprintf(
 				"element %d was appended to key %s by %d distinct transactions; appends must be unique for versions to be recoverable",
-				ek.elem, ek.key, len(idxs)),
+				ek.elem, kname, len(idxs)),
 		})
 	}
 	return out
@@ -247,8 +281,9 @@ func (a *analyzer) readStructureAnomalies(o op.Op) []anomaly.Anomaly {
 		if dup, ok := duplicateElements(o, m); ok {
 			out = append(out, dup)
 		}
+		k := a.kid(m.Key)
 		for _, e := range m.List {
-			if !a.attempted(elemKey{m.Key, e}) {
+			if !a.attempted(elemKey{k, e}) {
 				out = append(out, anomaly.Anomaly{
 					Type: anomaly.GarbageRead,
 					Ops:  []op.Op{o},
@@ -292,6 +327,7 @@ func (a *analyzer) attempted(ek elemKey) bool {
 	if len(a.attempts[ek]) > 0 {
 		return true
 	}
+	kname := a.in.Key(ek.key)
 	// Crashed clients leave an invoke with no completion; their appends
 	// may still have taken effect and are not garbage.
 	for _, o := range a.h.Ops {
@@ -302,7 +338,7 @@ func (a *analyzer) attempted(ek elemKey) bool {
 			continue
 		}
 		for _, m := range o.Mops {
-			if m.F == op.FAppend && m.Key == ek.key && m.Arg == ek.elem {
+			if m.F == op.FAppend && m.Key == kname && m.Arg == ek.elem {
 				return true
 			}
 		}
@@ -310,24 +346,26 @@ func (a *analyzer) attempted(ek elemKey) bool {
 	return false
 }
 
-// cleanReadsByKey groups every committed duplicate-free list read by key,
-// preserving op order within each key, and returns the sorted key list —
-// the per-key work items of version-order and edge inference.
-func (a *analyzer) cleanReadsByKey() ([]string, map[string][]cleanRead) {
-	byKey := map[string][]cleanRead{}
-	var keys []string
+// cleanReadsByKey groups every committed duplicate-free list read by
+// key — a dense KeyID-indexed slice, preserving op order within each
+// key — and returns the name-sorted list of keys with clean reads, the
+// per-key work items of version-order and edge inference.
+func (a *analyzer) cleanReadsByKey() ([]history.KeyID, [][]cleanRead) {
+	byKey := make([][]cleanRead, a.in.Len())
+	var keys []history.KeyID
 	for _, o := range a.oks {
 		for _, m := range o.Mops {
 			if !m.ListKnown() || hasDuplicates(m.List) {
 				continue
 			}
-			if len(byKey[m.Key]) == 0 {
-				keys = append(keys, m.Key)
+			k := a.kid(m.Key)
+			if len(byKey[k]) == 0 {
+				keys = append(keys, k)
 			}
-			byKey[m.Key] = append(byKey[m.Key], cleanRead{o, m.List})
+			byKey[k] = append(byKey[k], cleanRead{o, m.List})
 		}
 	}
-	sort.Strings(keys)
+	a.in.SortKeyIDs(keys)
 	return keys, byKey
 }
 
@@ -356,11 +394,12 @@ func longestRead(reads []cleanRead) cleanRead {
 // read of key k: pairs of committed reads neither of which is a prefix
 // of the other, which imply an aborted read in every interpretation
 // (§4.3.1, "Inconsistent Observations").
-func (a *analyzer) incompatAnomalies(k string, reads []cleanRead, longest cleanRead) []anomaly.Anomaly {
+func (a *analyzer) incompatAnomalies(k history.KeyID, reads []cleanRead, longest cleanRead) []anomaly.Anomaly {
 	var out []anomaly.Anomaly
+	kname := a.in.Key(k)
 	for _, r := range reads {
 		if !op.IsPrefix(r.list, longest.list) {
-			out = append(out, incompatAnomaly(k, r, longest))
+			out = append(out, incompatAnomaly(kname, r, longest))
 		}
 	}
 	return out
@@ -383,7 +422,7 @@ func incompatAnomaly(k string, r, longest cleanRead) anomaly.Anomaly {
 // buildGraph emits the inferred serialization graph of §4.3.2: per-key
 // workers produce edge lists from the version orders and the
 // recoverable-writer index, which merge into one graph in key order.
-func (a *analyzer) buildGraph(keys []string, byKey map[string][]cleanRead, orders map[string][]int) *graph.Graph {
+func (a *analyzer) buildGraph(keys []history.KeyID, byKey [][]cleanRead, orders [][]int) *graph.Graph {
 	g := graph.New()
 	// Every transaction that may have committed is a vertex, even if it
 	// has no edges; cycle search ignores isolated vertices.
@@ -401,7 +440,7 @@ func (a *analyzer) buildGraph(keys []string, byKey map[string][]cleanRead, order
 }
 
 // keyEdges infers every dependency edge key k contributes.
-func (a *analyzer) keyEdges(k string, reads []cleanRead, elems []int) []graph.Edge {
+func (a *analyzer) keyEdges(k history.KeyID, reads []cleanRead, elems []int) []graph.Edge {
 	var out []graph.Edge
 	// ww: consecutive recoverable writers along the version order.
 	for i := 0; i+1 < len(elems); i++ {
@@ -445,14 +484,15 @@ func (a *analyzer) abortedIntermediateAnomalies(o op.Op) []anomaly.Anomaly {
 		if !m.ListKnown() {
 			continue
 		}
+		k := a.kid(m.Key)
 		for _, e := range m.List {
-			if w, ok := a.failedWriter[elemKey{m.Key, e}]; ok {
+			if w, ok := a.failedWriter[elemKey{k, e}]; ok {
 				out = append(out, g1aAnomaly(o, m.Key, m.List, e, a.ops[w]))
 			}
 		}
 		if n := len(m.List); n > 0 {
 			last := m.List[n-1]
-			if w, ok := a.writer[elemKey{m.Key, last}]; ok && w != o.Index {
+			if w, ok := a.writer[elemKey{k, last}]; ok && w != o.Index {
 				wo := a.ops[w]
 				if finalAppend(wo, m.Key) != last {
 					out = append(out, anomaly.Anomaly{
@@ -474,7 +514,7 @@ func (a *analyzer) abortedIntermediateAnomalies(o op.Op) []anomaly.Anomaly {
 // element from an aborted transaction followed by an element from a
 // committed one means committed state incorporates aborted state (§4.1.5,
 // "Via Traces").
-func (a *analyzer) dirtyUpdateAnomalies(k string, elems []int) []anomaly.Anomaly {
+func (a *analyzer) dirtyUpdateAnomalies(k history.KeyID, elems []int) []anomaly.Anomaly {
 	var out []anomaly.Anomaly
 	for i := 0; i+1 < len(elems); i++ {
 		fw, failed := a.failedWriter[elemKey{k, elems[i]}]
@@ -483,13 +523,14 @@ func (a *analyzer) dirtyUpdateAnomalies(k string, elems []int) []anomaly.Anomaly
 		}
 		for j := i + 1; j < len(elems); j++ {
 			if cw, ok := a.writer[elemKey{k, elems[j]}]; ok && a.ops[cw].Type == op.OK {
+				kname := a.in.Key(k)
 				out = append(out, anomaly.Anomaly{
 					Type: anomaly.DirtyUpdate,
 					Ops:  []op.Op{a.ops[fw], a.ops[cw]},
-					Key:  k,
+					Key:  kname,
 					Explanation: fmt.Sprintf(
 						"key %s's version history %s includes element %d from aborted %s, later built upon by committed %s: a dirty update",
-						k, op.FormatList(elems), elems[i], a.ops[fw].Name(), a.ops[cw].Name()),
+						kname, op.FormatList(elems), elems[i], a.ops[fw].Name(), a.ops[cw].Name()),
 				})
 				break
 			}
@@ -500,32 +541,36 @@ func (a *analyzer) dirtyUpdateAnomalies(k string, elems []int) []anomaly.Anomaly
 
 // checkLostUpdates reports committed appends that are absent from a
 // longest read invoked strictly after the append's transaction completed.
-func (a *analyzer) checkLostUpdates(orders map[string][]int) {
+func (a *analyzer) checkLostUpdates(orders [][]int) {
 	// Locate the longest read op per key (the one whose value is the
-	// version order) and its invocation index.
+	// version order) and its invocation index. Both indices are dense
+	// KeyID-indexed slices: by the time this runs (batch Analyze or a
+	// session's Finish) the interner is complete.
 	type longRead struct {
 		o      op.Op
 		invoke int
 		set    map[int]bool
+		ok     bool
 	}
-	longReads := map[string]longRead{}
+	longReads := make([]longRead, a.in.Len())
 	for _, o := range a.oks {
 		for _, m := range o.Mops {
 			if !m.ListKnown() {
 				continue
 			}
-			elems, ok := orders[m.Key]
-			if !ok || len(m.List) != len(elems) || !op.IsPrefix(m.List, elems) {
+			k := a.kid(m.Key)
+			elems := orderAt(orders, k)
+			if elems == nil || len(m.List) != len(elems) || !op.IsPrefix(m.List, elems) {
 				continue
 			}
-			if _, have := longReads[m.Key]; have {
+			if longReads[k].ok {
 				continue
 			}
 			set := make(map[int]bool, len(elems))
 			for _, e := range elems {
 				set[e] = true
 			}
-			longReads[m.Key] = longRead{o: o, invoke: a.spanOf[o.Index][0], set: set}
+			longReads[k] = longRead{o: o, invoke: a.spanOf[o.Index][0], set: set, ok: true}
 		}
 	}
 	// Index committed appends by key once; scanning all transactions per
@@ -535,22 +580,26 @@ func (a *analyzer) checkLostUpdates(orders map[string][]int) {
 		elem      int
 		completed int
 	}
-	appendsByKey := map[string][]keyAppend{}
+	appendsByKey := make([][]keyAppend, a.in.Len())
 	for _, w := range a.oks {
 		for _, m := range w.Mops {
 			if m.F == op.FAppend {
-				appendsByKey[m.Key] = append(appendsByKey[m.Key],
+				k := a.kid(m.Key)
+				appendsByKey[k] = append(appendsByKey[k],
 					keyAppend{o: w, elem: m.Arg, completed: a.spanOf[w.Index][1]})
 			}
 		}
 	}
-	var keys []string
+	var keys []history.KeyID
 	for k := range longReads {
-		keys = append(keys, k)
+		if longReads[k].ok {
+			keys = append(keys, history.KeyID(k))
+		}
 	}
-	sort.Strings(keys)
+	a.in.SortKeyIDs(keys)
 	a.collect(par.Map(a.opts.Parallelism, len(keys), func(i int) []anomaly.Anomaly {
 		k := keys[i]
+		kname := a.in.Key(k)
 		lr := longReads[k]
 		var out []anomaly.Anomaly
 		for _, ka := range appendsByKey[k] {
@@ -560,10 +609,10 @@ func (a *analyzer) checkLostUpdates(orders map[string][]int) {
 			out = append(out, anomaly.Anomaly{
 				Type: anomaly.LostUpdate,
 				Ops:  []op.Op{ka.o, lr.o},
-				Key:  k,
+				Key:  kname,
 				Explanation: fmt.Sprintf(
 					"%s committed an append of %d to key %s before %s began, yet %s read %s without it: the update was lost",
-					ka.o.Name(), ka.elem, k, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, k)].List)),
+					ka.o.Name(), ka.elem, kname, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, kname)].List)),
 			})
 		}
 		return out

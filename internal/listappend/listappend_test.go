@@ -51,7 +51,7 @@ func TestCleanSequentialHistory(t *testing.T) {
 	if !a.Graph.Label(1, 2).Has(graph.WR) {
 		t.Error("missing wr edge T1 -> T2")
 	}
-	if got := a.VersionOrders["x"]; len(got) != 2 || got[0] != 1 || got[1] != 2 {
+	if got := a.VersionOrder("x"); len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Errorf("version order = %v", got)
 	}
 }
@@ -432,8 +432,9 @@ func TestMultipleKeysIndependentOrders(t *testing.T) {
 	if len(a.Anomalies) != 0 {
 		t.Fatalf("unexpected anomalies: %v", a.Anomalies)
 	}
-	if len(a.VersionOrders) != 2 {
-		t.Errorf("expected 2 version orders, got %d", len(a.VersionOrders))
+	if len(a.VersionOrder("x")) != 2 || len(a.VersionOrder("y")) != 2 {
+		t.Errorf("expected 2-element version orders for x and y, got %v and %v",
+			a.VersionOrder("x"), a.VersionOrder("y"))
 	}
 	if !a.Graph.Label(0, 1).Has(graph.WW) {
 		t.Error("agreeing keys should still give ww edge")

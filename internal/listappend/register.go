@@ -20,7 +20,7 @@ func init() {
 			return workload.Analysis{
 				Graph:     an.Graph,
 				Anomalies: an.Anomalies,
-				Explainer: &explain.Explainer{Ops: an.Ops, ListOrders: an.VersionOrders},
+				Explainer: &explain.Explainer{Ops: an.Ops, Keys: an.Keys, ListOrders: an.VersionOrders},
 			}
 		}),
 	})

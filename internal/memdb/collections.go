@@ -11,17 +11,22 @@ package memdb
 // campaigns over registers, sets, counters, and lists and compare what
 // each analyzer can detect — the paper's §3 argument made executable.
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/history"
+)
 
 // AddSet adds an element to a set key (buffered until commit).
 func (t *Txn) AddSet(key string, elem int) {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id := db.intern(key)
 	if t.setAdds == nil {
-		t.setAdds = map[string][]int{}
+		t.setAdds = map[history.KeyID][]int{}
 	}
-	t.setAdds[key] = append(t.setAdds[key], elem)
+	t.setAdds[id] = append(t.setAdds[id], elem)
 }
 
 // ReadSet returns the observed set contents, sorted ascending.
@@ -29,18 +34,19 @@ func (t *Txn) ReadSet(key string) []int {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t.readKeys[key] = true
+	id := db.intern(key)
+	t.readKeys[id] = true
 	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
 		return []int{}
 	}
-	base := db.visibleSet(key, t.readTS())
+	base := db.visibleSet(id, t.readTS())
 	merged := make(map[int]bool, len(base)+4)
 	for _, e := range base {
 		merged[e] = true
 	}
 	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
 	if !skipOwn {
-		for _, e := range t.setAdds[key] {
+		for _, e := range t.setAdds[id] {
 			merged[e] = true
 		}
 	}
@@ -57,10 +63,11 @@ func (t *Txn) Inc(key string, delta int) {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id := db.intern(key)
 	if t.ctrIncs == nil {
-		t.ctrIncs = map[string]int{}
+		t.ctrIncs = map[history.KeyID]int{}
 	}
-	t.ctrIncs[key] += delta
+	t.ctrIncs[id] += delta
 }
 
 // ReadCounter returns the observed counter value.
@@ -68,21 +75,22 @@ func (t *Txn) ReadCounter(key string) int {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t.readKeys[key] = true
+	id := db.intern(key)
+	t.readKeys[id] = true
 	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
 		return 0
 	}
-	v := db.visibleCounter(key, t.readTS())
+	v := db.visibleCounter(id, t.readTS())
 	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
 	if !skipOwn {
-		v += t.ctrIncs[key]
+		v += t.ctrIncs[id]
 	}
 	return v
 }
 
 // visibleSet returns the committed set contents at snapTS. Sets are
 // stored as their cumulative sorted contents per version.
-func (db *DB) visibleSet(key string, snapTS int64) []int {
+func (db *DB) visibleSet(key history.KeyID, snapTS int64) []int {
 	vs := db.sets[key]
 	for i := len(vs) - 1; i >= 0; i-- {
 		if vs[i].ts <= snapTS {
@@ -93,7 +101,7 @@ func (db *DB) visibleSet(key string, snapTS int64) []int {
 }
 
 // visibleCounter returns the committed counter value at snapTS.
-func (db *DB) visibleCounter(key string, snapTS int64) int {
+func (db *DB) visibleCounter(key history.KeyID, snapTS int64) int {
 	vs := db.counters[key]
 	for i := len(vs) - 1; i >= 0; i-- {
 		if vs[i].ts <= snapTS {

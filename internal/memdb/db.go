@@ -27,6 +27,8 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+
+	"repro/internal/history"
 )
 
 // Isolation selects the concurrency-control discipline.
@@ -113,31 +115,44 @@ type version struct {
 	nil_ bool  // register initial state
 }
 
-// DB is the shared store.
+// DB is the shared store. Keys are interned once into dense KeyIDs
+// (shared across the four datatype stores), so version chains live in
+// slices rather than string-keyed maps.
 type DB struct {
 	mu       sync.Mutex
 	iso      Isolation
 	faults   Faults
 	rng      *rand.Rand
 	ts       int64
-	lists    map[string][]version
-	regs     map[string][]version
-	sets     map[string][]version
-	counters map[string][]version
+	keys     *history.Interner
+	lists    [][]version
+	regs     [][]version
+	sets     [][]version
+	counters [][]version
 }
 
 // New creates a database at the given isolation level. Faults fire using
 // the seeded RNG, making whole runs reproducible.
 func New(iso Isolation, faults Faults, seed int64) *DB {
 	return &DB{
-		iso:      iso,
-		faults:   faults,
-		rng:      rand.New(rand.NewSource(seed)),
-		lists:    map[string][]version{},
-		regs:     map[string][]version{},
-		sets:     map[string][]version{},
-		counters: map[string][]version{},
+		iso:    iso,
+		faults: faults,
+		rng:    rand.New(rand.NewSource(seed)),
+		keys:   history.NewInterner(),
 	}
+}
+
+// intern resolves key to its dense id, growing the four stores in
+// lockstep. Called with db.mu held.
+func (db *DB) intern(key string) history.KeyID {
+	id := db.keys.Intern(key)
+	if int(id) >= len(db.lists) {
+		db.lists = history.GrowKeyed(db.lists, id)
+		db.regs = history.GrowKeyed(db.regs, id)
+		db.sets = history.GrowKeyed(db.sets, id)
+		db.counters = history.GrowKeyed(db.counters, id)
+	}
+	return id
 }
 
 // Isolation returns the configured level.
@@ -162,7 +177,7 @@ func (db *DB) FinalLists() map[string][]int {
 			v := vs[len(vs)-1].list
 			cp := make([]int, len(v))
 			copy(cp, v)
-			out[k] = cp
+			out[db.keys.Key(history.KeyID(k))] = cp
 		}
 	}
 	return out
@@ -177,7 +192,7 @@ func (db *DB) FinalRegs() map[string]int {
 	out := make(map[string]int, len(db.regs))
 	for k, vs := range db.regs {
 		if len(vs) > 0 {
-			out[k] = vs[len(vs)-1].reg
+			out[db.keys.Key(history.KeyID(k))] = vs[len(vs)-1].reg
 		}
 	}
 	return out
@@ -185,7 +200,7 @@ func (db *DB) FinalRegs() map[string]int {
 
 // visibleList returns the newest version of key with ts <= snapTS, or an
 // empty value.
-func (db *DB) visibleList(key string, snapTS int64) []int {
+func (db *DB) visibleList(key history.KeyID, snapTS int64) []int {
 	vs := db.lists[key]
 	for i := len(vs) - 1; i >= 0; i-- {
 		if vs[i].ts <= snapTS {
@@ -196,7 +211,7 @@ func (db *DB) visibleList(key string, snapTS int64) []int {
 }
 
 // visibleReg returns the newest register version with ts <= snapTS.
-func (db *DB) visibleReg(key string, snapTS int64) (int, bool) {
+func (db *DB) visibleReg(key history.KeyID, snapTS int64) (int, bool) {
 	vs := db.regs[key]
 	for i := len(vs) - 1; i >= 0; i-- {
 		if vs[i].ts <= snapTS {

@@ -1,5 +1,7 @@
 package memdb
 
+import "repro/internal/history"
+
 // Txn is one interactive transaction. Transactions are not safe for
 // concurrent use by multiple goroutines; the DB itself is.
 type Txn struct {
@@ -15,13 +17,13 @@ type Txn struct {
 	// the write path: stale reads must not rebase the transaction's
 	// read-modify-writes, or every stale read would also be a lost
 	// update, which is not that bug's signature.
-	lists map[string]*listState
+	lists map[history.KeyID]*listState
 
-	readKeys map[string]bool // keys read, for serializable validation
-	regBuf   map[string]int
-	regWrote map[string]bool
-	setAdds  map[string][]int // buffered set adds (commutative)
-	ctrIncs  map[string]int   // buffered counter increments (commutative)
+	readKeys map[history.KeyID]bool // keys read, for serializable validation
+	regBuf   map[history.KeyID]int
+	regWrote map[history.KeyID]bool
+	setAdds  map[history.KeyID][]int // buffered set adds (commutative)
+	ctrIncs  map[history.KeyID]int   // buffered counter increments (commutative)
 }
 
 type listState struct {
@@ -39,10 +41,10 @@ func (db *DB) Begin() *Txn {
 	t := &Txn{
 		db:       db,
 		startTS:  db.ts,
-		lists:    map[string]*listState{},
-		readKeys: map[string]bool{},
-		regBuf:   map[string]int{},
-		regWrote: map[string]bool{},
+		lists:    map[history.KeyID]*listState{},
+		readKeys: map[history.KeyID]bool{},
+		regBuf:   map[history.KeyID]int{},
+		regWrote: map[history.KeyID]bool{},
 	}
 	if db.faults.StaleReadProb > 0 && db.rng.Float64() < db.faults.StaleReadProb {
 		t.staleBack = int64(1 + db.rng.Intn(3))
@@ -53,7 +55,7 @@ func (db *DB) Begin() *Txn {
 	return t
 }
 
-func (t *Txn) list(key string) *listState {
+func (t *Txn) list(key history.KeyID) *listState {
 	s, ok := t.lists[key]
 	if !ok {
 		s = &listState{}
@@ -89,17 +91,18 @@ func (t *Txn) ReadList(key string) []int {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t.readKeys[key] = true
+	id := db.intern(key)
+	t.readKeys[id] = true
 
 	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
 		return nil
 	}
 	if db.iso == ReadUncommitted {
 		// Shared state already contains everyone's writes.
-		return cloneInts(db.visibleList(key, db.ts))
+		return cloneInts(db.visibleList(id, db.ts))
 	}
 
-	s := t.list(key)
+	s := t.list(id)
 	if len(s.appended) > 0 {
 		// A read of a key this transaction already appended to is served
 		// from the write path (as a SQL SELECT sees the transaction's own
@@ -113,7 +116,7 @@ func (t *Txn) ReadList(key string) []int {
 	if !s.pinned {
 		// The pin may be stale (YugaByte, §7.2); the write base, set in
 		// Append, never is.
-		s.pin = cloneInts(db.visibleList(key, t.readTS()))
+		s.pin = cloneInts(db.visibleList(id, t.readTS()))
 		s.pinned = true
 	}
 	if db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb {
@@ -128,24 +131,25 @@ func (t *Txn) Append(key string, elem int) {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id := db.intern(key)
 
 	dup := db.faults.DuplicateAppendProb > 0 && db.rng.Float64() < db.faults.DuplicateAppendProb
 
 	if db.iso == ReadUncommitted {
 		// Apply immediately to shared state.
-		cur := cloneInts(db.visibleList(key, db.ts))
+		cur := cloneInts(db.visibleList(id, db.ts))
 		cur = append(cur, elem)
 		if dup {
 			cur = append(cur, elem)
 		}
 		db.ts++
-		db.lists[key] = append(db.lists[key], version{ts: db.ts, list: cur})
+		db.lists[id] = append(db.lists[id], version{ts: db.ts, list: cur})
 		return
 	}
 
-	s := t.list(key)
+	s := t.list(id)
 	if !s.based {
-		s.base = cloneInts(db.visibleList(key, t.snapshotTS()))
+		s.base = cloneInts(db.visibleList(id, t.snapshotTS()))
 		s.based = true
 	}
 	s.appended = append(s.appended, elem)
@@ -159,19 +163,20 @@ func (t *Txn) ReadReg(key string) (int, bool) {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	t.readKeys[key] = true
+	id := db.intern(key)
+	t.readKeys[id] = true
 
 	if db.faults.NilReadProb > 0 && db.rng.Float64() < db.faults.NilReadProb {
 		return 0, true
 	}
 	if db.iso == ReadUncommitted {
-		return db.visibleReg(key, db.ts)
+		return db.visibleReg(id, db.ts)
 	}
 	skipOwn := db.faults.SkipOwnWriteProb > 0 && db.rng.Float64() < db.faults.SkipOwnWriteProb
-	if t.regWrote[key] && !skipOwn {
-		return t.regBuf[key], false
+	if t.regWrote[id] && !skipOwn {
+		return t.regBuf[id], false
 	}
-	return db.visibleReg(key, t.readTS())
+	return db.visibleReg(id, t.readTS())
 }
 
 // WriteReg performs a blind register write mop.
@@ -179,14 +184,15 @@ func (t *Txn) WriteReg(key string, v int) {
 	db := t.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id := db.intern(key)
 
 	if db.iso == ReadUncommitted {
 		db.ts++
-		db.regs[key] = append(db.regs[key], version{ts: db.ts, reg: v})
+		db.regs[id] = append(db.regs[id], version{ts: db.ts, reg: v})
 		return
 	}
-	t.regBuf[key] = v
-	t.regWrote[key] = true
+	t.regBuf[id] = v
+	t.regWrote[id] = true
 }
 
 // Commit attempts to commit, applying the level's validation rules.

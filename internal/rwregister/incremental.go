@@ -2,7 +2,6 @@ package rwregister
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/anomaly"
 	"repro/internal/explain"
@@ -32,24 +31,23 @@ type session struct {
 	a  *analyzer
 	hs *history.Stream
 
-	byKey  map[string][]op.Op // committed ops touching each key, in index order
-	keySet map[string]bool
+	keySet map[history.KeyID]bool
 
-	cache     map[string]keyResult
-	touched   map[string]bool
+	cache     map[history.KeyID]keyResult
+	touched   map[history.KeyID]bool
 	emitted   map[string]bool
 	sinceScan int
 	done      bool
 }
 
 func beginSession(opts workload.Opts) workload.Session {
+	hs := history.NewStream()
 	return &session{
-		a:       newAnalyzer(opts),
-		hs:      history.NewStream(),
-		byKey:   map[string][]op.Op{},
-		keySet:  map[string]bool{},
-		cache:   map[string]keyResult{},
-		touched: map[string]bool{},
+		a:       newAnalyzer(opts, hs.Keys()),
+		hs:      hs,
+		keySet:  map[history.KeyID]bool{},
+		cache:   map[history.KeyID]keyResult{},
+		touched: map[history.KeyID]bool{},
 		emitted: map[string]bool{},
 	}
 }
@@ -86,41 +84,40 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 		if m.F != op.FWrite {
 			continue
 		}
-		s.mark(m.Key)
-		vk := verKey{m.Key, m.Arg}
+		k := a.kid(m.Key)
+		s.mark(k)
+		vk := verKey{k, m.Arg}
 		switch a.writeCount[vk] {
 		case 1:
 			if o.Type == op.Fail {
 				// Readers that already observed this value read state
 				// that is now known to be aborted.
 				for _, r := range a.readers[vk] {
-					s.emit(d, fmt.Sprintf("g1a|%s|%d|%d|%d", vk.key, vk.val, r, o.Index),
-						g1aAnomaly(a.ops[r], vk.key, vk.val, o))
+					s.emit(d, fmt.Sprintf("g1a|%d|%d|%d|%d", vk.key, vk.val, r, o.Index),
+						g1aAnomaly(a.ops[r], m.Key, vk.val, o))
 				}
 			}
 		case 2:
-			s.emit(d, fmt.Sprintf("dup|%s|%d", vk.key, vk.val), anomaly.Anomaly{
+			s.emit(d, fmt.Sprintf("dup|%d|%d", vk.key, vk.val), anomaly.Anomaly{
 				Type: anomaly.DuplicateAppends,
-				Key:  vk.key,
+				Key:  m.Key,
 				Explanation: fmt.Sprintf(
 					"value %d was written to key %s by %d transactions; writes must be unique for versions to be recoverable",
-					vk.val, vk.key, a.writeCount[vk]),
+					vk.val, m.Key, a.writeCount[vk]),
 			})
 		}
 	}
 	if o.Type != op.OK {
 		return
 	}
-	seen := map[string]bool{}
 	for _, m := range o.Mops {
-		if !seen[m.Key] {
-			seen[m.Key] = true
-			s.mark(m.Key)
-			s.byKey[m.Key] = append(s.byKey[m.Key], o)
-		}
+		// addOp already grouped the op under each key; marking keeps the
+		// touched/key sets in step (repeated marks are cheap).
+		k := a.kid(m.Key)
+		s.mark(k)
 		if m.F == op.FRead && m.RegKnown && !m.RegNil {
-			if w, ok := a.failedWriter[verKey{m.Key, m.Reg}]; ok {
-				s.emit(d, fmt.Sprintf("g1a|%s|%d|%d|%d", m.Key, m.Reg, o.Index, w),
+			if w, ok := a.failedWriter[verKey{k, m.Reg}]; ok {
+				s.emit(d, fmt.Sprintf("g1a|%d|%d|%d|%d", k, m.Reg, o.Index, w),
 					g1aAnomaly(o, m.Key, m.Reg, a.ops[w]))
 			}
 		}
@@ -128,7 +125,7 @@ func (s *session) ingest(o op.Op, d *workload.Delta) {
 	d.Anomalies = append(d.Anomalies, a.internalAnomalies(o)...)
 }
 
-func (s *session) mark(k string) {
+func (s *session) mark(k history.KeyID) {
 	s.keySet[k] = true
 	s.touched[k] = true
 }
@@ -137,19 +134,20 @@ func (s *session) mark(k string) {
 // newly cyclic version orders.
 func (s *session) scan(d *workload.Delta) {
 	s.sinceScan = 0
-	keys := make([]string, 0, len(s.touched))
+	keys := make([]history.KeyID, 0, len(s.touched))
 	for k := range s.touched {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	s.touched = map[string]bool{}
+	s.a.in.SortKeyIDs(keys)
+	s.touched = map[history.KeyID]bool{}
 	results := par.Map(s.a.opts.Parallelism, len(keys), func(i int) keyResult {
-		return s.a.analyzeKey(keys[i], s.byKey[keys[i]])
+		return s.a.analyzeKey(keys[i], s.a.byKeyAt(keys[i]))
 	})
 	for i, k := range keys {
 		s.cache[k] = results[i]
 		if results[i].cyclic != nil {
-			s.emit(d, "cvo|"+k, cvoAnomaly(k, results[i].cyclic))
+			kname := s.a.in.Key(k)
+			s.emit(d, "cvo|"+kname, cvoAnomaly(kname, results[i].cyclic))
 		}
 	}
 }
@@ -184,13 +182,13 @@ func (s *session) Finish() (workload.Analysis, error) {
 	a.h = s.hs.History()
 	p := a.opts.Parallelism
 
-	pending := make([]string, 0, len(s.touched))
+	pending := make([]history.KeyID, 0, len(s.touched))
 	for k := range s.touched {
 		pending = append(pending, k)
 	}
-	sort.Strings(pending)
+	a.in.SortKeyIDs(pending)
 	results := par.Map(p, len(pending), func(i int) keyResult {
-		return a.analyzeKey(pending[i], s.byKey[pending[i]])
+		return a.analyzeKey(pending[i], a.byKeyAt(pending[i]))
 	})
 	for i, k := range pending {
 		s.cache[k] = results[i]
@@ -208,16 +206,16 @@ func (s *session) Finish() (workload.Analysis, error) {
 	for _, o := range a.oks {
 		g.Ensure(o.Index)
 	}
-	keys := make([]string, 0, len(s.keySet))
+	keys := make([]history.KeyID, 0, len(s.keySet))
 	for k := range s.keySet {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
-	orders := map[string][][2]string{}
+	a.in.SortKeyIDs(keys)
+	orders := make([][][2]string, a.in.Len())
 	for _, k := range keys {
 		r := s.cache[k]
 		if r.cyclic != nil {
-			a.report(cvoAnomaly(k, r.cyclic))
+			a.report(cvoAnomaly(a.in.Key(k), r.cyclic))
 			continue
 		}
 		orders[k] = r.verEdges
@@ -227,6 +225,6 @@ func (s *session) Finish() (workload.Analysis, error) {
 	return workload.Analysis{
 		Graph:     g,
 		Anomalies: a.anomalies,
-		Explainer: &explain.Explainer{Ops: a.ops, RegOrders: orders},
+		Explainer: &explain.Explainer{Ops: a.ops, Keys: a.in, RegOrders: orders},
 	}, nil
 }

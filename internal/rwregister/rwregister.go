@@ -46,24 +46,40 @@ type Analysis struct {
 	Graph *graph.Graph
 	// Anomalies are non-cycle anomalies found during inference.
 	Anomalies []anomaly.Anomaly
-	// VersionOrders maps keys to the direct edges of the reduced version
-	// order actually used for inference (nil encoded as "nil").
-	VersionOrders map[string][][2]string
+	// Keys is the history's key interner; VersionOrders is indexed by
+	// its KeyIDs.
+	Keys *history.Interner
+	// VersionOrders holds, per KeyID, the direct edges of the reduced
+	// version order actually used for inference (nil encoded as "nil");
+	// keys with a cyclic or empty order have a nil entry.
+	VersionOrders [][][2]string
 	// Ops indexes analyzed completion ops by index.
 	Ops map[int]op.Op
 }
 
+// VersionOrder returns the direct version edges inferred for key, or
+// nil.
+func (a *Analysis) VersionOrder(key string) [][2]string {
+	id, ok := a.Keys.ID(key)
+	if !ok || int(id) >= len(a.VersionOrders) {
+		return nil
+	}
+	return a.VersionOrders[id]
+}
+
 type verKey struct {
-	key string
+	key history.KeyID
 	val int
 }
 
 type analyzer struct {
 	opts workload.Opts
 	h    *history.History
+	in   *history.Interner
 
 	ops          map[int]op.Op
 	oks          []op.Op
+	byKey        [][]op.Op // committed ops touching each key, in index order
 	spanOf       map[int][2]int
 	writer       map[verKey]int // recoverable committed/indeterminate writer
 	failedWriter map[verKey]int
@@ -72,11 +88,13 @@ type analyzer struct {
 	anomalies    []anomaly.Anomaly
 }
 
-// newAnalyzer returns an analyzer with empty indices; the history is
-// attached by Analyze (batch) or at Finish (streaming sessions).
-func newAnalyzer(opts workload.Opts) *analyzer {
+// newAnalyzer returns an analyzer with empty indices over the given
+// interner; the history is attached by Analyze (batch) or at Finish
+// (streaming sessions).
+func newAnalyzer(opts workload.Opts, in *history.Interner) *analyzer {
 	return &analyzer{
 		opts:         opts,
+		in:           in,
 		ops:          map[int]op.Op{},
 		spanOf:       map[int][2]int{},
 		writer:       map[verKey]int{},
@@ -86,13 +104,25 @@ func newAnalyzer(opts workload.Opts) *analyzer {
 	}
 }
 
+// kid resolves an interned key (see history.Interner.MustID).
+func (a *analyzer) kid(k string) history.KeyID { return a.in.MustID(k) }
+
+// byKeyAt reads the KeyID-indexed op grouping, which streaming sessions
+// grow on demand.
+func (a *analyzer) byKeyAt(k history.KeyID) []op.Op {
+	if int(k) < len(a.byKey) {
+		return a.byKey[k]
+	}
+	return nil
+}
+
 // Analyze infers dependencies and anomalies for a register history. Of
 // the shared options it consumes Parallelism and the four version-order
 // inference rules (InitialState, WritesFollowReads, LinearizableKeys,
 // SequentialKeys); workload.DefaultOpts enables every rule, matching
 // the paper's Dgraph analysis.
 func Analyze(h *history.History, opts workload.Opts) *Analysis {
-	a := newAnalyzer(opts)
+	a := newAnalyzer(opts, h.Keys())
 	a.h = h
 	for pos, o := range h.Ops {
 		if o.Type == op.Invoke {
@@ -125,20 +155,20 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	// are identical at every parallelism level.
 	keys := a.keys()
 	perKey := par.Map(p, len(keys), func(i int) keyResult {
-		return a.analyzeKey(keys[i], a.oks)
+		return a.analyzeKey(keys[i], a.byKeyAt(keys[i]))
 	})
-	orders := map[string][][2]string{}
+	orders := make([][][2]string, a.in.Len())
 	for i, k := range keys {
 		r := perKey[i]
 		if r.cyclic != nil {
-			a.report(cvoAnomaly(k, r.cyclic))
+			a.report(cvoAnomaly(a.in.Key(k), r.cyclic))
 			continue
 		}
 		orders[k] = r.verEdges
 		g.AddEdges(r.edges)
 	}
 	a.emitWR(g)
-	return &Analysis{Graph: g, Anomalies: a.anomalies, VersionOrders: orders, Ops: a.ops}
+	return &Analysis{Graph: g, Anomalies: a.anomalies, Keys: a.in, VersionOrders: orders, Ops: a.ops}
 }
 
 // keyResult is one key's inference outcome: either a cyclic-version-order
@@ -152,11 +182,11 @@ type keyResult struct {
 
 // analyzeKey runs the whole per-key pipeline for key k: build the version
 // graph from the enabled rules, reject it if cyclic, otherwise reduce it
-// and explode it into transaction dependencies. oks is the committed-op
-// list the per-key rules scan: the full list in batch runs, the key's
-// own op list in streaming sessions (the rules filter by key either
-// way, so the results agree).
-func (a *analyzer) analyzeKey(k string, oks []op.Op) keyResult {
+// and explode it into transaction dependencies. oks is the key's own
+// committed-op list (analyzer.byKey), maintained identically by the
+// batch ingestion loop and the streaming sessions; the rules filter by
+// key, so scanning only the ops that touch it changes nothing but cost.
+func (a *analyzer) analyzeKey(k history.KeyID, oks []op.Op) keyResult {
 	vg := a.versionGraph(k, oks)
 	if cyc := cyclicWitness(vg); cyc != nil {
 		return keyResult{cyclic: cyc}
@@ -181,9 +211,20 @@ func (a *analyzer) addOp(o op.Op, span [2]int) {
 		a.oks = append(a.oks, o)
 	}
 	for _, m := range o.Mops {
+		k := a.in.Intern(m.Key)
+		if o.Type == op.OK {
+			// Group the op under each distinct key it touches, in index
+			// order — the per-key work lists analyzeKey scans. Ops arrive
+			// in ascending index order, so a trailing-element check
+			// dedupes repeated keys within one transaction.
+			a.byKey = history.GrowKeyed(a.byKey, k)
+			if n := len(a.byKey[k]); n == 0 || a.byKey[k][n-1].Index != o.Index {
+				a.byKey[k] = append(a.byKey[k], o)
+			}
+		}
 		switch {
 		case m.F == op.FWrite:
-			vk := verKey{m.Key, m.Arg}
+			vk := verKey{k, m.Arg}
 			a.writeCount[vk]++
 			switch a.writeCount[vk] {
 			case 1:
@@ -197,7 +238,7 @@ func (a *analyzer) addOp(o op.Op, span [2]int) {
 				delete(a.failedWriter, vk)
 			}
 		case m.F == op.FRead && o.Type == op.OK && m.RegKnown && !m.RegNil:
-			vk := verKey{m.Key, m.Reg}
+			vk := verKey{k, m.Reg}
 			a.readers[vk] = append(a.readers[vk], o.Index)
 		}
 	}
@@ -214,18 +255,19 @@ func (a *analyzer) duplicateWriteAnomalies() []anomaly.Anomaly {
 	}
 	sort.Slice(vks, func(i, j int) bool {
 		if vks[i].key != vks[j].key {
-			return vks[i].key < vks[j].key
+			return a.in.Less(vks[i].key, vks[j].key)
 		}
 		return vks[i].val < vks[j].val
 	})
 	var out []anomaly.Anomaly
 	for _, vk := range vks {
+		kname := a.in.Key(vk.key)
 		out = append(out, anomaly.Anomaly{
 			Type: anomaly.DuplicateAppends,
-			Key:  vk.key,
+			Key:  kname,
 			Explanation: fmt.Sprintf(
 				"value %d was written to key %s by %d transactions; writes must be unique for versions to be recoverable",
-				vk.val, vk.key, a.writeCount[vk]),
+				vk.val, kname, a.writeCount[vk]),
 		})
 	}
 	return out
@@ -252,7 +294,7 @@ func (a *analyzer) readAnomalies(o op.Op) []anomaly.Anomaly {
 		if m.F != op.FRead || !m.RegKnown || m.RegNil {
 			continue
 		}
-		vk := verKey{m.Key, m.Reg}
+		vk := verKey{a.kid(m.Key), m.Reg}
 		if a.writeCount[vk] == 0 {
 			out = append(out, anomaly.Anomaly{
 				Type: anomaly.GarbageRead,
@@ -294,12 +336,13 @@ func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
 		nil_  bool
 		val   int
 	}
-	views := map[string]*state{}
+	views := map[history.KeyID]*state{}
 	for _, m := range o.Mops {
-		s, ok := views[m.Key]
+		k := a.kid(m.Key)
+		s, ok := views[k]
 		if !ok {
 			s = &state{}
-			views[m.Key] = s
+			views[k] = s
 		}
 		switch m.F {
 		case op.FWrite:

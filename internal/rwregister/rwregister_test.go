@@ -239,8 +239,8 @@ func TestVersionOrdersReported(t *testing.T) {
 	a := analyze(t, workload.Opts{InitialState: true},
 		op.Txn(0, 0, op.OK, op.Write("x", 5)),
 	)
-	edges, ok := a.VersionOrders["x"]
-	if !ok || len(edges) != 1 {
+	edges := a.VersionOrder("x")
+	if len(edges) != 1 {
 		t.Fatalf("version order edges = %v", edges)
 	}
 	if edges[0][0] != "nil" || edges[0][1] != "5" {

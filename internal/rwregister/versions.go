@@ -7,13 +7,14 @@ import (
 
 	"repro/internal/anomaly"
 	"repro/internal/graph"
+	"repro/internal/history"
 	"repro/internal/op"
 )
 
 // versionGraph builds the per-key partial version order for key k from
 // the enabled inference rules. Nodes are written/observed values, with
 // nilVer standing in for the initial version.
-func (a *analyzer) versionGraph(k string, oks []op.Op) map[int]map[int]bool {
+func (a *analyzer) versionGraph(k history.KeyID, oks []op.Op) map[int]map[int]bool {
 	vg := map[int]map[int]bool{}
 	addVer := func(v int) {
 		if vg[v] == nil {
@@ -39,10 +40,11 @@ func (a *analyzer) versionGraph(k string, oks []op.Op) map[int]map[int]bool {
 	}
 
 	if a.opts.WritesFollowReads {
+		kname := a.in.Key(k)
 		for _, o := range oks {
 			cur, haveCur := nilVer, false
 			for _, m := range o.Mops {
-				if m.Key != k {
+				if m.Key != kname {
 					continue
 				}
 				switch m.F {
@@ -77,7 +79,8 @@ func (a *analyzer) versionGraph(k string, oks []op.Op) map[int]map[int]bool {
 // sequentialEdges infers vi <x vj whenever one committed process touched
 // key k at version vi in one transaction and at vj in a later one: the
 // session's view of a sequentially consistent key must be monotone.
-func (a *analyzer) sequentialEdges(k string, oks []op.Op, addEdge func(u, v int)) {
+func (a *analyzer) sequentialEdges(k history.KeyID, oks []op.Op, addEdge func(u, v int)) {
+	kname := a.in.Key(k)
 	type touch struct {
 		process     int
 		index       int
@@ -90,7 +93,7 @@ func (a *analyzer) sequentialEdges(k string, oks []op.Op, addEdge func(u, v int)
 	for _, o := range oks {
 		first, last, have := nilVer, nilVer, false
 		for _, m := range o.Mops {
-			if m.Key != k {
+			if m.Key != kname {
 				continue
 			}
 			var v int
@@ -121,7 +124,7 @@ func (a *analyzer) sequentialEdges(k string, oks []op.Op, addEdge func(u, v int)
 
 // versionsOf lists every value observed or written for key k, in
 // ascending order, excluding nil.
-func (a *analyzer) versionsOf(k string) []int {
+func (a *analyzer) versionsOf(k history.KeyID) []int {
 	set := map[int]bool{}
 	for vk := range a.writeCount {
 		if vk.key == k {
@@ -146,7 +149,8 @@ func (a *analyzer) versionsOf(k string) []int {
 // transaction B began and first touched k at version vj. The sweep
 // mirrors the real-time transitive reduction: it maintains the frontier
 // of completed transactions not yet transitively covered.
-func (a *analyzer) linearizableEdges(k string, oks []op.Op, addEdge func(u, v int)) {
+func (a *analyzer) linearizableEdges(k history.KeyID, oks []op.Op, addEdge func(u, v int)) {
+	kname := a.in.Key(k)
 	type span struct {
 		invoke, complete int
 		first, last      int // versions; nilVer possible
@@ -156,7 +160,7 @@ func (a *analyzer) linearizableEdges(k string, oks []op.Op, addEdge func(u, v in
 	for _, o := range oks {
 		first, last, have := nilVer, nilVer, false
 		for _, m := range o.Mops {
-			if m.Key != k {
+			if m.Key != kname {
 				continue
 			}
 			var v int
@@ -315,7 +319,7 @@ func reachableAvoiding(vg map[int]map[int]bool, u, v int) bool {
 // emitEdges explodes key k's reduced version order into ww and rw
 // transaction dependencies, returning the direct version edges for
 // reporting alongside the dependency edges.
-func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool, oks []op.Op) ([][2]string, []graph.Edge) {
+func (a *analyzer) emitEdges(k history.KeyID, vg map[int]map[int]bool, oks []op.Op) ([][2]string, []graph.Edge) {
 	var edges [][2]string
 	var deps []graph.Edge
 	for _, u := range sortedTargets(allNodes(vg)) {
@@ -343,14 +347,15 @@ func (a *analyzer) emitEdges(k string, vg map[int]map[int]bool, oks []op.Op) ([]
 
 // readersOf returns ok transactions that read version v of key k; v may
 // be nilVer.
-func (a *analyzer) readersOf(k string, v int, oks []op.Op) []int {
+func (a *analyzer) readersOf(k history.KeyID, v int, oks []op.Op) []int {
 	if v != nilVer {
 		return a.readers[verKey{k, v}]
 	}
+	kname := a.in.Key(k)
 	var out []int
 	for _, o := range oks {
 		for _, m := range o.Mops {
-			if m.F == op.FRead && m.Key == k && m.RegKnown && m.RegNil {
+			if m.F == op.FRead && m.Key == kname && m.RegKnown && m.RegNil {
 				out = append(out, o.Index)
 				break
 			}
@@ -369,7 +374,7 @@ func (a *analyzer) emitWR(g *graph.Graph) {
 	}
 	sort.Slice(vks, func(i, j int) bool {
 		if vks[i].key != vks[j].key {
-			return vks[i].key < vks[j].key
+			return a.in.Less(vks[i].key, vks[j].key)
 		}
 		return vks[i].val < vks[j].val
 	})
@@ -408,24 +413,26 @@ func formatVersionCycle(cyc []int) string {
 	return strings.Join(parts, " < ")
 }
 
-func (a *analyzer) keys() []string {
-	set := map[string]bool{}
+func (a *analyzer) keys() []history.KeyID {
+	seen := make([]bool, a.in.Len())
 	for vk := range a.writeCount {
-		set[vk.key] = true
+		seen[vk.key] = true
 	}
 	for vk := range a.readers {
-		set[vk.key] = true
+		seen[vk.key] = true
 	}
-	for _, o := range a.oks {
-		for _, m := range o.Mops {
-			set[m.Key] = true
+	for k := range a.byKey {
+		if len(a.byKey[k]) > 0 {
+			seen[k] = true
 		}
 	}
-	var out []string
-	for k := range set {
-		out = append(out, k)
+	var out []history.KeyID
+	for k, s := range seen {
+		if s {
+			out = append(out, history.KeyID(k))
+		}
 	}
-	sort.Strings(out)
+	a.in.SortKeyIDs(out)
 	return out
 }
 

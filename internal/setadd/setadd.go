@@ -41,7 +41,7 @@ type Analysis struct {
 }
 
 type elemKey struct {
-	key  string
+	key  history.KeyID
 	elem int
 }
 
@@ -55,6 +55,7 @@ type elemKey struct {
 func Analyze(h *history.History, opts workload.Opts) *Analysis {
 	a := &analyzer{
 		opts:         opts,
+		in:           h.Keys(),
 		ops:          map[int]op.Op{},
 		writer:       map[elemKey]int{},
 		failedWriter: map[elemKey]int{},
@@ -76,6 +77,7 @@ func Analyze(h *history.History, opts workload.Opts) *Analysis {
 
 type analyzer struct {
 	opts         workload.Opts
+	in           *history.Interner
 	ops          map[int]op.Op
 	oks          []op.Op
 	writer       map[elemKey]int
@@ -88,6 +90,9 @@ func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
 	a.anomalies = anomaly.AppendGroups(a.anomalies, groups)
 }
 
+// kid resolves an interned key (see history.Interner.MustID).
+func (a *analyzer) kid(k string) history.KeyID { return a.in.MustID(k) }
+
 func (a *analyzer) indexAdds() {
 	var dups []elemKey
 	for _, o := range a.ops {
@@ -95,7 +100,7 @@ func (a *analyzer) indexAdds() {
 			if m.F != op.FAdd {
 				continue
 			}
-			ek := elemKey{m.Key, m.Arg}
+			ek := elemKey{a.kid(m.Key), m.Arg}
 			a.attempts[ek]++
 			if a.attempts[ek] > 1 {
 				if a.attempts[ek] == 2 {
@@ -112,19 +117,20 @@ func (a *analyzer) indexAdds() {
 	}
 	sort.Slice(dups, func(i, j int) bool {
 		if dups[i].key != dups[j].key {
-			return dups[i].key < dups[j].key
+			return a.in.Less(dups[i].key, dups[j].key)
 		}
 		return dups[i].elem < dups[j].elem
 	})
 	for _, ek := range dups {
 		delete(a.writer, ek)
 		delete(a.failedWriter, ek)
+		kname := a.in.Key(ek.key)
 		a.anomalies = append(a.anomalies, anomaly.Anomaly{
 			Type: anomaly.DuplicateAppends,
-			Key:  ek.key,
+			Key:  kname,
 			Explanation: fmt.Sprintf(
 				"element %d was added to set %s by %d transactions; adds must be unique for versions to be recoverable",
-				ek.elem, ek.key, a.attempts[ek]),
+				ek.elem, kname, a.attempts[ek]),
 		})
 	}
 }
@@ -134,12 +140,13 @@ func (a *analyzer) indexAdds() {
 // added, and repeated reads must never shrink.
 func (a *analyzer) internalAnomalies(o op.Op) []anomaly.Anomaly {
 	var out []anomaly.Anomaly
-	have := map[string]map[int]bool{} // lower bound per key
+	have := map[history.KeyID]map[int]bool{} // lower bound per key
 	ensure := func(k string) map[int]bool {
-		s, ok := have[k]
+		id := a.kid(k)
+		s, ok := have[id]
 		if !ok {
 			s = map[int]bool{}
-			have[k] = s
+			have[id] = s
 		}
 		return s
 	}
@@ -186,8 +193,9 @@ func (a *analyzer) buildGraph() *graph.Graph {
 	}
 	// Committed elements per key: any element added by a committed
 	// transaction is eventually in the set (grow-only), so a committed
-	// read that misses it anti-depends on its writer.
-	committed := map[string][]elemKey{}
+	// read that misses it anti-depends on its writer. The index is a
+	// dense KeyID-indexed slice.
+	committed := make([][]elemKey, a.in.Len())
 	var vks []elemKey
 	for ek, w := range a.writer {
 		if a.ops[w].Type == op.OK {
@@ -196,7 +204,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 	}
 	sort.Slice(vks, func(i, j int) bool {
 		if vks[i].key != vks[j].key {
-			return vks[i].key < vks[j].key
+			return a.in.Less(vks[i].key, vks[j].key)
 		}
 		return vks[i].elem < vks[j].elem
 	})
@@ -217,6 +225,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 			if m.F != op.FRead || m.List == nil {
 				continue
 			}
+			k := a.kid(m.Key)
 			got := map[int]bool{}
 			for _, e := range m.List {
 				got[e] = true
@@ -228,7 +237,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 				}
 			}
 			for _, e := range m.List {
-				ek := elemKey{m.Key, e}
+				ek := elemKey{k, e}
 				if w, ok := a.failedWriter[ek]; ok {
 					r.anoms = append(r.anoms, anomaly.Anomaly{
 						Type: anomaly.G1a,
@@ -259,7 +268,7 @@ func (a *analyzer) buildGraph() *graph.Graph {
 			// Anti-dependencies: committed elements missing from the
 			// read. Skip the transaction's own adds: a read before its
 			// own add is not an anti-dependency on itself.
-			for _, ek := range committed[m.Key] {
+			for _, ek := range committed[k] {
 				if !got[ek.elem] && !ownAdds[ek.elem] {
 					r.edges = append(r.edges, graph.Edge{From: o.Index, To: a.writer[ek], Kind: graph.RW})
 				}
