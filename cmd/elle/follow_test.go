@@ -95,6 +95,103 @@ func TestFollowMatchesBatch(t *testing.T) {
 	}
 }
 
+// TestFollowPartialLineIdle is the regression test for idle expiry
+// landing mid-line: the writer emits the final line in two timed
+// halves, with a pause longer than the idle window between them. The
+// follow run must keep waiting for the newline — not hand the truncated
+// fragment to the decoder as if it were final — and still produce the
+// batch report.
+func TestFollowPartialLineIdle(t *testing.T) {
+	content := encodeFaultedListHistory(t, 60)
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+
+	var batch bytes.Buffer
+	{
+		var errb bytes.Buffer
+		if code := run([]string{"-model", "serializable", write(t, content)},
+			strings.NewReader(""), &batch, &errb); code != 1 {
+			t.Fatalf("batch run: exit = %d, stderr: %s", code, errb.String())
+		}
+	}
+
+	lines := strings.SplitAfter(strings.TrimSuffix(content, "\n"), "\n")
+	last := lines[len(lines)-1]
+	head := strings.Join(lines[:len(lines)-1], "")
+	half := len(last) / 2
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	const idle = 400 * time.Millisecond
+	go func() {
+		defer close(done)
+		defer f.Close()
+		// Everything but the final line's second half lands at once;
+		// then the writer stalls mid-line for longer than the idle
+		// window (but inside the partial-line grace). The old reader
+		// declared the stream complete during that stall and fed the
+		// fragment to the decoder.
+		for _, part := range []string{head + last[:half], last[half:]} {
+			if _, err := f.WriteString(part); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(2 * idle)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-follow-idle", idle.String(), "-model", "serializable", path},
+		strings.NewReader(""), &out, &errb)
+	<-done
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out.String() != batch.String() {
+		t.Fatalf("follow stdout diverges from batch:\n--- batch ---\n%s\n--- follow ---\n%s",
+			batch.String(), out.String())
+	}
+}
+
+// TestFollowTruncated: shrinking the followed file mid-run (log
+// rotation) must fail loudly with exit status 3, not end the run with a
+// short report.
+func TestFollowTruncated(t *testing.T) {
+	content := encodeFaultedListHistory(t, 100)
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Let the follow run consume the whole file, then rotate it out
+		// from under the checker before the idle window can elapse.
+		time.Sleep(400 * time.Millisecond)
+		if err := os.Truncate(path, 10); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-follow-idle", "2s", "-model", "serializable", path},
+		strings.NewReader(""), &out, &errb)
+	<-done
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "shrank") {
+		t.Errorf("stderr does not name the truncation:\n%s", errb.String())
+	}
+}
+
 // TestFollowStdin: on stdin, follow mode streams to pipe EOF with no
 // idle heuristic, and still matches the batch report.
 func TestFollowStdin(t *testing.T) {

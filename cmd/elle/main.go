@@ -33,10 +33,13 @@
 //	-stats                    print history statistics
 //
 // Exit status: 0 if the history is consistent with the expected model,
-// 1 if anomalies rule it out, 2 on usage or input errors.
+// 1 if anomalies rule it out, 2 on usage or input errors, 3 if a
+// followed file shrank mid-run (truncated or rotated — the report would
+// have covered only a prefix of the real history).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -99,13 +102,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	w := core.Workload(info.Name)
 	m := consistency.Model(*model)
-	known := false
-	for _, k := range consistency.All {
-		if k == m {
-			known = true
-		}
-	}
-	if !known {
+	if !consistency.Known(m) {
 		fmt.Fprintf(stderr, "elle: unknown model %q; choose from:\n", *model)
 		for _, k := range consistency.All {
 			fmt.Fprintf(stderr, "  %s\n", k)
@@ -166,11 +163,14 @@ func runFollow(in io.Reader, fromFile bool, idle time.Duration, info workload.In
 	st := core.CheckStream(opts)
 	for {
 		ops, err := dec.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
 			fmt.Fprintf(out.stderr, "elle: %v\n", err)
+			if errors.Is(err, errTruncated) {
+				return 3
+			}
 			return 2
 		}
 		d, err := st.Feed(ops)
@@ -209,18 +209,7 @@ func render(res *core.CheckResult, h *history.History, w core.Workload, out outp
 	if out.showStats {
 		fmt.Fprint(out.stdout, stats.Compute(h).String())
 	}
-	fmt.Fprint(out.stdout, res.Summary())
-	if !out.quiet {
-		for i, a := range res.Anomalies {
-			fmt.Fprintf(out.stdout, "\n--- anomaly %d: %s ---\n", i+1, a.Type)
-			if a.Explanation != "" {
-				fmt.Fprintln(out.stdout, a.Explanation)
-			}
-			if out.dot && len(a.Cycle.Steps) > 0 {
-				fmt.Fprintln(out.stdout, res.Explainer.DOT(a.Cycle))
-			}
-		}
-	}
+	report.Prose(out.stdout, res, report.ProseOpts{Quiet: out.quiet, DOT: out.dot})
 	if res.Valid {
 		return 0
 	}

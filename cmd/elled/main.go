@@ -1,0 +1,110 @@
+// Command elled runs the checker as a long-lived HTTP service: the
+// deployable form of `elle`, for harnesses that stream histories as
+// they produce them instead of invoking a CLI per check. Each job is an
+// incremental checking session — create it, feed JSON-lines chunks,
+// poll provisional findings, fetch a final report byte-identical to
+// what `elle` would print for the same history and options.
+//
+// Usage:
+//
+//	elled [flags]
+//
+//	# then, from any HTTP client:
+//	id=$(curl -s -X POST localhost:8866/v1/jobs \
+//	       -d '{"workload":"bank","model":"serializable"}' | jq -r .id)
+//	curl -s -X POST --data-binary @chunk1.jsonl localhost:8866/v1/jobs/$id/chunks
+//	curl -s localhost:8866/v1/jobs/$id/report
+//
+// Flags:
+//
+//	-addr ADDR             listen address (default 127.0.0.1:8866)
+//	-max-jobs N            resident-job cap; creation beyond it gets 429
+//	                       (default 8)
+//	-max-chunk-bytes N     per-chunk request body cap; larger uploads get
+//	                       413 (default 8 MiB)
+//	-job-idle DURATION     reap jobs untouched for this long (default 10m)
+//
+// See docs/SERVICE.md for the endpoint reference and limit semantics.
+// elled shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, then the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run starts the service and blocks until a shutdown signal (or an
+// optional test-injected shutdown channel) fires. started, when
+// non-nil, receives the bound listen address once the server accepts
+// connections.
+func run(args []string, stderr io.Writer, started chan<- string) int {
+	fs := flag.NewFlagSet("elled", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8866", "listen address")
+	maxJobs := fs.Int("max-jobs", 8, "resident-job cap; creation beyond it is refused with 429")
+	maxChunk := fs.Int64("max-chunk-bytes", 8<<20, "per-chunk request body cap in bytes")
+	jobIdle := fs.Duration("job-idle", 10*time.Minute, "reap jobs untouched for this long")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: elled [flags]")
+		fs.PrintDefaults()
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		MaxJobs:       *maxJobs,
+		MaxChunkBytes: *maxChunk,
+		IdleTimeout:   *jobIdle,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "elled: %v\n", err)
+		return 2
+	}
+	srv := &http.Server{Handler: svc, ReadHeaderTimeout: 10 * time.Second}
+	fmt.Fprintf(stderr, "elled: listening on %s\n", ln.Addr())
+	if started != nil {
+		started <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(stderr, "elled: %v\n", err)
+		return 1
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(stderr, "elled: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(stderr, "elled: shutdown: %v\n", err)
+			return 1
+		}
+		<-errc // Serve has returned http.ErrServerClosed
+		return 0
+	}
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf makes a bytes.Buffer safe for the test goroutine and run's
+// server goroutine to share.
+type lockedBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (l *lockedBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
+// TestElledServesAndShutsDown: elled binds, answers an end-to-end check
+// over HTTP, and exits 0 on SIGINT (graceful shutdown).
+func TestElledServesAndShutsDown(t *testing.T) {
+	stderr := &lockedBuf{}
+	started := make(chan string, 1)
+	code := make(chan int, 1)
+	go func() { code <- run([]string{"-addr", "127.0.0.1:0"}, stderr, started) }()
+
+	var base string
+	select {
+	case addr := <-started:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never started; stderr:\n%s", stderr.String())
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// One end-to-end job through the real binary's server.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"model":"read-committed","parallelism":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, body)
+	}
+	id := string(body[bytes.Index(body, []byte(`"id": "`))+7:])
+	id = id[:strings.Index(id, `"`)]
+
+	hist := `{"index":0,"type":"fail","process":0,"value":[["append","x",1]]}` + "\n" +
+		`{"index":1,"type":"ok","process":1,"value":[["r","x",[1]]]}` + "\n"
+	resp, err = http.Post(base+"/v1/jobs/"+id+"/chunks", "application/octet-stream", strings.NewReader(hist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chunk: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(rep), "G1a") {
+		t.Fatalf("report missing G1a:\n%s", rep)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit = %d, want 0; stderr:\n%s", c, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("no graceful exit; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Errorf("stderr missing shutdown line:\n%s", stderr.String())
+	}
+}
+
+// TestElledUsageErrors: bad flags and stray arguments exit 2.
+func TestElledUsageErrors(t *testing.T) {
+	if code := run([]string{"-nope"}, io.Discard, nil); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"stray"}, io.Discard, nil); code != 2 {
+		t.Errorf("stray arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-addr", "256.256.256.256:99999"}, io.Discard, nil); code != 2 {
+		t.Errorf("bad addr: exit %d, want 2", code)
+	}
+}

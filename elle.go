@@ -53,6 +53,7 @@ import (
 	"repro/internal/memdb"
 	"repro/internal/op"
 	"repro/internal/serialcheck"
+	"repro/internal/service"
 	"repro/internal/workload"
 )
 
@@ -179,6 +180,26 @@ func CheckStream(opts CheckOpts) *Stream { return core.CheckStream(opts) }
 // OptsFor returns the options the paper's methodology implies for
 // checking workload w against claimed model m.
 func OptsFor(w Workload, m Model) CheckOpts { return core.OptsFor(w, m) }
+
+// The checking service.
+type (
+	// Service is the checker as a long-lived HTTP job service — the
+	// engine behind cmd/elled. It implements http.Handler: jobs are
+	// created, fed JSON-lines chunks, polled for provisional findings,
+	// and asked for a final report that is byte-identical to a batch
+	// Check (and to `elle`'s stdout) over the same history and options.
+	// See docs/SERVICE.md for the endpoint reference.
+	Service = service.Service
+	// ServiceConfig bounds a Service: resident jobs, per-chunk body
+	// bytes, and the idle window after which untouched jobs are reaped.
+	ServiceConfig = service.Config
+)
+
+// NewService builds the HTTP checking service under cfg and starts its
+// idle reaper; mount it on any http.Server and Close it when done. The
+// zero ServiceConfig means 8 resident jobs, 8 MiB chunks, 10 minute
+// idle reaping.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // Workload generation and the in-memory engine.
 type (

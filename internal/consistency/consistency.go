@@ -45,6 +45,18 @@ var All = []Model{
 	StrictSerializable,
 }
 
+// Known reports whether m names a model in the lattice — the one
+// validity check every surface that accepts a model string (cmd/elle,
+// the elled service) shares, so they cannot drift on the accepted set.
+func Known(m Model) bool {
+	for _, k := range All {
+		if k == m {
+			return true
+		}
+	}
+	return false
+}
+
 // stronger maps each model to the models it directly implies.
 var stronger = map[Model][]Model{
 	ReadCommitted:       {ReadUncommitted},

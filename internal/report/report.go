@@ -1,12 +1,15 @@
-// Package report renders check results as machine-readable JSON, for CI
-// pipelines that run the checker and want structured verdicts rather
-// than prose.
+// Package report renders check results for machines and humans: the
+// JSON shape CI pipelines consume, and the canonical prose rendering
+// shared by `elle` and `elled` — one function, so a streamed service
+// report is byte-identical to a batch CLI run by construction.
 package report
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 
+	"repro/internal/anomaly"
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/stats"
@@ -86,22 +89,58 @@ func New(h *history.History, workload core.Workload, res *core.CheckResult) Repo
 		r.Strongest = append(r.Strongest, string(m))
 	}
 	for _, a := range res.Anomalies {
-		ra := Anomaly{
-			Type:        string(a.Type),
-			Key:         a.Key,
-			Explanation: a.Explanation,
-		}
-		if len(a.Cycle.Steps) > 0 {
-			ra.Cycle = a.Cycle.String()
-			ra.Txns = a.Cycle.Nodes()
-		} else {
-			for _, o := range a.Ops {
-				ra.Txns = append(ra.Txns, o.Index)
-			}
-		}
-		r.Anomalies = append(r.Anomalies, ra)
+		r.Anomalies = append(r.Anomalies, FromAnomaly(a))
 	}
 	return r
+}
+
+// FromAnomaly converts one detected anomaly to its JSON shape — shared
+// by the full Report and by elled's status endpoint, which exposes
+// provisional mid-stream findings in the same form.
+func FromAnomaly(a anomaly.Anomaly) Anomaly {
+	ra := Anomaly{
+		Type:        string(a.Type),
+		Key:         a.Key,
+		Explanation: a.Explanation,
+	}
+	if len(a.Cycle.Steps) > 0 {
+		ra.Cycle = a.Cycle.String()
+		ra.Txns = a.Cycle.Nodes()
+	} else {
+		for _, o := range a.Ops {
+			ra.Txns = append(ra.Txns, o.Index)
+		}
+	}
+	return ra
+}
+
+// ProseOpts tunes the human-readable rendering.
+type ProseOpts struct {
+	// Quiet prints only the verdict summary, no anomaly sections.
+	Quiet bool
+	// DOT appends a Graphviz rendering to each cycle witness.
+	DOT bool
+}
+
+// Prose writes the human-readable report: the verdict summary followed
+// by one section per anomaly with its explanation. It is the single
+// rendering used by `elle` (batch and -follow) and `elled`'s report
+// endpoint, which is what makes their outputs byte-identical for the
+// same history and options.
+func Prose(w io.Writer, res *core.CheckResult, o ProseOpts) {
+	fmt.Fprint(w, res.Summary())
+	if o.Quiet {
+		return
+	}
+	for i, a := range res.Anomalies {
+		fmt.Fprintf(w, "\n--- anomaly %d: %s ---\n", i+1, a.Type)
+		if a.Explanation != "" {
+			fmt.Fprintln(w, a.Explanation)
+		}
+		if o.DOT && len(a.Cycle.Steps) > 0 {
+			fmt.Fprintln(w, res.Explainer.DOT(a.Cycle))
+		}
+	}
 }
 
 // Write emits the report as indented JSON.

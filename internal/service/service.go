@@ -1,0 +1,469 @@
+// Package service runs the checker as a long-lived HTTP job service —
+// the engine behind cmd/elled. Where cmd/elle is one check per process,
+// the service manages many concurrent checking jobs, each one a
+// core.Stream session fed by chunked JSON-lines uploads: a test harness
+// (or a fleet of them) streams histories over HTTP as it produces them,
+// polls provisional findings mid-run, and fetches a final report that
+// is byte-identical to what `elle` prints for the same history and
+// options — the stream/batch equivalence contract, exposed as a
+// network service.
+//
+// The HTTP surface (see docs/SERVICE.md for the full reference):
+//
+//	POST   /v1/jobs              create a job (workload, model, parallelism)
+//	GET    /v1/jobs              list resident jobs
+//	GET    /v1/jobs/{id}         status + provisional findings so far
+//	POST   /v1/jobs/{id}/chunks  feed the next chunk of JSON-lines ops
+//	GET    /v1/jobs/{id}/report  finalize (first call) and render the report
+//	DELETE /v1/jobs/{id}         cancel and discard a job
+//	GET    /v1/workloads         registered workload names
+//	GET    /healthz              liveness probe
+//
+// Three limits bound the service (Config): a cap on resident jobs
+// (creation beyond it is refused with 429 — backpressure, not
+// queueing), a per-chunk body cap (413), and an idle timeout after
+// which jobs nobody has touched are reaped. Chunks of one job must be
+// uploaded sequentially, in history index order — the same restriction
+// core.Stream imposes on every caller; different jobs are fully
+// independent and may be driven concurrently.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/jsonhist"
+	"repro/internal/report"
+	"repro/internal/workload"
+)
+
+// Config bounds a Service. The zero value means: 8 resident jobs, 8 MiB
+// per chunk, 10 minute idle reaping.
+type Config struct {
+	// MaxJobs caps resident jobs — accepting and finished alike, since a
+	// finished job still holds its history until fetched and deleted (or
+	// reaped). Creation beyond the cap returns 429.
+	MaxJobs int
+	// MaxChunkBytes caps one chunk upload's body. Oversized chunks are
+	// refused with 413; split the history into smaller chunks instead.
+	MaxChunkBytes int64
+	// IdleTimeout reaps jobs that no request has touched for this long,
+	// so abandoned streams cannot hold their histories forever.
+	IdleTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 8
+	}
+	if c.MaxChunkBytes <= 0 {
+		c.MaxChunkBytes = 8 << 20
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Minute
+	}
+	return c
+}
+
+// Service is the HTTP checking service: an http.Handler plus the job
+// table behind it. Create one with New and Close it when done (Close
+// stops the idle reaper; it does not wait for in-flight requests — the
+// enclosing http.Server's Shutdown does that).
+type Service struct {
+	cfg  Config
+	mux  *http.ServeMux
+	done chan struct{}
+	stop sync.Once
+
+	mu   sync.Mutex
+	jobs map[string]*job
+	seq  int
+}
+
+// New builds a Service under cfg and starts its idle reaper.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:  cfg.withDefaults(),
+		mux:  http.NewServeMux(),
+		done: make(chan struct{}),
+		jobs: make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/chunks", s.handleChunk)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	go s.reap()
+	return s
+}
+
+// ServeHTTP dispatches to the service's routes.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the idle reaper. Safe to call more than once.
+func (s *Service) Close() { s.stop.Do(func() { close(s.done) }) }
+
+// Jobs returns the number of resident jobs, for monitoring and tests.
+func (s *Service) Jobs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+// reap deletes jobs nobody has touched for IdleTimeout, checking a few
+// times per window.
+func (s *Service) reap() {
+	interval := s.cfg.IdleTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-t.C:
+			s.mu.Lock()
+			for id, j := range s.jobs {
+				if now.Sub(j.touched()) > s.cfg.IdleTimeout {
+					delete(s.jobs, id)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Job lifecycle states.
+const (
+	stateAccepting = "accepting" // chunks may be fed
+	stateDone      = "done"      // finalized; report available
+	stateFailed    = "failed"    // a chunk was rejected; terminal
+)
+
+// job is one in-progress check: a core.Stream plus the bookkeeping the
+// endpoints expose. Its mutex serializes stream access — core.Stream is
+// single-goroutine — so concurrent requests against one job are safe,
+// if pointless: chunk order across racing uploads is the client's
+// responsibility.
+type job struct {
+	id     string
+	seq    int
+	info   workload.Info
+	opts   core.Opts
+	active atomic.Int64 // unix nanos of the last request that touched the job
+
+	mu     sync.Mutex
+	stream *core.Stream
+	state  string
+	ops    int
+	anoms  []report.Anomaly // provisional findings, accumulated across chunks
+	result *core.CheckResult
+	errMsg string
+}
+
+func (j *job) touch()             { j.active.Store(time.Now().UnixNano()) }
+func (j *job) touched() time.Time { return time.Unix(0, j.active.Load()) }
+
+// fail records a terminal error; the job accepts no further chunks.
+func (j *job) fail(err error) {
+	j.state = stateFailed
+	j.errMsg = err.Error()
+}
+
+// jobJSON is the wire shape of a job's status.
+type jobJSON struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Workload string `json:"workload"`
+	Model    string `json:"model"`
+	// Ops counts completion ops ingested so far.
+	Ops int `json:"ops"`
+	// Anomalies are the provisional mid-stream findings surfaced so far
+	// (see workload.Delta for their contract); the report endpoint has
+	// the definitive set.
+	Anomalies []report.Anomaly `json:"anomalies,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// statusLocked snapshots a job; callers hold j.mu.
+func (j *job) statusLocked() jobJSON {
+	return jobJSON{
+		ID:        j.id,
+		State:     j.state,
+		Workload:  string(j.info.Name),
+		Model:     string(j.opts.Model),
+		Ops:       j.ops,
+		Anomalies: append([]report.Anomaly(nil), j.anoms...),
+		Error:     j.errMsg,
+	}
+}
+
+// deltaJSON is the wire shape of one chunk's outcome.
+type deltaJSON struct {
+	Ops       int              `json:"ops"`
+	Anomalies []report.Anomaly `json:"anomalies,omitempty"`
+}
+
+// createRequest is the body of POST /v1/jobs. Omitted fields default
+// exactly as cmd/elle's flags do: list-append, strict-serializable,
+// one decode/check worker per CPU.
+type createRequest struct {
+	Workload    string `json:"workload"`
+	Model       string `json:"model"`
+	Parallelism int    `json:"parallelism"`
+}
+
+func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	body := http.MaxBytesReader(w, r.Body, 4096)
+	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	if req.Workload == "" {
+		req.Workload = string(workload.ListAppend)
+	}
+	info, ok := workload.Lookup(req.Workload)
+	if !ok {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown workload %q; choose from: %s", req.Workload, workload.NameList()))
+		return
+	}
+	if req.Model == "" {
+		req.Model = string(consistency.StrictSerializable)
+	}
+	model := consistency.Model(req.Model)
+	if !consistency.Known(model) {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown model %q", req.Model))
+		return
+	}
+
+	opts := core.OptsFor(core.Workload(info.Name), model)
+	opts.Parallelism = req.Parallelism
+
+	s.mu.Lock()
+	if len(s.jobs) >= s.cfg.MaxJobs {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("at capacity: %d resident jobs; finish, delete, or wait for reaping", s.cfg.MaxJobs))
+		return
+	}
+	s.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%d", s.seq),
+		seq:    s.seq,
+		info:   info,
+		opts:   opts,
+		stream: core.CheckStream(opts),
+		state:  stateAccepting,
+	}
+	j.touch()
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	j.mu.Lock()
+	st := j.statusLocked()
+	j.mu.Unlock()
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Service) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.touch()
+	defer j.touch()
+	if r.ContentLength > s.cfg.MaxChunkBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("chunk of %d bytes exceeds the %d-byte limit; split it", r.ContentLength, s.cfg.MaxChunkBytes))
+		return
+	}
+	// Drain the (bounded) body before taking the job lock: a slow or
+	// stalled uploader must not hold j.mu across a network read, which
+	// would block the job's status and report — and the list endpoint
+	// for everyone. It also means an oversized chunk is always refused
+	// before the stream sees a byte, so the job survives and the client
+	// can re-split and resend.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxChunkBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeErr(w, code, err.Error())
+		return
+	}
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != stateAccepting {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s", j.state))
+		return
+	}
+	dec := jsonhist.NewStreamDecoder(bytes.NewReader(body), jsonhist.DecodeOpts{
+		Register:    j.info.RegisterReads,
+		Parallelism: j.opts.Parallelism,
+	})
+	var delta deltaJSON
+	for {
+		ops, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			j.fail(err)
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		d, err := j.stream.Feed(ops)
+		if err != nil {
+			j.fail(err)
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		j.ops = d.Ops
+		for _, a := range d.Anomalies {
+			ra := report.FromAnomaly(a)
+			j.anoms = append(j.anoms, ra)
+			delta.Anomalies = append(delta.Anomalies, ra)
+		}
+	}
+	delta.Ops = j.ops
+	writeJSON(w, http.StatusOK, delta)
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.touch()
+	j.mu.Lock()
+	st := j.statusLocked()
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.touch()
+	defer j.touch()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == stateFailed {
+		writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+		return
+	}
+	if j.state == stateAccepting {
+		res, err := j.stream.Finish()
+		if err != nil {
+			j.fail(err)
+			writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+			return
+		}
+		j.state = stateDone
+		j.result = res
+	}
+	w.Header().Set("X-Elle-Valid", fmt.Sprintf("%t", j.result.Valid))
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := report.New(j.stream.History(), core.Workload(j.info.Name), j.result).Write(w); err != nil {
+			return // mid-body; too late for a status code
+		}
+		return
+	}
+	// The default rendering is exactly cmd/elle's stdout for the same
+	// history and options: same CheckResult (stream/batch equivalence),
+	// same report.Prose.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	report.Prose(w, j.result, report.ProseOpts{})
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.jobs[id]
+	delete(s.jobs, id)
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := struct {
+		Jobs []jobJSON `json:"jobs"`
+	}{Jobs: make([]jobJSON, 0, len(jobs))}
+	for _, j := range jobs {
+		j.mu.Lock()
+		out.Jobs = append(out.Jobs, j.statusLocked())
+		j.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workloads []string `json:"workloads"`
+	}{Workloads: workload.Names()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{Error: msg})
+}
