@@ -126,6 +126,7 @@ const (
 	SetAdd     = core.SetAdd
 	Counter    = core.Counter
 	Bank       = core.Bank
+	KAtomic    = core.KAtomic
 )
 
 // Workloads returns the name of every registered workload analyzer,

@@ -197,6 +197,7 @@ func ExampleWorkloads() {
 	// Output:
 	// bank
 	// counter
+	// katomic
 	// list-append
 	// rw-register
 	// set-add

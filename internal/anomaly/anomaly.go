@@ -100,7 +100,19 @@ const (
 	// balances did not sum to the invariant total, so the read was not
 	// a consistent snapshot of any serial transfer order.
 	TotalMismatch Type = "total-mismatch"
+	// KAtomicViolation is a real-time atomicity violation on a
+	// single-object register (katomic workload): no linearization of the
+	// observed invocation/completion intervals serves every read one of
+	// the k freshest values, for any k below the reported minimum
+	// (Golab, Hurwitz & Li's zone-based test). The anomaly's K field
+	// carries the certified minimal k.
+	KAtomicViolation Type = "k-atomicity-violation"
 )
+
+// Class is an alias for Type used where anomaly families are named as
+// expectation classes — the nemesis campaign tables declare what a
+// planted fault must (and must not) produce in terms of Classes.
+type Class = Type
 
 // Severity buckets anomalies the way §4.3.2 discusses them: phenomena like
 // aborted reads are informally "worse" than dependency cycles, and
@@ -123,7 +135,7 @@ const (
 func (t Type) Severity() Severity {
 	switch t {
 	case G1a, G1b, DirtyUpdate, LostUpdate, IncompatibleOrder,
-		NegativeBalance, TotalMismatch:
+		NegativeBalance, TotalMismatch, KAtomicViolation:
 		return SevDirty
 	case GarbageRead, DuplicateElements, DuplicateAppends, Internal, CyclicVersionOrder:
 		return SevStructural
@@ -191,6 +203,10 @@ type Anomaly struct {
 	Ops []op.Op
 	// Key is the object involved, when the anomaly is key-local.
 	Key string
+	// K is the certified minimal k of a k-atomicity violation (the
+	// history is k-atomic at K but provably not atomic); 0 for every
+	// other anomaly type.
+	K int
 	// Explanation is the human-readable justification, in the style of
 	// the paper's Figure 2.
 	Explanation string

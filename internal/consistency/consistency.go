@@ -134,6 +134,12 @@ var violates = map[anomaly.Type][]Model{
 	anomaly.GSingleTimestamp: {SnapshotIsolation},
 	anomaly.G2ItemTimestamp:  {SnapshotIsolation},
 
+	// A k-atomicity violation refutes real-time atomicity of a single
+	// register. Its transactions are single operations, so any
+	// transactional order is satisfiable — only the strict (real-time)
+	// model is ruled out.
+	anomaly.KAtomicViolation: {StrictSerializable},
+
 	// Structural anomalies mean the database is not even a database of
 	// the claimed objects; no model in the lattice tolerates them.
 	anomaly.GarbageRead:        {ReadUncommitted},

@@ -47,6 +47,10 @@ const (
 	// Bank analyzes transfer histories over fixed accounts with a
 	// total-balance invariant.
 	Bank = workload.Bank
+	// KAtomic analyzes single-object register histories for atomicity
+	// and k-atomicity in real time — the one workload checked by
+	// interval analysis rather than dependency inference.
+	KAtomic = workload.KAtomic
 )
 
 // Opts configures a check.

@@ -32,6 +32,12 @@ const (
 	// read-all transactions observing every account, the shape whose
 	// total-balance invariant makes histories self-checking.
 	Bank
+	// KAtomic emits single-mop transactions — one register read or one
+	// blind write of a globally unique value — all over one object: the
+	// shape the katomic workload's real-time atomicity analysis expects,
+	// where each transaction is a single operation with an
+	// invocation/completion interval.
+	KAtomic
 )
 
 // Config parameterizes generation.
@@ -122,6 +128,9 @@ func (g *Gen) Next() []op.Mop {
 	if g.cfg.Workload == Bank {
 		return g.nextBank()
 	}
+	if g.cfg.Workload == KAtomic {
+		return g.nextKAtomic()
+	}
 	n := g.cfg.MinOps + g.rng.Intn(g.cfg.MaxOps-g.cfg.MinOps+1)
 	mops := make([]op.Mop, 0, n)
 	written := map[string]bool{}
@@ -184,6 +193,21 @@ func (g *Gen) nextBank() []op.Mop {
 		op.Read(from), op.Read(to),
 		op.Write(from, -amt), op.Write(to, amt),
 	}
+}
+
+// nextKAtomic emits one single-operation transaction over the first
+// active key: a register read with probability ReadRatio, otherwise a
+// blind write of a globally unique value. One object and one mop per
+// transaction keep the invocation/completion interval of the op equal
+// to that of its transaction, which is what the k-atomicity analysis
+// orders by; the key is never retired.
+func (g *Gen) nextKAtomic() []op.Mop {
+	key := g.active[0]
+	if g.rng.Float64() < g.cfg.ReadRatio {
+		return []op.Mop{op.Read(key)}
+	}
+	g.nextArg++
+	return []op.Mop{op.Write(key, g.nextArg)}
 }
 
 // Keys returns the currently active keys (for tests).

@@ -1,0 +1,33 @@
+package katomic
+
+import (
+	"repro/internal/explain"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/memdb"
+	"repro/internal/workload"
+)
+
+func init() {
+	workload.Register(workload.Info{
+		Name:          workload.KAtomic,
+		Aliases:       []string{"k-atomic", "katomic-register"},
+		RegisterReads: true,
+		Gen:           gen.KAtomic,
+		DB:            memdb.WorkloadRegister,
+		Analyzer: workload.AnalyzerFunc(func(h *history.History, opts workload.Opts) workload.Analysis {
+			an := Analyze(h, opts)
+			// The k-atomicity test is a real-time interval analysis, not a
+			// dependency inference: there are no ww/wr/rw edges to hand the
+			// cycle search, so the graph is empty and the verdict flows out
+			// entirely through anomalies (KAtomicViolation carries the
+			// certified minimal k).
+			return workload.Analysis{
+				Graph:     graph.New(),
+				Anomalies: an.Anomalies,
+				Explainer: &explain.Explainer{Ops: an.Ops},
+			}
+		}),
+	})
+}

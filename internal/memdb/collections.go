@@ -111,12 +111,16 @@ func (db *DB) visibleCounter(key history.KeyID, snapTS int64) int {
 	return 0
 }
 
-// commitCollections installs buffered set adds and counter increments.
-// Both are commutative, so they merge with the latest committed state
-// rather than replacing it. Called with db.mu held, after ts increment.
-func (t *Txn) commitCollections(now int64) {
+// commitCollections installs buffered set adds and counter increments,
+// skipping keys the partial-write fault dropped. Both datatypes are
+// commutative, so they merge with the latest committed state rather
+// than replacing it. Called with db.mu held, after ts increment.
+func (t *Txn) commitCollections(now int64, dropped map[history.KeyID]bool) {
 	db := t.db
 	for key, elems := range t.setAdds {
+		if dropped[key] {
+			continue
+		}
 		cur := db.visibleSet(key, now)
 		merged := make(map[int]bool, len(cur)+len(elems))
 		for _, e := range cur {
@@ -133,6 +137,9 @@ func (t *Txn) commitCollections(now int64) {
 		db.sets[key] = append(db.sets[key], version{ts: now, list: out})
 	}
 	for key, delta := range t.ctrIncs {
+		if dropped[key] {
+			continue
+		}
 		cur := db.visibleCounter(key, now)
 		db.counters[key] = append(db.counters[key], version{ts: now, reg: cur + delta})
 	}

@@ -68,8 +68,20 @@ func (i Isolation) String() string {
 	}
 }
 
-// Faults configures bug injection. Probabilities are per-operation and
-// evaluated with the DB's seeded RNG, so runs are reproducible.
+// Faults configures bug injection. Every probability draw uses the DB's
+// seeded RNG, so runs are reproducible, but the knobs fire at different
+// granularities (pinned by TestFaultGranularity in memdb_faults_test.go):
+//
+//   - per micro-operation: SkipOwnWriteProb, NilReadProb, and
+//     DuplicateAppendProb draw independently at each read or append, so
+//     one transaction can mix faulty and clean operations;
+//   - per transaction: StaleReadProb and SkipReadValidationProb are
+//     drawn once at Begin and govern the whole transaction — every read
+//     of a stale transaction is rewound by the same number of commits;
+//   - per conflicting commit: RetryStompProb and RetryRebaseProb are
+//     consulted only when commit-time validation fails;
+//   - per committed key write: DropWriteProb draws once for each key a
+//     commit would install.
 type Faults struct {
 	// RetryStompProb reproduces half of TiDB's automatic transaction
 	// retry (§7.1): a conflicting commit re-applies its buffered writes
@@ -101,6 +113,12 @@ type Faults struct {
 	// DuplicateAppendProb applies an append twice at the storage layer,
 	// as a client/storage retry would (§6.1, duplicate writes).
 	DuplicateAppendProb float64
+	// DropWriteProb reproduces a partial (torn) write: at commit, each
+	// key's buffered mutation is silently discarded with this
+	// probability while the transaction still reports success — a
+	// dropped delta. Under ReadUncommitted, where writes apply
+	// immediately, each write is dropped at apply time instead.
+	DropWriteProb float64
 }
 
 // ErrConflict is returned by Commit when concurrency-control validation

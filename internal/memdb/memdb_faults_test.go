@@ -1,0 +1,261 @@
+package memdb
+
+// Tests pinning the granularity at which each fault knob fires — the
+// contract documented on Faults. A knob documented per-operation must be
+// able to mix faulty and clean operations inside one transaction; a
+// per-transaction knob must hold one draw across every operation of the
+// transaction.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/op"
+)
+
+// seedVersions commits n successive writes of key, values 1..n, each in
+// its own transaction, so the store has a version history to rewind.
+func seedVersions(t *testing.T, db *DB, key string, n int) {
+	t.Helper()
+	for v := 1; v <= n; v++ {
+		txn := db.Begin()
+		txn.WriteReg(key, v)
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("seed commit %d: %v", v, err)
+		}
+	}
+}
+
+func TestFaultGranularity(t *testing.T) {
+	t.Run("skip-own-write-per-op", func(t *testing.T) {
+		// One transaction appends, then reads the key many times. A
+		// per-op draw at 0.5 must produce both faulty (missing own
+		// append) and clean reads inside the single transaction.
+		db := New(Serializable, Faults{SkipOwnWriteProb: 0.5}, 1)
+		txn := db.Begin()
+		txn.Append("x", 7)
+		sawOwn, missedOwn := false, false
+		for i := 0; i < 60; i++ {
+			if len(txn.ReadList("x")) == 0 {
+				missedOwn = true
+			} else {
+				sawOwn = true
+			}
+		}
+		if !sawOwn || !missedOwn {
+			t.Fatalf("per-op skip-own-write: sawOwn=%v missedOwn=%v; want both within one txn",
+				sawOwn, missedOwn)
+		}
+	})
+
+	t.Run("stale-read-per-txn", func(t *testing.T) {
+		// The stale draw happens once at Begin: every read of a stale
+		// transaction is rewound by the same number of commits. With
+		// prob 0.5 over many transactions, both stale and fresh
+		// transactions occur, but no transaction mixes values.
+		db := New(Serializable, Faults{StaleReadProb: 0.5}, 1)
+		seedVersions(t, db, "x", 10)
+		stale, fresh := 0, 0
+		for i := 0; i < 40; i++ {
+			txn := db.Begin()
+			first, _ := txn.ReadReg("x")
+			for j := 0; j < 8; j++ {
+				if v, _ := txn.ReadReg("x"); v != first {
+					t.Fatalf("txn %d: reads %d and %d differ within one transaction", i, first, v)
+				}
+			}
+			txn.Abort()
+			if first == 10 {
+				fresh++
+			} else {
+				stale++
+			}
+		}
+		if stale == 0 || fresh == 0 {
+			t.Fatalf("per-txn stale-read: stale=%d fresh=%d; want both across transactions", stale, fresh)
+		}
+	})
+
+	t.Run("nil-read-per-op", func(t *testing.T) {
+		db := New(Serializable, Faults{NilReadProb: 0.5}, 1)
+		seedVersions(t, db, "x", 1)
+		txn := db.Begin()
+		sawNil, sawValue := false, false
+		for i := 0; i < 60; i++ {
+			if _, isNil := txn.ReadReg("x"); isNil {
+				sawNil = true
+			} else {
+				sawValue = true
+			}
+		}
+		if !sawNil || !sawValue {
+			t.Fatalf("per-op nil-read: sawNil=%v sawValue=%v; want both within one txn", sawNil, sawValue)
+		}
+	})
+
+	t.Run("duplicate-append-per-op", func(t *testing.T) {
+		// Each append draws independently: with prob 0.5 over many
+		// appends in one transaction, the committed list must contain
+		// some doubled elements and some single ones.
+		db := New(Serializable, Faults{DuplicateAppendProb: 0.5}, 1)
+		txn := db.Begin()
+		const n = 40
+		for v := 1; v <= n; v++ {
+			txn.Append("x", v)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		counts := map[int]int{}
+		for _, v := range db.FinalLists()["x"] {
+			counts[v]++
+		}
+		doubled, single := false, false
+		for v := 1; v <= n; v++ {
+			switch counts[v] {
+			case 1:
+				single = true
+			case 2:
+				doubled = true
+			default:
+				t.Fatalf("element %d appears %d times", v, counts[v])
+			}
+		}
+		if !doubled || !single {
+			t.Fatalf("per-op duplicate-append: doubled=%v single=%v; want both within one txn", doubled, single)
+		}
+	})
+
+	t.Run("drop-write-per-key", func(t *testing.T) {
+		// The partial-write fault draws once per key at commit: a
+		// multi-key transaction can persist some keys and lose others,
+		// while still reporting success.
+		db := New(Serializable, Faults{DropWriteProb: 0.5}, 3)
+		txn := db.Begin()
+		const n = 20
+		for v := 1; v <= n; v++ {
+			txn.Append(key(v), v)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+		installed := len(db.FinalLists())
+		if installed == 0 || installed == n {
+			t.Fatalf("per-key drop-write: %d of %d keys installed; want a strict subset", installed, n)
+		}
+	})
+}
+
+func key(v int) string {
+	return string(rune('a'+v%26)) + string(rune('0'+v/26))
+}
+
+// TestDropWriteCertain: at probability 1 every committed write vanishes
+// while the transaction still reports success.
+func TestDropWriteCertain(t *testing.T) {
+	db := New(Serializable, Faults{DropWriteProb: 1}, 1)
+	txn := db.Begin()
+	txn.Append("x", 1)
+	txn.WriteReg("y", 2)
+	txn.AddSet("s", 3)
+	txn.Inc("c", 4)
+	if err := txn.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if lists := db.FinalLists(); len(lists) != 0 {
+		t.Fatalf("lists installed despite drop: %v", lists)
+	}
+	if regs := db.FinalRegs(); len(regs) != 0 {
+		t.Fatalf("registers installed despite drop: %v", regs)
+	}
+}
+
+// TestDropWriteDeterministic: the per-key draws are independent of map
+// iteration order — two identically seeded runs install the same keys.
+func TestDropWriteDeterministic(t *testing.T) {
+	run := func() map[string][]int {
+		db := New(Serializable, Faults{DropWriteProb: 0.5}, 7)
+		for i := 0; i < 10; i++ {
+			txn := db.Begin()
+			for v := 0; v < 12; v++ {
+				txn.Append(key(v), i*100+v)
+			}
+			if err := txn.Commit(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+		}
+		return db.FinalLists()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("drop-write draws depend on iteration order:\n%v\n%v", a, b)
+	}
+}
+
+// TestCrashRestart: crashed clients record indeterminate ops and move to
+// fresh processes; the engine rolls their transactions back, so the
+// history stays valid and replayable.
+func TestCrashRestart(t *testing.T) {
+	mkcfg := func() RunConfig {
+		return RunConfig{
+			Clients: 4, Txns: 200, Isolation: Serializable,
+			Source:    gen.New(gen.Config{}, 1),
+			Seed:      1,
+			CrashProb: 0.05,
+		}
+	}
+	cfg := mkcfg()
+	h := Run(cfg)
+	infos, processes := 0, map[int]bool{}
+	for _, o := range h.Ops {
+		if o.Type == op.Info {
+			infos++
+		}
+		processes[o.Process] = true
+	}
+	if infos == 0 {
+		t.Fatal("no indeterminate ops recorded despite crashes")
+	}
+	if len(processes) <= cfg.Clients {
+		t.Fatalf("%d processes for %d clients; crashed threads should restart as fresh processes",
+			len(processes), cfg.Clients)
+	}
+	// Same seed, same history.
+	if !reflect.DeepEqual(h.Ops, Run(mkcfg()).Ops) {
+		t.Fatal("crash scheduling not reproducible")
+	}
+}
+
+// TestClockSkew: skewed stamps diverge from the engine's commit order
+// but stay positive, and the fault is reproducible.
+func TestClockSkew(t *testing.T) {
+	base := RunConfig{
+		Clients: 4, Txns: 200, Isolation: Serializable,
+		Source:           gen.New(gen.Config{}, 1),
+		Seed:             1,
+		ExposeTimestamps: true,
+	}
+	skewed := base
+	skewed.Source = gen.New(gen.Config{}, 1)
+	skewed.ClockSkewProb = 1
+	skewed.ClockSkewMax = 5
+
+	clean := Run(base)
+	h := Run(skewed)
+	if len(clean.Ops) != len(h.Ops) {
+		t.Fatalf("op counts differ: %d vs %d", len(clean.Ops), len(h.Ops))
+	}
+	differs := false
+	for i := range h.Ops {
+		if h.Ops[i].Time < 1 {
+			t.Fatalf("op %d stamped %d; skew must clamp to >= 1", i, h.Ops[i].Time)
+		}
+		if h.Ops[i].Time != clean.Ops[i].Time {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("skew at probability 1 left every timestamp unchanged")
+	}
+}

@@ -65,6 +65,20 @@ type RunConfig struct {
 	// may not have happened. As in Jepsen, the client thread then moves
 	// to a fresh logical process, so logical concurrency grows over time.
 	InfoProb float64
+	// CrashProb makes a client process crash before each micro-op with
+	// this probability: the engine's connection teardown discards the
+	// transaction's buffered writes (under ReadUncommitted the
+	// already-applied prefix stays), the op is recorded indeterminate —
+	// the crashed client never learned an outcome — and the thread
+	// restarts as a fresh logical process.
+	CrashProb float64
+	// ClockSkewProb perturbs each timestamp recorded under
+	// ExposeTimestamps by ±[1, ClockSkewMax] ticks, simulating client
+	// wall clocks drifting from the engine's commit order. Only
+	// meaningful with ExposeTimestamps.
+	ClockSkewProb float64
+	// ClockSkewMax bounds the skew magnitude in ticks; 0 means 3.
+	ClockSkewMax int64
 	// ExposeTimestamps stamps invoke ops with the engine's timestamp at
 	// transaction start and completion ops with the timestamp after
 	// commit, simulating a database that exposes transaction timestamps
@@ -104,6 +118,28 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := history.NewBuilder()
 
+	// stamp reads the client's wall clock: the engine timestamp, offset
+	// by one so the zero value never collides with the builder's
+	// defaulting, and — under the clock-skew fault — perturbed by a few
+	// ticks in either direction (clamped to stay positive).
+	stamp := func() int64 {
+		t := db.CurrentTS() + 1
+		if cfg.ClockSkewProb > 0 && rng.Float64() < cfg.ClockSkewProb {
+			max := cfg.ClockSkewMax
+			if max <= 0 {
+				max = 3
+			}
+			d := 1 + rng.Int63n(max)
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			if t += d; t < 1 {
+				t = 1
+			}
+		}
+		return t
+	}
+
 	if cfg.Workload == WorkloadBank {
 		openBankAccounts(cfg, db, b)
 	}
@@ -141,7 +177,7 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 			c.step = 0
 			if cfg.ExposeTimestamps {
 				b.Append(op.Op{Process: c.process, Type: op.Invoke,
-					Mops: c.mops, Time: db.CurrentTS() + 1})
+					Mops: c.mops, Time: stamp()})
 			} else {
 				b.Invoke(c.process, c.mops)
 			}
@@ -154,13 +190,28 @@ func RunOnDB(cfg RunConfig) (*history.History, *DB) {
 		complete := func(t op.Type, mops []op.Mop) {
 			if cfg.ExposeTimestamps {
 				b.Append(op.Op{Process: c.process, Type: t,
-					Mops: mops, Time: db.CurrentTS() + 1})
+					Mops: mops, Time: stamp()})
 			} else {
 				b.Complete(c.process, t, mops)
 			}
 		}
 
 		if c.step < len(c.mops) {
+			if cfg.CrashProb > 0 && rng.Float64() < cfg.CrashProb {
+				// The client process crashes mid-transaction: the
+				// connection teardown aborts the uncommitted transaction
+				// engine-side, but the client never learns an outcome, so
+				// the op is recorded indeterminate with its template mops
+				// (results unknown) and the thread restarts as a fresh
+				// process — Jepsen's recording of a crashed worker.
+				active--
+				c.txn.Abort()
+				complete(op.Info, c.mops)
+				c.process = nextProcess
+				nextProcess++
+				c.txn = nil
+				continue
+			}
 			m := c.mops[c.step]
 			res, insufficient := executeMop(c.txn, m, cfg.Workload)
 			if insufficient {

@@ -1,6 +1,10 @@
 package memdb
 
-import "repro/internal/history"
+import (
+	"sort"
+
+	"repro/internal/history"
+)
 
 // Txn is one interactive transaction. Transactions are not safe for
 // concurrent use by multiple goroutines; the DB itself is.
@@ -136,6 +140,9 @@ func (t *Txn) Append(key string, elem int) {
 	dup := db.faults.DuplicateAppendProb > 0 && db.rng.Float64() < db.faults.DuplicateAppendProb
 
 	if db.iso == ReadUncommitted {
+		if db.dropWrite() {
+			return
+		}
 		// Apply immediately to shared state.
 		cur := cloneInts(db.visibleList(id, db.ts))
 		cur = append(cur, elem)
@@ -187,6 +194,9 @@ func (t *Txn) WriteReg(key string, v int) {
 	id := db.intern(key)
 
 	if db.iso == ReadUncommitted {
+		if db.dropWrite() {
+			return
+		}
 		db.ts++
 		db.regs[id] = append(db.regs[id], version{ts: db.ts, reg: v})
 		return
@@ -254,10 +264,11 @@ func (t *Txn) Commit() error {
 		}
 	}
 
+	dropped := t.dropSet()
 	db.ts++
 	now := db.ts
 	for key, s := range t.lists {
-		if len(s.appended) == 0 {
+		if len(s.appended) == 0 || dropped[key] {
 			continue
 		}
 		base := s.base
@@ -267,10 +278,53 @@ func (t *Txn) Commit() error {
 		db.lists[key] = append(db.lists[key], version{ts: now, list: concat(base, s.appended)})
 	}
 	for key := range t.regWrote {
+		if dropped[key] {
+			continue
+		}
 		db.regs[key] = append(db.regs[key], version{ts: now, reg: t.regBuf[key]})
 	}
-	t.commitCollections(now)
+	t.commitCollections(now, dropped)
 	return nil
+}
+
+// dropWrite draws the partial-write fault for one immediate write.
+// Called with db.mu held.
+func (db *DB) dropWrite() bool {
+	return db.faults.DropWriteProb > 0 && db.rng.Float64() < db.faults.DropWriteProb
+}
+
+// dropSet draws the partial-write fault once per key this transaction's
+// commit would install. Keys are visited in sorted order so the seeded
+// RNG's draws do not depend on map iteration order. Returns nil when
+// the fault is disabled. Called with db.mu held.
+func (t *Txn) dropSet() map[history.KeyID]bool {
+	db := t.db
+	if db.faults.DropWriteProb == 0 {
+		return nil
+	}
+	var ids []history.KeyID
+	for key, s := range t.lists {
+		if len(s.appended) > 0 {
+			ids = append(ids, key)
+		}
+	}
+	for key := range t.regWrote {
+		ids = append(ids, key)
+	}
+	for key := range t.setAdds {
+		ids = append(ids, key)
+	}
+	for key := range t.ctrIncs {
+		ids = append(ids, key)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dropped := make(map[history.KeyID]bool, len(ids))
+	for _, id := range ids {
+		if db.rng.Float64() < db.faults.DropWriteProb {
+			dropped[id] = true
+		}
+	}
+	return dropped
 }
 
 // Abort abandons the transaction. Under read uncommitted the damage is

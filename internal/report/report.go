@@ -36,7 +36,9 @@ type Anomaly struct {
 	// implicated ops), by op index.
 	Txns []int `json:"txns,omitempty"`
 	// Cycle renders the witness as "T1 -rw-> T2 -ww-> T1" when present.
-	Cycle       string `json:"cycle,omitempty"`
+	Cycle string `json:"cycle,omitempty"`
+	// K is the certified minimal k of a k-atomicity violation.
+	K           int    `json:"k,omitempty"`
 	Explanation string `json:"explanation,omitempty"`
 }
 
@@ -101,6 +103,7 @@ func FromAnomaly(a anomaly.Anomaly) Anomaly {
 	ra := Anomaly{
 		Type:        string(a.Type),
 		Key:         a.Key,
+		K:           a.K,
 		Explanation: a.Explanation,
 	}
 	if len(a.Cycle.Steps) > 0 {

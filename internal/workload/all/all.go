@@ -12,6 +12,7 @@ package all
 import (
 	_ "repro/internal/bank"
 	_ "repro/internal/counter"
+	_ "repro/internal/katomic"
 	_ "repro/internal/listappend"
 	_ "repro/internal/rwregister"
 	_ "repro/internal/setadd"

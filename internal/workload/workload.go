@@ -47,6 +47,7 @@ const (
 	SetAdd     Name = "set-add"
 	Counter    Name = "counter"
 	Bank       Name = "bank"
+	KAtomic    Name = "katomic"
 )
 
 // String returns the canonical name.
