@@ -1,0 +1,286 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/binhist"
+	"repro/internal/jsonhist"
+)
+
+// binEncode re-encodes a JSON-lines history fixture as ellebin.
+func binEncode(t *testing.T, jsonl string) []byte {
+	t.Helper()
+	h, err := jsonhist.Decode(strings.NewReader(jsonl), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := binhist.Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func writeBytes(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "history.ellebin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBinaryBatchMatchesJSON is the batch leg of the cross-format
+// parity contract: the same history checked from its JSON-lines file
+// and from its ellebin file — the format picked by the peeked first
+// byte, no flag — produces byte-identical reports and exit codes, in
+// prose and JSON renderings.
+func TestBinaryBatchMatchesJSON(t *testing.T) {
+	jsonl := encodeFaultedListHistory(t, 400)
+	jsonPath := write(t, jsonl)
+	binPath := writeBytes(t, binEncode(t, jsonl))
+
+	for _, extra := range [][]string{nil, {"-json"}, {"-stats"}} {
+		args := append(append([]string{"-model", "serializable"}, extra...), jsonPath)
+		var jout, jerr bytes.Buffer
+		jcode := run(args, strings.NewReader(""), &jout, &jerr)
+
+		args = append(append([]string{"-model", "serializable"}, extra...), binPath)
+		var bout, berr bytes.Buffer
+		bcode := run(args, strings.NewReader(""), &bout, &berr)
+
+		if jcode != bcode {
+			t.Fatalf("%v: exit diverges: json %d, binary %d (stderr: %s)", extra, jcode, bcode, berr.String())
+		}
+		if jout.String() != bout.String() {
+			t.Fatalf("%v: reports diverge:\n--- json ---\n%s\n--- binary ---\n%s",
+				extra, jout.String(), bout.String())
+		}
+	}
+}
+
+// TestConvertRoundTrip: -convert re-encodes without checking, and the
+// two directions are exact inverses — JSON → binary matches a direct
+// binhist encode byte for byte, and binary → JSON restores the original
+// JSON-lines file byte for byte.
+func TestConvertRoundTrip(t *testing.T) {
+	jsonl := encodeFaultedListHistory(t, 60)
+	jsonPath := write(t, jsonl)
+	bin := binEncode(t, jsonl)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-convert", "binary", jsonPath}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("convert to binary: exit %d, stderr: %s", code, errb.String())
+	}
+	if !bytes.Equal(out.Bytes(), bin) {
+		t.Fatalf("converted binary differs from direct encode (%d vs %d bytes)", out.Len(), len(bin))
+	}
+
+	binPath := writeBytes(t, out.Bytes())
+	out.Reset()
+	if code := run([]string{"-convert", "json", binPath}, strings.NewReader(""), &out, &errb); code != 0 {
+		t.Fatalf("convert to json: exit %d, stderr: %s", code, errb.String())
+	}
+	if out.String() != jsonl {
+		t.Fatalf("binary → json did not restore the original file")
+	}
+}
+
+// TestConvertBadFormat: an unknown -convert target is a usage error.
+func TestConvertBadFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-convert", "yaml", "x.jsonl"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestBinaryMalformedExitsTwo: a corrupt ellebin file in batch mode is
+// an ordinary input error.
+func TestBinaryMalformedExitsTwo(t *testing.T) {
+	bin := binEncode(t, encodeFaultedListHistory(t, 20))
+	var out, errb bytes.Buffer
+	code := run([]string{writeBytes(t, append(bin, "garbage"...))}, strings.NewReader(""), &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+// TestFollowBinaryMatchesBatch: follow mode on an ellebin file written
+// in bursts that split records at arbitrary byte offsets emits, on
+// stdout, exactly what a batch run on the completed file emits, with
+// provisional findings surfacing on stderr along the way.
+func TestFollowBinaryMatchesBatch(t *testing.T) {
+	bin := binEncode(t, encodeFaultedListHistory(t, 400))
+	path := filepath.Join(t.TempDir(), "history.ellebin")
+
+	var batch bytes.Buffer
+	{
+		var errb bytes.Buffer
+		if code := run([]string{"-model", "serializable", writeBytes(t, bin)},
+			strings.NewReader(""), &batch, &errb); code != 1 {
+			t.Fatalf("batch run: exit = %d, stderr: %s", code, errb.String())
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer f.Close()
+		// 997-byte bursts: prime-sized, so nearly every burst ends inside
+		// a record and the decoder must carry partial records across
+		// polls.
+		for i := 0; i < len(bin); i += 997 {
+			end := min(i+997, len(bin))
+			if _, err := f.Write(bin[i:end]); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-follow-idle", "500ms", "-model", "serializable", path},
+		strings.NewReader(""), &out, &errb)
+	<-done
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out.String() != batch.String() {
+		t.Fatalf("follow stdout diverges from batch:\n--- batch ---\n%s\n--- follow ---\n%s",
+			batch.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "provisional") {
+		t.Errorf("no provisional findings surfaced while following:\n%s", errb.String())
+	}
+}
+
+// TestFollowBinaryMidRecordIdle: idle expiry landing while the writer
+// is paused inside an ellebin record must not end the stream — the
+// partial-record grace that the JSON path gets from its newline
+// heuristic comes from the binary decoder's own framing here.
+func TestFollowBinaryMidRecordIdle(t *testing.T) {
+	bin := binEncode(t, encodeFaultedListHistory(t, 60))
+	path := filepath.Join(t.TempDir(), "history.ellebin")
+
+	var batch bytes.Buffer
+	{
+		var errb bytes.Buffer
+		if code := run([]string{"-model", "serializable", writeBytes(t, bin)},
+			strings.NewReader(""), &batch, &errb); code != 1 {
+			t.Fatalf("batch run: exit = %d, stderr: %s", code, errb.String())
+		}
+	}
+
+	// Find a split point strictly inside the final record.
+	cut := len(bin) - 1
+	for ; cut > 0; cut-- {
+		var c binhist.ChunkDecoder
+		if _, err := c.Feed(bin[:cut]); err == nil && c.Pending() > 0 {
+			break
+		}
+	}
+	if cut == 0 {
+		t.Fatal("no mid-record cut found")
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	const idle = 400 * time.Millisecond
+	go func() {
+		defer close(done)
+		defer f.Close()
+		// Everything up to mid-record lands at once; then the writer
+		// stalls for longer than the idle window (but inside the
+		// mid-record grace) before finishing the record.
+		for _, part := range [][]byte{bin[:cut], bin[cut:]} {
+			if _, err := f.Write(part); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := f.Sync(); err != nil {
+				t.Error(err)
+				return
+			}
+			time.Sleep(2 * idle)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-follow-idle", idle.String(), "-model", "serializable", path},
+		strings.NewReader(""), &out, &errb)
+	<-done
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out.String() != batch.String() {
+		t.Fatalf("follow stdout diverges from batch:\n--- batch ---\n%s\n--- follow ---\n%s",
+			batch.String(), out.String())
+	}
+}
+
+// TestFollowBinaryRotationRegrow is the regression test for the
+// truncation guard's blind spot: a rotation whose replacement regrows
+// past the reader's consumed offset before any poll observes the shrink
+// evades the size check entirely. With ellebin input the framing layer
+// catches what the size check cannot — the bytes at the reader's offset
+// are not a valid continuation of the stream — and the run fails with
+// exit 3 instead of feeding mis-parsed ops to the checker.
+func TestFollowBinaryRotationRegrow(t *testing.T) {
+	bin := binEncode(t, encodeFaultedListHistory(t, 100))
+	other := binEncode(t, encodeFaultedListHistory(t, 300))
+	if len(other) <= len(bin) {
+		t.Fatal("replacement history must be larger for the regrow scenario")
+	}
+	path := filepath.Join(t.TempDir(), "history.ellebin")
+	if err := os.WriteFile(path, bin, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Let the follow run consume the whole file, then replace the
+		// content in place with a larger history. The file never shrinks
+		// — WriteAt from offset 0 only ever grows it — so the size check
+		// that catches ordinary truncation sees nothing; the reader's
+		// offset now points into the middle of an unrelated stream.
+		time.Sleep(400 * time.Millisecond)
+		f, err := os.OpenFile(path, os.O_WRONLY, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		if _, err := f.WriteAt(other, 0); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var out, errb bytes.Buffer
+	code := run([]string{"-follow", "-follow-idle", "2s", "-model", "serializable", path},
+		strings.NewReader(""), &out, &errb)
+	<-done
+	if code != 3 {
+		t.Fatalf("exit = %d, want 3; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "framing") {
+		t.Errorf("stderr does not name the framing violation:\n%s", errb.String())
+	}
+}

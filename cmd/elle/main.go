@@ -1,14 +1,20 @@
-// Command elle checks a JSON-lines transaction history for isolation
-// anomalies, in the spirit of the paper's checker: it infers an
-// Adya-style dependency graph from the observation, searches it for
-// cycles, reports every anomaly with a human-readable explanation, and
-// states which isolation models the history rules out.
+// Command elle checks a transaction history for isolation anomalies,
+// in the spirit of the paper's checker: it infers an Adya-style
+// dependency graph from the observation, searches it for cycles,
+// reports every anomaly with a human-readable explanation, and states
+// which isolation models the history rules out.
+//
+// Histories come in two formats, auto-detected from the first byte
+// (see docs/FORMATS.md): JSON lines, and ellebin — the compact binary
+// format ellegen writes with -format binary. Every mode — batch,
+// -follow, -convert — accepts either.
 //
 // Usage:
 //
 //	elle [flags] history.jsonl
 //	... | elle [flags] -
 //	elle -follow history.jsonl     # tail a growing history
+//	elle -convert binary h.jsonl   # re-encode instead of checking
 //
 // Flags:
 //
@@ -27,6 +33,10 @@
 //	-follow-idle DURATION     in -follow mode, treat a file quiet for
 //	                          this long as complete (default 2s; stdin
 //	                          instead streams until EOF)
+//	-convert FORMAT           do not check: decode the input (either
+//	                          format) and write it to stdout as FORMAT —
+//	                          json or binary (-workload still selects
+//	                          register-read decoding for JSON input)
 //	-dot                      also print Graphviz DOT for each cycle witness
 //	-q                        print only the verdict line
 //	-json                     emit a machine-readable JSON report
@@ -34,11 +44,16 @@
 //
 // Exit status: 0 if the history is consistent with the expected model,
 // 1 if anomalies rule it out, 2 on usage or input errors, 3 if a
-// followed file shrank mid-run (truncated or rotated — the report would
-// have covered only a prefix of the real history).
+// followed history was truncated or rotated mid-run — the file shrank
+// below what was already consumed, or (for ellebin input) the stream
+// stopped framing correctly at the reader's offset, the signature of a
+// rotation that regrew past it. Either way the report would have
+// covered a history that is not the one on disk, so the run fails
+// loudly instead.
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,10 +61,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/binhist"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/jsonhist"
+	"repro/internal/op"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -79,6 +96,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"check incrementally while the input grows; anomalies print to stderr as they become provable")
 	followIdle := fs.Duration("follow-idle", 2*time.Second,
 		"in -follow mode, treat a file quiet for this long as complete")
+	convert := fs.String("convert", "",
+		"do not check: re-encode the input to stdout as this format (json or binary)")
 	dot := fs.Bool("dot", false, "print Graphviz DOT for each cycle witness")
 	quiet := fs.Bool("q", false, "print only the verdict line")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of prose")
@@ -110,6 +129,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	switch *convert {
+	case "", "json", "binary", "ellebin":
+	default:
+		fmt.Fprintf(stderr, "elle: unknown convert format %q (json or binary)\n", *convert)
+		return 2
+	}
+
 	in := stdin
 	fromFile := false
 	if name := fs.Arg(0); name != "-" {
@@ -132,34 +158,96 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return runFollow(in, fromFile, *followIdle, info, opts, out)
 	}
 
-	h, err := jsonhist.DecodeWith(in, jsonhist.DecodeOpts{
-		Register:    info.RegisterReads,
-		Parallelism: *parallelism,
-	})
+	// One peeked byte picks the format: 0xEB can never begin JSON text,
+	// and ellebin streams always begin with it. An empty input is a
+	// valid (empty) history in either reading; the JSON path handles it.
+	br := bufio.NewReader(in)
+	head, perr := br.Peek(1)
+	if perr != nil && !errors.Is(perr, io.EOF) {
+		fmt.Fprintf(stderr, "elle: %v\n", perr)
+		return 2
+	}
+	binary := len(head) > 0 && binhist.IsMagic(head)
+
+	var h *history.History
+	var err error
+	if binary {
+		h, err = binhist.Decode(br)
+	} else {
+		h, err = jsonhist.DecodeWith(br, jsonhist.DecodeOpts{
+			Register:    info.RegisterReads,
+			Parallelism: *parallelism,
+		})
+	}
 	if err != nil {
 		fmt.Fprintf(stderr, "elle: %v\n", err)
 		return 2
 	}
+	if *convert != "" {
+		return runConvert(h, *convert, stdout, stderr)
+	}
 	return render(core.Check(h, opts), h, w, out)
+}
+
+// runConvert writes the decoded history to stdout in the requested
+// format — the re-encoding half of `elle -convert`.
+func runConvert(h *history.History, format string, stdout, stderr io.Writer) int {
+	var err error
+	switch format {
+	case "json":
+		err = jsonhist.Encode(stdout, h)
+	default: // "binary" / "ellebin", validated by run
+		err = binhist.Encode(stdout, h)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "elle: %v\n", err)
+		return 2
+	}
+	return 0
 }
 
 // runFollow tails the input through the streaming decoder and the
 // incremental checker: each decoded chunk feeds the stream, provisional
 // findings print to stderr the moment a chunk proves them, and once the
 // source is complete the definitive report — byte-identical to a batch
-// run over the finished file — renders on stdout.
+// run over the finished file — renders on stdout. The format is peeked
+// from the first byte, exactly as in batch mode; the peek itself tails,
+// so following a file that does not have its first byte yet works.
 func runFollow(in io.Reader, fromFile bool, idle time.Duration, info workload.Info, opts core.Opts, out output) int {
 	src := in
+	var tail *tailReader
 	if fromFile {
 		// A file hitting EOF may just not have been written yet; stdin's
 		// EOF (pipe close) is already definitive.
-		src = newTailReader(in, idle)
+		tail = newTailReader(in, idle)
+		src = tail
 	}
-	dec := jsonhist.NewStreamDecoder(src, jsonhist.DecodeOpts{
-		Register:    info.RegisterReads,
-		Parallelism: opts.Parallelism,
-		Tail:        true,
-	})
+	br := bufio.NewReader(src)
+	head, perr := br.Peek(1)
+	if perr != nil && !errors.Is(perr, io.EOF) {
+		fmt.Fprintf(out.stderr, "elle: %v\n", perr)
+		if errors.Is(perr, errTruncated) {
+			return 3
+		}
+		return 2
+	}
+	var dec interface{ Next() ([]op.Op, error) }
+	if len(head) > 0 && binhist.IsMagic(head) {
+		bdec := binhist.NewStreamDecoder(br)
+		if tail != nil {
+			// An ellebin writer paused mid-record earns the same extended
+			// grace a JSON writer paused mid-line does; the decoder knows
+			// whether the delivered tail sits inside a record.
+			tail.partial = func() bool { return bdec.Pending() > 0 }
+		}
+		dec = bdec
+	} else {
+		dec = jsonhist.NewStreamDecoder(br, jsonhist.DecodeOpts{
+			Register:    info.RegisterReads,
+			Parallelism: opts.Parallelism,
+			Tail:        true,
+		})
+	}
 	st := core.CheckStream(opts)
 	for {
 		ops, err := dec.Next()
@@ -168,7 +256,13 @@ func runFollow(in io.Reader, fromFile bool, idle time.Duration, info workload.In
 		}
 		if err != nil {
 			fmt.Fprintf(out.stderr, "elle: %v\n", err)
-			if errors.Is(err, errTruncated) {
+			if errors.Is(err, errTruncated) || errors.Is(err, binhist.ErrFraming) {
+				// The file shrank under the reader — or, for ellebin, the
+				// bytes at the reader's offset stopped being a well-formed
+				// continuation of the stream: the signature of a rotation
+				// that regrew past the consumed offset between size
+				// checks. Either way the history on disk is not the one
+				// being checked.
 				return 3
 			}
 			return 2

@@ -28,7 +28,7 @@ const graceFactor = 4
 //
 // Two guards keep the heuristic honest:
 //
-//   - The idle window normally only ends the stream on a newline
+//   - The idle window normally only ends the stream on a record
 //     boundary. A writer paused between a partial JSON line and its
 //     newline must not have the fragment handed to the decoder as if it
 //     were final — that would turn a slow write into a spurious decode
@@ -36,7 +36,11 @@ const graceFactor = 4
 //     a partial line the reader keeps polling through graceFactor idle
 //     windows; only after that extended quiet is the fragment passed on
 //     as a final unterminated line, which the decoder accepts exactly
-//     as a batch read of the same file would.
+//     as a batch read of the same file would. "Partial line" is judged
+//     by the last delivered byte being a newline; for ellebin streams —
+//     where a newline byte means nothing — the follow path installs a
+//     partial hook instead, asking the binary decoder whether it is
+//     sitting mid-record.
 //   - Every poll at EOF stats the file (when the source is statable):
 //     if it shrank below the bytes already consumed, the stream fails
 //     with errTruncated rather than ending in a short — wrong — report.
@@ -53,6 +57,13 @@ type tailReader struct {
 	last time.Time             // time of the last successful read
 	read int64                 // total bytes delivered downstream
 	eol  bool                  // last delivered byte was '\n' (vacuously true before any data)
+
+	// partial, when set, replaces the newline heuristic: it reports
+	// whether the downstream decoder holds an incomplete record and so
+	// deserves the extended grace window. The binary follow path wires
+	// it to binhist.StreamDecoder.Pending — the decoder, not a byte
+	// value, knows where ellebin record boundaries are.
+	partial func() bool
 }
 
 func newTailReader(r io.Reader, idle time.Duration) *tailReader {
@@ -95,8 +106,12 @@ func (t *tailReader) Read(p []byte) (int, error) {
 				return 0, errTruncated
 			}
 		}
+		midRecord := !t.eol
+		if t.partial != nil {
+			midRecord = t.partial()
+		}
 		quiet := t.idle
-		if !t.eol {
+		if midRecord {
 			quiet = graceFactor * t.idle
 		}
 		if time.Since(t.last) >= quiet {

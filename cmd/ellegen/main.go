@@ -1,6 +1,7 @@
 // Command ellegen generates a transaction history against the in-memory
-// engine and writes it as JSON lines, ready for `elle` to check. It is
-// the recording half of the record/check pipeline: pick an isolation
+// engine and writes it as JSON lines (or, with -format binary, as an
+// ellebin stream — see docs/FORMATS.md), ready for `elle` to check. It
+// is the recording half of the record/check pipeline: pick an isolation
 // level and (optionally) a named fault campaign, and pipe the result
 // into the checker.
 //
@@ -22,6 +23,7 @@
 //	-info P          lost-commit-ack probability (default 0)
 //	-timestamps      expose engine timestamps in op times
 //	-seed N          run seed (default 1)
+//	-format FORMAT   output format: json (default) or binary (ellebin)
 //	-o FILE          output path (default stdout)
 package main
 
@@ -31,7 +33,9 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/binhist"
 	"repro/internal/gen"
+	"repro/internal/history"
 	"repro/internal/jsonhist"
 	"repro/internal/memdb"
 	"repro/internal/workload"
@@ -60,8 +64,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	infoProb := fs.Float64("info", 0, "lost-commit-ack probability")
 	timestamps := fs.Bool("timestamps", false, "expose engine timestamps in op times")
 	seed := fs.Int64("seed", 1, "run seed")
+	format := fs.String("format", "json", "output format: json or binary (ellebin)")
 	out := fs.String("o", "", "output path (default stdout)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var encode func(io.Writer, *history.History) error
+	switch *format {
+	case "json", "jsonl":
+		encode = jsonhist.Encode
+	case "binary", "ellebin":
+		encode = binhist.Encode
+	default:
+		fmt.Fprintf(stderr, "ellegen: unknown format %q (json or binary)\n", *format)
 		return 2
 	}
 
@@ -130,7 +146,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer file.Close()
 		w = file
 	}
-	if err := jsonhist.Encode(w, h); err != nil {
+	if err := encode(w, h); err != nil {
 		fmt.Fprintf(stderr, "ellegen: %v\n", err)
 		return 2
 	}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/binhist"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/jsonhist"
@@ -107,11 +109,39 @@ func TestBankRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFormatBinary: -format binary writes an ellebin stream — tagged by
+// the magic byte — that decodes to exactly the history the default JSON
+// run encodes.
+func TestFormatBinary(t *testing.T) {
+	var jsonOut, binOut, errb bytes.Buffer
+	if code := run([]string{"-txns", "80", "-seed", "9"}, &jsonOut, &errb); code != 0 {
+		t.Fatalf("json run: exit %d: %s", code, errb.String())
+	}
+	if code := run([]string{"-txns", "80", "-seed", "9", "-format", "binary"}, &binOut, &errb); code != 0 {
+		t.Fatalf("binary run: exit %d: %s", code, errb.String())
+	}
+	if !binhist.IsMagic(binOut.Bytes()) {
+		t.Fatal("binary output does not start with the ellebin magic")
+	}
+	hj, err := jsonhist.Decode(bytes.NewReader(jsonOut.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := binhist.Decode(bytes.NewReader(binOut.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(hj.Ops, hb.Ops) {
+		t.Fatalf("histories diverge across formats: %d vs %d ops", len(hj.Ops), len(hb.Ops))
+	}
+}
+
 func TestBadArguments(t *testing.T) {
 	cases := [][]string{
 		{"-workload", "bogus"},
 		{"-iso", "bogus"},
 		{"-faults", "bogus"},
+		{"-format", "yaml"},
 		{"-o", "/nonexistent/dir/x.jsonl", "-txns", "5"},
 	}
 	for _, args := range cases {

@@ -29,8 +29,10 @@
 //     (DB, Run) for producing histories to check.
 //   - The search baseline (CheckSerializable) used by the paper's
 //     Figure 4 comparison.
-//   - Serialization (DecodeHistory, EncodeHistory) in a JSON-lines
-//     format close to Jepsen's.
+//   - Serialization: DecodeHistory / EncodeHistory in a JSON-lines
+//     format close to Jepsen's, and DecodeHistoryBinary /
+//     EncodeHistoryBinary in ellebin, the compact length-prefixed
+//     binary format (docs/FORMATS.md) the CLI tools auto-detect.
 //
 // Checking is parallel by default: Check shards per-key dependency
 // inference, per-transaction anomaly checks, and per-SCC cycle search
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/anomaly"
+	"repro/internal/binhist"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -265,3 +268,18 @@ func DecodeHistoryWith(r io.Reader, opts DecodeHistoryOpts) (*History, error) {
 
 // EncodeHistory writes h as JSON lines.
 func EncodeHistory(w io.Writer, h *History) error { return jsonhist.Encode(w, h) }
+
+// DecodeHistoryBinary reads an ellebin history — the compact binary
+// format (docs/FORMATS.md); no register flag is needed, the format
+// records each read's kind explicitly. EncodeHistoryBinary writes one.
+// Decode errors from a structurally broken stream — a truncated file, a
+// bad length prefix — wrap ErrBinaryFraming.
+func DecodeHistoryBinary(r io.Reader) (*History, error) { return binhist.Decode(r) }
+
+// EncodeHistoryBinary writes h as an ellebin stream.
+func EncodeHistoryBinary(w io.Writer, h *History) error { return binhist.Encode(w, h) }
+
+// ErrBinaryFraming tags every ellebin record-structure violation; test
+// with errors.Is to distinguish a truncated or corrupt stream from
+// ordinary I/O errors.
+var ErrBinaryFraming = binhist.ErrFraming

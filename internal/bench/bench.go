@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/binhist"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -45,6 +46,13 @@ var (
 	listEncoded = sync.OnceValue(func() []byte {
 		var buf bytes.Buffer
 		if err := jsonhist.Encode(&buf, listHistory()); err != nil {
+			panic(err)
+		}
+		return buf.Bytes()
+	})
+	listBinEncoded = sync.OnceValue(func() []byte {
+		var buf bytes.Buffer
+		if err := binhist.Encode(&buf, listHistory()); err != nil {
 			panic(err)
 		}
 		return buf.Bytes()
@@ -141,6 +149,16 @@ func Cases() []Case {
 			for i := 0; i < b.N; i++ {
 				if _, err := jsonhist.DecodeWith(bytes.NewReader(raw),
 					jsonhist.DecodeOpts{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{Name: "decode-binary/n=100000", F: func(b *testing.B) {
+			raw := listBinEncoded()
+			b.SetBytes(int64(len(raw)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := binhist.Decode(bytes.NewReader(raw)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -2,7 +2,6 @@ package jsonhist
 
 import (
 	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 
@@ -30,11 +29,13 @@ type StreamDecoder struct {
 	p    int
 	br   *bufio.Reader
 
-	line     int
-	readErr  error
-	readDone bool
-	pending  chan []parsed
-	err      error // sticky terminal state, io.EOF included
+	line      int
+	bytesRead int
+	sizeHint  int
+	readErr   error
+	readDone  bool
+	pending   chan []parsed
+	err       error // sticky terminal state, io.EOF included
 }
 
 // NewStreamDecoder returns a decoder reading from r under opts.
@@ -45,11 +46,27 @@ func NewStreamDecoder(r io.Reader, opts DecodeOpts) *StreamDecoder {
 		// adds copy slack.
 		bufSize = 1 << 16
 	}
-	return &StreamDecoder{
+	d := &StreamDecoder{
 		opts: opts,
 		p:    par.Procs(opts.Parallelism),
 		br:   bufio.NewReaderSize(r, bufSize),
 	}
+	// In-memory sources report their size; DecodeWith presizes its
+	// collected ops slice from it.
+	if l, ok := r.(interface{ Len() int }); ok {
+		d.sizeHint = l.Len()
+	}
+	return d
+}
+
+// sizeEstimate projects the total line count of the stream from the
+// source's size (when known) and the bytes-per-line ratio observed so
+// far. Zero means no estimate.
+func (d *StreamDecoder) sizeEstimate() int {
+	if d.sizeHint <= 0 || d.bytesRead <= 0 || d.line <= 0 {
+		return 0
+	}
+	return int(int64(d.line)*int64(d.sizeHint)/int64(d.bytesRead)) + 1
 }
 
 // Next returns the next chunk of decoded ops, in input order. It
@@ -162,6 +179,7 @@ func (d *StreamDecoder) nextChunk() (*chunk, bool) {
 		chunkPool.Put(c)
 		return nil, false
 	}
+	d.bytesRead += len(c.buf)
 	return c, true
 }
 
@@ -207,11 +225,15 @@ func (d *StreamDecoder) parseRoundInline(round []*chunk) parsed {
 	return all
 }
 
-// parseChunk decodes one chunk's lines, returning its buffers to the
-// pool when done: nothing decodeOp produces aliases the chunk buffer
-// (json.RawMessage and string fields are copies).
+// parseChunk decodes one chunk's lines with the chunk's own scan-first
+// parser (scan.go), returning its buffers to the pool when done:
+// nothing the parser produces aliases the chunk buffer (keys are
+// interned copies, mop slices are copied out of scratch).
 func (d *StreamDecoder) parseChunk(c *chunk) parsed {
 	defer chunkPool.Put(c)
+	if c.parser == nil {
+		c.parser = new(lineParser)
+	}
 	out := make([]op.Op, 0, len(c.ends))
 	start := 0
 	for j, end := range c.ends {
@@ -220,11 +242,7 @@ func (d *StreamDecoder) parseChunk(c *chunk) parsed {
 		if len(trimSpace(text)) == 0 {
 			continue
 		}
-		var raw rawOp
-		if err := json.Unmarshal(text, &raw); err != nil {
-			return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
-		}
-		o, err := decodeOp(raw, d.opts.Register)
+		o, err := c.parser.parse(text, d.opts.Register)
 		if err != nil {
 			return parsed{err: fmt.Errorf("jsonhist: line %d: %w", c.firstLine+j, err)}
 		}

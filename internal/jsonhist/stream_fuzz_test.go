@@ -1,6 +1,7 @@
 package jsonhist
 
 import (
+	"fmt"
 	"io"
 	"reflect"
 	"strings"
@@ -8,6 +9,28 @@ import (
 
 	"repro/internal/op"
 )
+
+// oracleDecode decodes input line by line with the preserved
+// encoding/json oracle (oracle_test.go), returning the ops, the
+// 1-based number of the first bad line (0 if none), and its error.
+func oracleDecode(input string, register bool) ([]op.Op, int, error) {
+	var ops []op.Op
+	lines := strings.Split(input, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1] // a trailing newline does not open a new line
+	}
+	for i, line := range lines {
+		if len(trimSpace([]byte(line))) == 0 {
+			continue
+		}
+		o, err := oracleParseLine([]byte(line), register)
+		if err != nil {
+			return nil, i + 1, err
+		}
+		ops = append(ops, o)
+	}
+	return ops, 0, nil
+}
 
 // drain collects every op a StreamDecoder yields plus its terminal
 // error (io.EOF mapped to nil).
@@ -25,10 +48,13 @@ func drain(d *StreamDecoder) ([]op.Op, error) {
 	}
 }
 
-// FuzzStreamDecoder: the streaming decoder must never panic on
-// arbitrary input, and every tuning — sequential, tiny parallel
-// chunks, tail mode — must decode the same ops and report the same
-// first error as the plain sequential decode.
+// FuzzStreamDecoder holds two differential properties on arbitrary
+// input: (1) every tuning — sequential, tiny parallel chunks, tail
+// mode — decodes the same ops and reports the same first error as the
+// plain sequential decode; (2) the scan-first parser agrees with the
+// preserved encoding/json oracle on acceptance, on the decoded ops,
+// and on which line is the first bad one (error *text* is the
+// scanner's own and is not compared).
 func FuzzStreamDecoder(f *testing.F) {
 	f.Add("")
 	f.Add("\n\n")
@@ -44,6 +70,25 @@ func FuzzStreamDecoder(f *testing.F) {
 		for _, register := range []bool{false, true} {
 			base, baseErr := drain(NewStreamDecoder(strings.NewReader(input),
 				DecodeOpts{Register: register, Parallelism: 1}))
+
+			oracleOps, oracleLine, oracleErr := oracleDecode(input, register)
+			if (baseErr == nil) != (oracleErr == nil) {
+				t.Fatalf("acceptance diverged from oracle: scanner err %v, oracle err %v",
+					baseErr, oracleErr)
+			}
+			if baseErr != nil {
+				var gotLine int
+				if _, err := fmt.Sscanf(baseErr.Error(), "jsonhist: line %d:", &gotLine); err != nil {
+					t.Fatalf("unparseable decode error %q", baseErr)
+				}
+				if gotLine != oracleLine {
+					t.Fatalf("first bad line diverged: scanner %d (%v), oracle %d (%v)",
+						gotLine, baseErr, oracleLine, oracleErr)
+				}
+			} else if !reflect.DeepEqual(base, oracleOps) {
+				t.Fatalf("decoded ops diverged from oracle: %d vs %d ops",
+					len(base), len(oracleOps))
+			}
 			tunings := []DecodeOpts{
 				{Register: register, Parallelism: 2, ChunkBytes: 7},
 				{Register: register, Parallelism: 4, ChunkBytes: 64},

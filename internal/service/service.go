@@ -1,12 +1,20 @@
 // Package service runs the checker as a long-lived HTTP job service —
 // the engine behind cmd/elled. Where cmd/elle is one check per process,
 // the service manages many concurrent checking jobs, each one a
-// core.Stream session fed by chunked JSON-lines uploads: a test harness
+// core.Stream session fed by chunked history uploads: a test harness
 // (or a fleet of them) streams histories over HTTP as it produces them,
 // polls provisional findings mid-run, and fetches a final report that
 // is byte-identical to what `elle` prints for the same history and
 // options — the stream/batch equivalence contract, exposed as a
 // network service.
+//
+// Chunks are JSON lines by default, or ellebin (docs/FORMATS.md) when
+// uploaded with Content-Type application/x-ellebin. A job's first chunk
+// fixes its format; ellebin chunks may split records at arbitrary byte
+// offsets — the per-job decoder carries the partial record (and the key
+// dictionary) across uploads, and a job whose stream is still mid-record
+// at report time fails rather than reporting on a silently truncated
+// history.
 //
 // The HTTP surface (see docs/SERVICE.md for the full reference):
 //
@@ -34,15 +42,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/binhist"
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/jsonhist"
+	"repro/internal/op"
 	"repro/internal/report"
 	"repro/internal/workload"
 )
@@ -180,6 +191,15 @@ type job struct {
 	anoms  []report.Anomaly // provisional findings, accumulated across chunks
 	result *core.CheckResult
 	errMsg string
+
+	// format is fixed by the first chunk ("json" or "binary"); mixing
+	// formats within one job is refused — an ellebin decoder mid-record
+	// cannot make sense of JSON bytes, and vice versa.
+	format string
+	// bin carries ellebin decode state — the key dictionary and any
+	// partial trailing record — across chunk uploads, which is what lets
+	// clients split the stream at arbitrary byte offsets.
+	bin *binhist.ChunkDecoder
 }
 
 func (j *job) touch()             { j.active.Store(time.Now().UnixNano()) }
@@ -326,17 +346,46 @@ func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	format := chunkFormat(r.Header.Get("Content-Type"))
+
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != stateAccepting {
 		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s", j.state))
 		return
 	}
+	if j.format == "" {
+		j.format = format
+	} else if j.format != format {
+		// Not a job failure: the stream is intact, the chunk just never
+		// reached it. The client can resend with the right Content-Type.
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("job is a %s stream; this chunk is %s — one job, one format", j.format, format))
+		return
+	}
+	var delta deltaJSON
+	if format == formatBinary {
+		if j.bin == nil {
+			j.bin = new(binhist.ChunkDecoder)
+		}
+		ops, err := j.bin.Feed(body)
+		if err != nil {
+			j.fail(err)
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := j.feedLocked(ops, &delta); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		delta.Ops = j.ops
+		writeJSON(w, http.StatusOK, delta)
+		return
+	}
 	dec := jsonhist.NewStreamDecoder(bytes.NewReader(body), jsonhist.DecodeOpts{
 		Register:    j.info.RegisterReads,
 		Parallelism: j.opts.Parallelism,
 	})
-	var delta deltaJSON
 	for {
 		ops, err := dec.Next()
 		if errors.Is(err, io.EOF) {
@@ -347,21 +396,51 @@ func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
-		d, err := j.stream.Feed(ops)
-		if err != nil {
-			j.fail(err)
+		if err := j.feedLocked(ops, &delta); err != nil {
 			writeErr(w, http.StatusBadRequest, err.Error())
 			return
-		}
-		j.ops = d.Ops
-		for _, a := range d.Anomalies {
-			ra := report.FromAnomaly(a)
-			j.anoms = append(j.anoms, ra)
-			delta.Anomalies = append(delta.Anomalies, ra)
 		}
 	}
 	delta.Ops = j.ops
 	writeJSON(w, http.StatusOK, delta)
+}
+
+// Chunk upload formats, fixed per job by its first chunk.
+const (
+	formatJSON   = "json"
+	formatBinary = "binary"
+)
+
+// chunkFormat maps a chunk upload's Content-Type to its history format.
+// Anything that is not ellebin's type — including absent or unparseable
+// values — is read as JSON lines, the format every pre-ellebin client
+// sends without a Content-Type.
+func chunkFormat(contentType string) string {
+	if mt, _, err := mime.ParseMediaType(contentType); err == nil && mt == binhist.ContentType {
+		return formatBinary
+	}
+	return formatJSON
+}
+
+// feedLocked feeds one batch of decoded ops into the job's stream and
+// accumulates the provisional findings it surfaces, failing the job on
+// a stream error. Callers hold j.mu.
+func (j *job) feedLocked(ops []op.Op, delta *deltaJSON) error {
+	if len(ops) == 0 {
+		return nil // a chunk may complete no record
+	}
+	d, err := j.stream.Feed(ops)
+	if err != nil {
+		j.fail(err)
+		return err
+	}
+	j.ops = d.Ops
+	for _, a := range d.Anomalies {
+		ra := report.FromAnomaly(a)
+		j.anoms = append(j.anoms, ra)
+		delta.Anomalies = append(delta.Anomalies, ra)
+	}
+	return nil
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -392,6 +471,16 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.state == stateAccepting {
+		// An ellebin job whose uploads stopped mid-record must not report:
+		// the tail of the history never arrived, and a report now would
+		// silently cover a prefix. The framing error names the cut.
+		if j.bin != nil {
+			if err := j.bin.Close(); err != nil {
+				j.fail(err)
+				writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+				return
+			}
+		}
 		res, err := j.stream.Finish()
 		if err != nil {
 			j.fail(err)
