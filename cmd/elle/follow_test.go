@@ -214,6 +214,36 @@ func TestFollowStdin(t *testing.T) {
 	}
 }
 
+// TestFollowMemBudget: `-follow -mem-budget` retires settled prefixes
+// while streaming, reports the retirement counters at completion, and
+// still renders the exact batch report — the bounded-memory mode's
+// byte-identical contract, exercised through the CLI.
+func TestFollowMemBudget(t *testing.T) {
+	content := encodeFaultedListHistory(t, 400)
+
+	var batch, errb bytes.Buffer
+	if code := run([]string{"-model", "serializable", write(t, content)},
+		strings.NewReader(""), &batch, &errb); code != 1 {
+		t.Fatalf("batch run: exit = %d, stderr: %s", code, errb.String())
+	}
+
+	var out bytes.Buffer
+	errb.Reset()
+	code := run([]string{"-follow", "-model", "serializable",
+		"-mem-budget", "64", "-mem-spill", t.TempDir(), "-"},
+		strings.NewReader(content), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errb.String())
+	}
+	if out.String() != batch.String() {
+		t.Fatalf("budgeted follow stdout diverges from batch:\n--- batch ---\n%s\n--- follow ---\n%s",
+			batch.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "memory budget:") {
+		t.Errorf("stderr missing retirement counters:\n%s", errb.String())
+	}
+}
+
 // TestFollowMalformedInput: a bad line fails the stream with the usual
 // decoder error and exit 2.
 func TestFollowMalformedInput(t *testing.T) {

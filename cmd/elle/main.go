@@ -33,6 +33,17 @@
 //	-follow-idle DURATION     in -follow mode, treat a file quiet for
 //	                          this long as complete (default 2s; stdin
 //	                          instead streams until EOF)
+//	-mem-budget N             in -follow mode, bound resident memory to
+//	                          roughly the last N completions: settled
+//	                          prefixes are retired into compact segments
+//	                          and key caches for quiescent keys released,
+//	                          letting elle follow histories larger than
+//	                          RAM (0 = keep everything; the final report
+//	                          is byte-identical either way)
+//	-mem-spill DIR            with -mem-budget, spill retired segments to
+//	                          an unlinked temporary file in DIR (created
+//	                          if missing) instead of holding their
+//	                          encoded bytes in memory
 //	-convert FORMAT           do not check: decode the input (either
 //	                          format) and write it to stdout as FORMAT —
 //	                          json or binary (-workload still selects
@@ -96,6 +107,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"check incrementally while the input grows; anomalies print to stderr as they become provable")
 	followIdle := fs.Duration("follow-idle", 2*time.Second,
 		"in -follow mode, treat a file quiet for this long as complete")
+	memBudget := fs.Int("mem-budget", 0,
+		"in -follow mode, keep roughly this many recent completions resident, retiring settled prefixes (0 = keep everything)")
+	memSpill := fs.String("mem-spill", "",
+		"with -mem-budget, spill retired segments to an unlinked temp file in this directory")
 	convert := fs.String("convert", "",
 		"do not check: re-encode the input to stdout as this format (json or binary)")
 	dot := fs.Bool("dot", false, "print Graphviz DOT for each cycle witness")
@@ -151,6 +166,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	opts := core.OptsFor(w, m)
 	opts.Parallelism = *parallelism
+	opts.MemoryBudget = *memBudget
+	opts.SpillDir = *memSpill
+	if *memSpill != "" {
+		// Create it up front: a missing directory would otherwise degrade
+		// every spill to in-memory segments, defeating the point of the flag.
+		if err := os.MkdirAll(*memSpill, 0o700); err != nil {
+			fmt.Fprintf(stderr, "elle: -mem-spill: %v\n", err)
+			return 2
+		}
+	}
 	out := output{dot: *dot, quiet: *quiet, jsonOut: *jsonOut, showStats: *showStats,
 		stdout: stdout, stderr: stderr}
 
@@ -282,6 +307,16 @@ func runFollow(in io.Reader, fromFile bool, idle time.Duration, info workload.In
 		return 2
 	}
 	fmt.Fprintf(out.stderr, "elle: stream complete: %d ops\n", st.Ops())
+	if rs, ok := st.RetireStats(); ok && rs.Stream.RetiredOps > 0 {
+		fmt.Fprintf(out.stderr,
+			"elle: memory budget: %d ops resident, %d retired in %d segments (%d bytes encoded, %d spilled)\n",
+			rs.Stream.ResidentOps, rs.Stream.RetiredOps, rs.Stream.Segments,
+			rs.Stream.RetiredBytes, rs.Stream.SpilledBytes)
+		if rs.Stream.Degraded != "" {
+			fmt.Fprintf(out.stderr, "elle: memory budget degraded (segments held in memory): %s\n",
+				rs.Stream.Degraded)
+		}
+	}
 	return render(res, st.History(), core.Workload(info.Name), out)
 }
 

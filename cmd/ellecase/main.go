@@ -30,6 +30,9 @@
 //	-list          list nemesis campaigns and the fault catalog
 //	-json          emit nemesis verdicts as JSON (deterministic per seed)
 //	-stream        check through the incremental API instead of batch
+//	-mem-budget N  cap the stream's resident completed ops (0 = unbounded);
+//	               tiny budgets force retirement mid-campaign and must not
+//	               change any verdict byte
 //	-p N           checker parallelism (0 = one worker per CPU)
 //	-clients N     concurrent client threads (default 10)
 //	-txns N        transactions per campaign (default 2000)
@@ -66,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list nemesis campaigns and the fault catalog")
 	jsonOut := fs.Bool("json", false, "emit nemesis verdicts as JSON")
 	stream := fs.Bool("stream", false, "check through the incremental API")
+	memBudget := fs.Int("mem-budget", 0, "stream resident completed-op cap (0 = unbounded)")
 	par := fs.Int("p", 0, "checker parallelism (0 = one worker per CPU)")
 	clients := fs.Int("clients", 10, "concurrent client threads")
 	txns := fs.Int("txns", 2000, "transactions per campaign")
@@ -93,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *campaign != "" {
 		return runCampaigns(*campaign, nemesis.Config{
 			Seed: *seed, Clients: *clients, Txns: *txns,
-			Parallelism: *par, Stream: *stream,
+			Parallelism: *par, Stream: *stream, MemoryBudget: *memBudget,
 		}, *jsonOut, stdout, stderr)
 	}
 	if *db == "" {

@@ -23,6 +23,11 @@
 //	-max-chunk-bytes N     per-chunk request body cap; larger uploads get
 //	                       413 (default 8 MiB)
 //	-job-idle DURATION     reap jobs untouched for this long (default 10m)
+//	-finished-ttl DURATION reap done/failed jobs this long after they
+//	                       finish, freeing their slot even when clients
+//	                       poll but never delete them (default 1m)
+//	-mem-spill DIR         spill directory for jobs created with a
+//	                       memory_budget (default: OS temp dir)
 //
 // See docs/SERVICE.md for the endpoint reference and limit semantics.
 // elled shuts down gracefully on SIGINT/SIGTERM: in-flight requests
@@ -59,6 +64,10 @@ func run(args []string, stderr io.Writer, started chan<- string) int {
 	maxJobs := fs.Int("max-jobs", 8, "resident-job cap; creation beyond it is refused with 429")
 	maxChunk := fs.Int64("max-chunk-bytes", 8<<20, "per-chunk request body cap in bytes")
 	jobIdle := fs.Duration("job-idle", 10*time.Minute, "reap jobs untouched for this long")
+	finishedTTL := fs.Duration("finished-ttl", time.Minute,
+		"reap done/failed jobs this long after they finish, freeing their slot")
+	memSpill := fs.String("mem-spill", "",
+		"spill directory for jobs created with a memory_budget (default: OS temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -72,6 +81,8 @@ func run(args []string, stderr io.Writer, started chan<- string) int {
 		MaxJobs:       *maxJobs,
 		MaxChunkBytes: *maxChunk,
 		IdleTimeout:   *jobIdle,
+		FinishedTTL:   *finishedTTL,
+		SpillDir:      *memSpill,
 	})
 	defer svc.Close()
 

@@ -123,6 +123,38 @@ func Cases() []Case {
 				}
 			}
 		}},
+		{Name: "check-stream-bounded/n=100000/w=4096/p=1", F: func(b *testing.B) {
+			// The streaming check under a memory budget: settled prefixes
+			// retire to encoded segments as the stream is fed, and Finish
+			// rehydrates them. Gates the whole retire/rehydrate cycle —
+			// encode, sweep, freeze, decode — on top of the plain
+			// streaming cost.
+			h := listHistory()
+			opts := checkOpts(core.ListAppend)
+			opts.MemoryBudget = 4096
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := core.CheckStream(opts)
+				ops := h.Ops
+				for len(ops) > 0 {
+					n := 1000
+					if n > len(ops) {
+						n = len(ops)
+					}
+					if _, err := st.Feed(ops[:n]); err != nil {
+						b.Fatal(err)
+					}
+					ops = ops[n:]
+				}
+				r, err := st.Finish()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !r.Valid {
+					b.Fatalf("clean history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		}},
 		{Name: "check-register/n=50000/p=1", F: func(b *testing.B) {
 			h := registerHistory()
 			opts := checkOpts(core.Register)

@@ -12,7 +12,6 @@ import (
 	"repro/internal/history"
 	"repro/internal/memdb"
 	"repro/internal/op"
-	"repro/internal/perf"
 )
 
 // testHistories covers every mop shape the format must carry: list
@@ -21,6 +20,14 @@ import (
 // and large values, empty lists, and an empty history.
 func testHistories(t testing.TB) map[string]*history.History {
 	t.Helper()
+	// The list history is generated inline (not via internal/perf, whose
+	// workload-registry dependency would close an import cycle through
+	// this package's segment codec).
+	lst := memdb.Run(memdb.RunConfig{
+		Clients: 10, Txns: 2000, Isolation: memdb.StrictSerializable,
+		Source: gen.New(gen.Config{ActiveKeys: 100, MaxWritesPerKey: 100, MinOps: 1, MaxOps: 5}, 1),
+		Seed:   1,
+	})
 	g := gen.New(gen.Config{Workload: gen.Register, ActiveKeys: 7, MaxWritesPerKey: 20}, 3)
 	reg := memdb.Run(memdb.RunConfig{
 		Clients: 5, Txns: 500, Isolation: memdb.SnapshotIsolation,
@@ -36,7 +43,7 @@ func testHistories(t testing.TB) map[string]*history.History {
 			Mops: []op.Mop{op.Append("x", 2)}},
 	})
 	return map[string]*history.History{
-		"list":     perf.GenerateHistory(2000, 10, 1),
+		"list":     lst,
 		"register": reg,
 		"hand":     hand,
 		"empty":    history.MustNew(nil),

@@ -1,0 +1,52 @@
+package binhist
+
+import (
+	"bytes"
+
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// Segments implements history.SegmentCodec over the ellebin encoding:
+// each retired segment is a self-contained ellebin stream with its own
+// header and key dictionary, so segments are individually decodable,
+// and the concatenation of a stream's segments is itself a valid
+// ellebin file (a second header at a record boundary starts a fresh
+// dictionary — see the package comment).
+type Segments struct{}
+
+var _ history.SegmentCodec = Segments{}
+
+// AppendOps appends the ellebin encoding of ops to dst.
+func (Segments) AppendOps(dst []byte, ops []op.Op) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	e := NewEncoder(buf)
+	for _, o := range ops {
+		if err := e.WriteOp(o); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode invokes fn for every op in b, which may hold one segment or
+// any concatenation of segments.
+func (Segments) Decode(b []byte, fn func(op.Op) error) error {
+	var c ChunkDecoder
+	ops, err := c.Feed(b)
+	if err != nil {
+		return err
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	for _, o := range ops {
+		if err := fn(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}

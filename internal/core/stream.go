@@ -89,5 +89,15 @@ func (s *Stream) Finish() (*CheckResult, error) {
 // result.
 func (s *Stream) History() *history.History { return s.h }
 
+// RetireStats reports the session's resident/retired memory counters.
+// The second result is false when the session does not track retirement
+// (a workload session predating memory budgets).
+func (s *Stream) RetireStats() (workload.RetireStats, bool) {
+	if r, ok := s.sess.(workload.Retirer); ok {
+		return r.RetireStats(), true
+	}
+	return workload.RetireStats{}, false
+}
+
 // Ops returns the number of completion ops ingested so far.
 func (s *Stream) Ops() int { return s.ops }

@@ -85,24 +85,40 @@ func TestStreamEqualsBatch(t *testing.T) {
 				batchOpts.Parallelism = 1
 				want := renderFull(Check(h, batchOpts))
 				for _, p := range []int{1, 8} {
-					opts := OptsFor(w, consistency.StrictSerializable)
-					opts.Parallelism = p
-					for _, chunk := range []int{0, 17} {
-						res, deltas := streamCheck(t, h, opts, chunk)
-						if got := renderFull(res); got != want {
-							t.Fatalf("stream (p=%d chunk=%d) diverges from batch:\n--- batch ---\n%s\n--- stream ---\n%s",
-								p, chunk, want, got)
+					// The retirement axis: a budget tiny relative to the
+					// history forces many sweeps (settled prefixes encoded
+					// and released, key caches dropped, graph regions
+					// frozen), and the Finish must still render
+					// byte-identically to batch. One corner also spills
+					// segments to disk.
+					for _, budget := range []int{0, 16} {
+						opts := OptsFor(w, consistency.StrictSerializable)
+						opts.Parallelism = p
+						opts.MemoryBudget = budget
+						if budget > 0 && p == 8 {
+							opts.SpillDir = t.TempDir()
 						}
-						// Every surfaced anomaly type must appear in the
-						// final report: deltas are previews, not noise.
-						final := map[anomaly.Type]bool{}
-						for _, a := range res.Anomalies {
-							final[a.Type] = true
-						}
-						for _, d := range deltas {
-							for _, a := range d.Anomalies {
-								if !confirmed(final, a.Type) {
-									t.Fatalf("mid-stream %s (key %s) missing from the final report", a.Type, a.Key)
+						for _, chunk := range []int{0, 17} {
+							res, deltas := streamCheck(t, h, opts, chunk)
+							if got := renderFull(res); got != want {
+								t.Fatalf("stream (p=%d budget=%d chunk=%d) diverges from batch:\n--- batch ---\n%s\n--- stream ---\n%s",
+									p, budget, chunk, want, got)
+							}
+							// Every surfaced anomaly type must appear in the
+							// final report: deltas are previews, not noise.
+							// Under a budget the deltas are a subset of the
+							// unbudgeted session's, but each one surfaced
+							// still obeys the same confirmation contract.
+							final := map[anomaly.Type]bool{}
+							for _, a := range res.Anomalies {
+								final[a.Type] = true
+							}
+							for _, d := range deltas {
+								for _, a := range d.Anomalies {
+									if !confirmed(final, a.Type) {
+										t.Fatalf("mid-stream %s (key %s, budget=%d) missing from the final report",
+											a.Type, a.Key, budget)
+									}
 								}
 							}
 						}

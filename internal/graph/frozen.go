@@ -1,0 +1,339 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// A Frozen is an immutable compressed-sparse-row snapshot of a settled
+// region of a dependency graph. Once a streaming session determines a
+// set of transactions can no longer gain edges (their keys retired, no
+// open spans can reach them), Incr.Retire condenses their induced
+// subgraph into a Frozen: node ids in one sorted array, adjacency in
+// CSR rows with columns ascending, every edge carrying its KindSet.
+// No further inserts are possible, so cycle-search results over the
+// region are memoized per edge-kind mask, and the whole structure
+// serializes to a compact varint form (Encode / DecodeFrozen) suitable
+// for the same spill machinery retired history segments use.
+type Frozen struct {
+	nodes    []int     // sorted external node ids
+	rowStart []int32   // rowStart[i]..rowStart[i+1] index to/ks for node i
+	to       []int32   // column: index into nodes
+	ks       []KindSet // edge labels, parallel to to
+
+	mu   sync.Mutex
+	memo map[KindSet][]Cycle
+}
+
+// NewFrozen snapshots the subgraph of g induced by nodes. Ids absent
+// from g are ignored; duplicates collapse. The input graph is not
+// modified or retained.
+func NewFrozen(g *Graph, nodes []int) *Frozen {
+	sorted := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		if g.HasNode(n) {
+			sorted = append(sorted, n)
+		}
+	}
+	sort.Ints(sorted)
+	sorted = compactInts(sorted)
+
+	col := make(map[int]int32, len(sorted))
+	for i, n := range sorted {
+		col[n] = int32(i)
+	}
+	f := &Frozen{
+		nodes:    sorted,
+		rowStart: make([]int32, len(sorted)+1),
+	}
+	for i, n := range sorted {
+		f.rowStart[i] = int32(len(f.to))
+		ai := g.ids[n]
+		// Adjacency is sorted by dense id (insertion order); re-sort the
+		// surviving entries by frozen column, i.e. by external id.
+		start := len(f.to)
+		for _, e := range g.adj[ai] {
+			if j, ok := col[g.nodes[e.to]]; ok {
+				f.to = append(f.to, j)
+				f.ks = append(f.ks, e.ks)
+			}
+		}
+		sortRow(f.to[start:], f.ks[start:])
+	}
+	f.rowStart[len(sorted)] = int32(len(f.to))
+	return f
+}
+
+func compactInts(s []int) []int {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortRow(to []int32, ks []KindSet) {
+	sort.Sort(&rowSorter{to, ks})
+}
+
+type rowSorter struct {
+	to []int32
+	ks []KindSet
+}
+
+func (r *rowSorter) Len() int           { return len(r.to) }
+func (r *rowSorter) Less(i, j int) bool { return r.to[i] < r.to[j] }
+func (r *rowSorter) Swap(i, j int) {
+	r.to[i], r.to[j] = r.to[j], r.to[i]
+	r.ks[i], r.ks[j] = r.ks[j], r.ks[i]
+}
+
+// NumNodes returns the frozen node count.
+func (f *Frozen) NumNodes() int { return len(f.nodes) }
+
+// NumEdges returns the frozen edge count (distinct ordered pairs).
+func (f *Frozen) NumEdges() int { return len(f.to) }
+
+// Nodes returns the frozen node ids, sorted ascending.
+func (f *Frozen) Nodes() []int {
+	out := make([]int, len(f.nodes))
+	copy(out, f.nodes)
+	return out
+}
+
+// Edges lists every frozen edge, expanded per kind, in (from, to, kind)
+// order — the same shape analyzers feed AddEdges, so a Frozen can be
+// replayed into any graph.
+func (f *Frozen) Edges() []Edge {
+	out := make([]Edge, 0, len(f.to))
+	for i, n := range f.nodes {
+		for p := f.rowStart[i]; p < f.rowStart[i+1]; p++ {
+			for _, k := range f.ks[p].Kinds() {
+				out = append(out, Edge{From: n, To: f.nodes[f.to[p]], Kind: k})
+			}
+		}
+	}
+	return out
+}
+
+// graph materializes the frozen region as a mutable Graph for the cycle
+// searches. Nodes enter in sorted order, so dense ids are deterministic.
+func (f *Frozen) graph() *Graph {
+	g := New()
+	for _, n := range f.nodes {
+		g.Ensure(n)
+	}
+	for i, n := range f.nodes {
+		for p := f.rowStart[i]; p < f.rowStart[i+1]; p++ {
+			g.addMask(n, f.nodes[f.to[p]], f.ks[p])
+		}
+	}
+	return g
+}
+
+// Cycles runs AnomalousCycles over the frozen region with the given
+// extra-order mask, memoizing per mask: the region cannot change, so the
+// second query for a mask is a map lookup. Results are shared slices —
+// callers must not mutate them. Safe for concurrent use.
+func (f *Frozen) Cycles(extra KindSet, p int) []Cycle {
+	f.mu.Lock()
+	if cs, ok := f.memo[extra]; ok {
+		f.mu.Unlock()
+		return cs
+	}
+	f.mu.Unlock()
+	// Search outside the lock: concurrent first queries for the same mask
+	// duplicate work once, never block each other behind a long search.
+	cs := f.graph().AnomalousCycles(extra, p)
+	f.mu.Lock()
+	if f.memo == nil {
+		f.memo = map[KindSet][]Cycle{}
+	}
+	f.memo[extra] = cs
+	f.mu.Unlock()
+	return cs
+}
+
+// frozenMagic guards serialized Frozen segments: "Fz" plus a version.
+var frozenMagic = [3]byte{0xF5, 'z', 1}
+
+// Encode appends a compact varint serialization of f to dst: the sorted
+// node array delta-encoded, then each CSR row as a length followed by
+// delta-encoded columns with a label byte each. Memoized cycle results
+// are not serialized — they are derived data, recomputed on demand.
+func (f *Frozen) Encode(dst []byte) []byte {
+	dst = append(dst, frozenMagic[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(f.nodes)))
+	prev := 0
+	for i, n := range f.nodes {
+		if i == 0 {
+			dst = binary.AppendVarint(dst, int64(n))
+		} else {
+			dst = binary.AppendUvarint(dst, uint64(n-prev)) // sorted: non-negative
+		}
+		prev = n
+	}
+	for i := range f.nodes {
+		row := f.to[f.rowStart[i]:f.rowStart[i+1]]
+		lab := f.ks[f.rowStart[i]:f.rowStart[i+1]]
+		dst = binary.AppendUvarint(dst, uint64(len(row)))
+		prevCol := int32(0)
+		for j, c := range row {
+			if j == 0 {
+				dst = binary.AppendUvarint(dst, uint64(c))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(c-prevCol))
+			}
+			prevCol = c
+			dst = append(dst, byte(lab[j]))
+		}
+	}
+	return dst
+}
+
+// DecodeFrozen parses one Encode result (exactly; trailing bytes are an
+// error so corrupted segment boundaries are caught, not skipped).
+func DecodeFrozen(b []byte) (*Frozen, error) {
+	if len(b) < len(frozenMagic) || b[0] != frozenMagic[0] || b[1] != frozenMagic[1] || b[2] != frozenMagic[2] {
+		return nil, fmt.Errorf("graph: frozen segment: bad magic")
+	}
+	b = b[len(frozenMagic):]
+	uv := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("graph: frozen segment: truncated varint")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	nn, err := uv()
+	if err != nil {
+		return nil, err
+	}
+	f := &Frozen{nodes: make([]int, nn), rowStart: make([]int32, nn+1)}
+	prev := int64(0)
+	for i := range f.nodes {
+		if i == 0 {
+			v, n := binary.Varint(b)
+			if n <= 0 {
+				return nil, fmt.Errorf("graph: frozen segment: truncated varint")
+			}
+			b = b[n:]
+			prev = v
+		} else {
+			d, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			prev += int64(d)
+		}
+		f.nodes[i] = int(prev)
+	}
+	for i := 0; i < int(nn); i++ {
+		f.rowStart[i] = int32(len(f.to))
+		rl, err := uv()
+		if err != nil {
+			return nil, err
+		}
+		prevCol := uint64(0)
+		for j := uint64(0); j < rl; j++ {
+			d, err := uv()
+			if err != nil {
+				return nil, err
+			}
+			if j == 0 {
+				prevCol = d
+			} else {
+				prevCol += d
+			}
+			if prevCol >= nn {
+				return nil, fmt.Errorf("graph: frozen segment: column %d out of range", prevCol)
+			}
+			if len(b) == 0 {
+				return nil, fmt.Errorf("graph: frozen segment: missing label byte")
+			}
+			f.to = append(f.to, int32(prevCol))
+			f.ks = append(f.ks, KindSet(b[0]))
+			b = b[1:]
+		}
+	}
+	f.rowStart[nn] = int32(len(f.to))
+	if len(b) != 0 {
+		return nil, fmt.Errorf("graph: frozen segment: %d trailing bytes", len(b))
+	}
+	return f, nil
+}
+
+// Retire splits the incremental graph at a settlement boundary: nodes
+// for which keep returns false are frozen — their induced subgraph
+// snapshotted into the returned Frozen — and the Incr is rebuilt in
+// place over the survivors only, in deterministic dense-id order.
+// Edges crossing the boundary are discarded; callers choose the keep
+// predicate so that can't lose findings (a retired transaction's edges
+// to live ones would only matter for cycles through the live region,
+// and sessions only retire nodes whose keys can gain no further edges,
+// making such cycles impossible by the time Retire runs — any that did
+// exist were searched and surfaced before retirement).
+func (x *Incr) Retire(keep func(int) bool) *Frozen {
+	old := x.g
+	var dead []int
+	// Survivors re-enter in the old topological order of their
+	// components (ties broken by dense id, which keeps each old SCC
+	// contiguous). Re-fed that way, every cross-component edge is
+	// order-respecting — an O(1) insert for Pearce-Kelly — and only
+	// within-SCC edges pay for restoration, which re-merges exactly the
+	// components that must collapse anyway. Feeding in dense-id order
+	// instead makes the rebuild quadratic-ish in practice: dense ids
+	// are arrival order, not topological order, so a large share of
+	// edges lands order-violating and triggers region reorderings.
+	type survivor struct {
+		ai  int32
+		ord int64
+	}
+	var survivors []survivor
+	for ai, n := range old.nodes {
+		if !keep(n) {
+			dead = append(dead, n)
+			continue
+		}
+		survivors = append(survivors, survivor{int32(ai), x.ord[x.find(int32(ai))]})
+	}
+	sort.Slice(survivors, func(i, j int) bool {
+		if survivors[i].ord != survivors[j].ord {
+			return survivors[i].ord < survivors[j].ord
+		}
+		return survivors[i].ai < survivors[j].ai
+	})
+	fz := NewFrozen(old, dead)
+
+	x.g = New()
+	x.parent = x.parent[:0]
+	x.rank = x.rank[:0]
+	x.ord = x.ord[:0]
+	x.nextOrd = 0
+	x.members = map[int32][]int32{}
+	x.out = map[int32]map[int32]bool{}
+	x.in = map[int32]map[int32]bool{}
+	x.dirty = map[int32]bool{}
+
+	for _, s := range survivors {
+		x.ensure(old.nodes[s.ai]) // survivors keep their nodes even when isolated
+	}
+	for _, s := range survivors {
+		a := old.nodes[s.ai]
+		for _, e := range old.adj[s.ai] {
+			b := old.nodes[e.to]
+			if !keep(b) {
+				continue
+			}
+			for _, k := range e.ks.Kinds() {
+				x.AddEdge(a, b, k)
+			}
+		}
+	}
+	return fz
+}

@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randomEdges builds a reproducible random edge list over n nodes.
+func randomEdges(r *rand.Rand, n, m int) []Edge {
+	out := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		out = append(out, Edge{From: a, To: b, Kind: Kind(r.Intn(3))}) // ww/wr/rw
+	}
+	return out
+}
+
+// sortedEdges canonicalizes an edge list for comparison.
+func sortedEdges(es []Edge) []Edge {
+	out := append([]Edge(nil), es...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// graphEdges extracts g's edges restricted to the given node set.
+func graphEdges(g *Graph, in map[int]bool) []Edge {
+	var out []Edge
+	for _, a := range g.Nodes() {
+		if !in[a] {
+			continue
+		}
+		g.Out(a, ^KindSet(0), func(b int, label KindSet) {
+			if !in[b] {
+				return
+			}
+			for _, k := range label.Kinds() {
+				out = append(out, Edge{From: a, To: b, Kind: k})
+			}
+		})
+	}
+	return sortedEdges(out)
+}
+
+func TestFrozenMatchesSubgraph(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		g.AddEdges(randomEdges(r, 30, 120))
+		var sub []int
+		in := map[int]bool{}
+		for n := 0; n < 30; n += 2 {
+			if g.HasNode(n) {
+				sub = append(sub, n)
+				in[n] = true
+			}
+		}
+		f := NewFrozen(g, sub)
+		want := g.Subgraph(sub)
+		if f.NumNodes() != want.NumNodes() {
+			t.Fatalf("trial %d: frozen has %d nodes, subgraph %d", trial, f.NumNodes(), want.NumNodes())
+		}
+		if got, w := sortedEdges(f.Edges()), graphEdges(want, in); !reflect.DeepEqual(got, w) {
+			t.Fatalf("trial %d: frozen edges differ\n got %v\nwant %v", trial, got, w)
+		}
+		// Cycle search over the frozen region matches the mutable subgraph.
+		got := f.Cycles(0, 1)
+		wantCycles := want.AnomalousCycles(0, 1)
+		if len(got) != len(wantCycles) {
+			t.Fatalf("trial %d: %d frozen cycles, want %d", trial, len(got), len(wantCycles))
+		}
+		for i := range got {
+			if CycleKey(got[i]) != CycleKey(wantCycles[i]) {
+				t.Fatalf("trial %d: cycle %d = %v, want %v", trial, i, got[i], wantCycles[i])
+			}
+		}
+	}
+}
+
+func TestFrozenDedupsAndIgnoresUnknownNodes(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, WW)
+	g.AddEdge(2, 1, WW)
+	f := NewFrozen(g, []int{2, 1, 2, 99})
+	if !reflect.DeepEqual(f.Nodes(), []int{1, 2}) {
+		t.Fatalf("nodes = %v, want [1 2]", f.Nodes())
+	}
+	if f.NumEdges() != 2 {
+		t.Fatalf("edges = %d, want 2", f.NumEdges())
+	}
+}
+
+func TestFrozenCyclesMemoized(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, WW)
+	g.AddEdge(2, 1, WW)
+	g.AddEdge(2, 3, Realtime)
+	g.AddEdge(3, 1, Realtime)
+	f := NewFrozen(g, []int{1, 2, 3})
+	a := f.Cycles(KSOrders, 2)
+	if len(a) == 0 {
+		t.Fatal("expected a cycle")
+	}
+	b := f.Cycles(KSOrders, 2)
+	if &a[0] != &b[0] {
+		t.Fatal("second query did not return the memoized slice")
+	}
+	if len(f.memo) != 1 {
+		t.Fatalf("memo holds %d masks, want 1", len(f.memo))
+	}
+	// A different mask is its own entry.
+	f.Cycles(0, 1)
+	if len(f.memo) != 2 {
+		t.Fatalf("memo holds %d masks, want 2", len(f.memo))
+	}
+}
+
+func TestFrozenEncodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		g.AddEdges(randomEdges(r, 40, 150))
+		// Non-contiguous, including negative-looking large ids.
+		var sub []int
+		for _, n := range g.Nodes() {
+			if n%3 != 1 {
+				sub = append(sub, n*1000)
+				g.AddEdge(n, n*1000, Process)
+			}
+		}
+		for _, n := range g.Nodes() {
+			sub = append(sub, n)
+		}
+		f := NewFrozen(g, sub)
+		enc := f.Encode(nil)
+		got, err := DecodeFrozen(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got.Nodes(), f.Nodes()) {
+			t.Fatalf("trial %d: nodes differ after round trip", trial)
+		}
+		if !reflect.DeepEqual(sortedEdges(got.Edges()), sortedEdges(f.Edges())) {
+			t.Fatalf("trial %d: edges differ after round trip", trial)
+		}
+	}
+}
+
+func TestFrozenEncodeEmpty(t *testing.T) {
+	f := NewFrozen(New(), nil)
+	got, err := DecodeFrozen(f.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Fatalf("round-tripped empty frozen has %d nodes, %d edges", got.NumNodes(), got.NumEdges())
+	}
+}
+
+func TestDecodeFrozenErrors(t *testing.T) {
+	g := New()
+	g.AddEdge(1, 2, WW)
+	g.AddEdge(2, 1, RW)
+	enc := NewFrozen(g, []int{1, 2}).Encode(nil)
+	cases := map[string][]byte{
+		"empty":     nil,
+		"bad magic": {1, 2, 3, 4},
+		"truncated": enc[:len(enc)-2],
+		"trailing":  append(append([]byte(nil), enc...), 0),
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrozen(b); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}
+
+func TestIncrRetire(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		before := randomEdges(r, 24, 80)
+		after := randomEdges(r, 24, 60)
+		keep := func(n int) bool { return n >= 8 }
+
+		x := NewIncr(KSDep)
+		x.AddEdges(before)
+		x.DirtySCCs() // drain, as a session would before retiring
+		fz := x.Retire(keep)
+
+		// The frozen region is exactly the dead induced subgraph.
+		full := New()
+		full.AddEdges(before)
+		in := map[int]bool{}
+		var dead []int
+		for _, n := range full.Nodes() {
+			if !keep(n) {
+				in[n] = true
+				dead = append(dead, n)
+			}
+		}
+		if !reflect.DeepEqual(sortedEdges(fz.Edges()), graphEdges(full, in)) {
+			t.Fatalf("trial %d: frozen edges are not the dead induced subgraph", trial)
+		}
+		sort.Ints(dead)
+		if !reflect.DeepEqual(fz.Nodes(), dead) {
+			t.Fatalf("trial %d: frozen nodes = %v, want %v", trial, fz.Nodes(), dead)
+		}
+
+		// The rebuilt incr behaves like a fresh one fed only live edges,
+		// both immediately and after further insertions.
+		fresh := NewIncr(KSDep)
+		for _, e := range before {
+			if keep(e.From) && keep(e.To) {
+				fresh.AddEdge(e.From, e.To, e.Kind)
+			}
+		}
+		for _, e := range after {
+			if keep(e.From) && keep(e.To) {
+				x.AddEdge(e.From, e.To, e.Kind)
+				fresh.AddEdge(e.From, e.To, e.Kind)
+			}
+		}
+		if !sccSetsEqual(x.SCCs(), fresh.SCCs()) {
+			t.Fatalf("trial %d: retired incr SCCs diverge from fresh rebuild", trial)
+		}
+		for _, n := range full.Nodes() {
+			if !keep(n) && x.Graph().HasNode(n) {
+				t.Fatalf("trial %d: retired node %d still in live graph", trial, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package history
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// A Spill is an append-only scratch file for retired segments. The
+// backing file is unlinked the moment it is created, so it occupies
+// directory namespace for microseconds and disk space for exactly the
+// lifetime of the open descriptor — a crash, a kill, or plain garbage
+// collection of the *os.File reclaims it without cleanup code.
+type Spill struct {
+	f   *os.File
+	off int64
+}
+
+// SpillRef locates one extent in a Spill.
+type SpillRef struct {
+	Off int64
+	Len int
+}
+
+// NewSpill creates an anonymous spill file in dir ("" means the
+// system temporary directory).
+func NewSpill(dir string) (*Spill, error) {
+	f, err := os.CreateTemp(dir, "elle-retired-*.seg")
+	if err != nil {
+		return nil, fmt.Errorf("history: creating spill file: %w", err)
+	}
+	// Unlink immediately: the kernel keeps the inode alive while the
+	// descriptor is open, and reclaims it unconditionally on close or
+	// process death.
+	os.Remove(f.Name())
+	return &Spill{f: f}, nil
+}
+
+// Append writes b at the end of the spill and returns its extent.
+func (sp *Spill) Append(b []byte) (SpillRef, error) {
+	ref := SpillRef{Off: sp.off, Len: len(b)}
+	if _, err := sp.f.WriteAt(b, sp.off); err != nil {
+		return SpillRef{}, fmt.Errorf("history: spill write: %w", err)
+	}
+	sp.off += int64(len(b))
+	return ref, nil
+}
+
+// Read returns the extent at ref, appending into buf (which may be
+// nil) to let callers reuse one buffer across segments.
+func (sp *Spill) Read(ref SpillRef, buf []byte) ([]byte, error) {
+	if cap(buf) < ref.Len {
+		buf = make([]byte, ref.Len)
+	}
+	buf = buf[:ref.Len]
+	if _, err := sp.f.ReadAt(buf, ref.Off); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("history: spill read: %w", err)
+	}
+	return buf, nil
+}
+
+// Size returns the bytes written so far.
+func (sp *Spill) Size() int64 { return sp.off }
+
+// Close releases the descriptor (and with it the unlinked file's disk
+// space). Reads after Close fail.
+func (sp *Spill) Close() error { return sp.f.Close() }

@@ -17,24 +17,43 @@ import (
 // One streaming-only restriction applies: ops must arrive in strictly
 // ascending Index order. New can sort a batch before validating;
 // a stream cannot reorder what it has already analyzed.
+//
+// A Stream normally retains every accepted op. SetBudget bounds that:
+// once a retirement window is configured, settled prefixes — ops whose
+// invoke/completion spans are closed and fall behind the window — are
+// encoded into compact immutable segments (optionally spilled to disk)
+// and released from the live slices, making resident memory O(window)
+// instead of O(history). History transparently rehydrates the segments.
 type Stream struct {
+	// ops is the live tail. The op at stream position p (0-based over
+	// every accepted op) lives at ops[p-base]; positions below base have
+	// been retired into segments. completion/invocation are aligned with
+	// ops and store global positions.
 	ops        []op.Op
+	base       int
 	completion []int
 	invocation []int
-	open       map[int]int    // process -> position of outstanding invoke
+	open       map[int]int    // process -> global position of outstanding invoke
 	spans      map[int][2]int // completion op index -> [invoke index, completion index]
 
 	keys *Interner
 
-	hasInvoke   bool
-	firstComp   int // op index of the first completion accepted in compact mode
-	completions int
-	err         error // sticky: a stream that errored stays errored
+	hasInvoke     bool
+	firstComp     int // op index of the first completion accepted in compact mode
+	firstCompProc int // its process, for the retroactive pairing error
+	lastIndex     int // Index of the most recently accepted op, -1 when none
+	completions   int
+
+	budget  Budget
+	retired retired
+	hist    *History // cached rehydration; only set once segments exist
+
+	err error // sticky: a stream that errored stays errored
 }
 
 // NewStream returns an empty Stream.
 func NewStream() *Stream {
-	return &Stream{open: map[int]int{}, firstComp: -1, keys: NewInterner()}
+	return &Stream{open: map[int]int{}, firstComp: -1, lastIndex: -1, keys: NewInterner()}
 }
 
 // Keys returns the stream's live key interner: every key of every
@@ -53,6 +72,8 @@ func (s *Stream) Add(o op.Op) error {
 		s.err = err
 		return err
 	}
+	s.lastIndex = o.Index
+	s.maybeRetire()
 	return nil
 }
 
@@ -70,14 +91,13 @@ func (s *Stream) AddAll(ops []op.Op) error {
 // leaves no trace: History over a stream that errored contains only
 // the ops accepted before the failure.
 func (s *Stream) add(o op.Op) error {
-	if n := len(s.ops); n > 0 {
-		last := s.ops[n-1].Index
-		if o.Index == last {
+	if s.base+len(s.ops) > 0 {
+		if o.Index == s.lastIndex {
 			return &Error{Index: o.Index, Msg: "duplicate index"}
 		}
-		if o.Index < last {
+		if o.Index < s.lastIndex {
 			return &Error{Index: o.Index,
-				Msg: fmt.Sprintf("arrived after index %d: a stream must be index-ordered", last)}
+				Msg: fmt.Sprintf("arrived after index %d: a stream must be index-ordered", s.lastIndex)}
 		}
 	}
 
@@ -86,11 +106,11 @@ func (s *Stream) add(o op.Op) error {
 			// The stream looked compact until now; New over the same ops
 			// would have rejected its first completion.
 			return &Error{Index: s.firstComp,
-				Msg: fmt.Sprintf("completion for process %d with no outstanding invocation", s.firstCompProcess())}
+				Msg: fmt.Sprintf("completion for process %d with no outstanding invocation", s.firstCompProc)}
 		}
 		if prev, ok := s.open[o.Process]; ok {
 			return &Error{Index: o.Index,
-				Msg: fmt.Sprintf("process %d invoked while op index %d is outstanding", o.Process, s.ops[prev].Index)}
+				Msg: fmt.Sprintf("process %d invoked while op index %d is outstanding", o.Process, s.ops[prev-s.base].Index)}
 		}
 		s.hasInvoke = true
 		s.open[o.Process] = s.append(o)
@@ -103,6 +123,7 @@ func (s *Stream) add(o op.Op) error {
 		s.completions++
 		if s.firstComp < 0 {
 			s.firstComp = o.Index
+			s.firstCompProc = o.Process
 		}
 		s.setSpan(o.Index, o.Index, o.Index)
 		return nil
@@ -115,14 +136,16 @@ func (s *Stream) add(o op.Op) error {
 	pos := s.append(o)
 	s.completions++
 	delete(s.open, o.Process)
-	s.completion[inv] = pos
-	s.invocation[pos] = inv
-	s.setSpan(o.Index, s.ops[inv].Index, o.Index)
+	s.completion[inv-s.base] = pos
+	s.invocation[pos-s.base] = inv
+	s.setSpan(o.Index, s.ops[inv-s.base].Index, o.Index)
 	return nil
 }
 
+// append accepts o at the next stream position (global: retirement does
+// not renumber) and returns that position.
 func (s *Stream) append(o op.Op) int {
-	pos := len(s.ops)
+	pos := s.base + len(s.ops)
 	for _, m := range o.Mops {
 		s.keys.Intern(m.Key)
 	}
@@ -139,19 +162,9 @@ func (s *Stream) setSpan(index, invoke, complete int) {
 	s.spans[index] = [2]int{invoke, complete}
 }
 
-// firstCompProcess recovers the process of the first compact-mode
-// completion, for the retroactive pairing error.
-func (s *Stream) firstCompProcess() int {
-	for _, o := range s.ops {
-		if o.Type != op.Invoke {
-			return o.Process
-		}
-	}
-	return 0
-}
-
-// Len returns the number of ops ingested (including invokes).
-func (s *Stream) Len() int { return len(s.ops) }
+// Len returns the number of ops ingested (including invokes and ops
+// already retired into segments).
+func (s *Stream) Len() int { return s.base + len(s.ops) }
 
 // Completions returns the number of completion ops ingested.
 func (s *Stream) Completions() int { return s.completions }
@@ -174,11 +187,41 @@ func (s *Stream) SpanOf(index int) [2]int {
 // have delivered in index order), without re-validating the stream.
 // The History aliases the stream's internal state: take it once, when
 // the stream is complete, and do not Add afterwards.
+//
+// If retirement has released any prefix (see SetBudget), History
+// rehydrates it: every segment is decoded back, the full op sequence is
+// re-validated through New, and the result is cached — an O(history)
+// operation in time and memory, paid once at finish rather than
+// throughout the stream's life. It panics if a spilled segment can no
+// longer be read (the spill file lives unlinked on local disk for
+// exactly the stream's lifetime, so this indicates hardware-level I/O
+// failure).
 func (s *Stream) History() *History {
-	h := &History{Ops: s.ops, compact: !s.hasInvoke, keys: s.keys}
-	if !h.compact {
-		h.completion = s.completion
-		h.invocation = s.invocation
+	if s.retired.ops == 0 {
+		h := &History{Ops: s.ops, compact: !s.hasInvoke, keys: s.keys}
+		if !h.compact {
+			h.completion = s.completion
+			h.invocation = s.invocation
+		}
+		return h
 	}
+	if s.hist != nil {
+		return s.hist
+	}
+	ops := make([]op.Op, 0, s.retired.ops+len(s.ops))
+	if err := s.Replay(func(o op.Op) error {
+		ops = append(ops, o)
+		return nil
+	}); err != nil {
+		panic(fmt.Sprintf("history: rehydrating retired segments: %v", err))
+	}
+	h, err := New(ops)
+	if err != nil {
+		// Every op was validated incrementally on the way in; a segment
+		// that decodes to something New rejects is a codec bug.
+		panic(fmt.Sprintf("history: rehydrated stream failed validation: %v", err))
+	}
+	s.hist = h
+	s.retired.closeSpill()
 	return h
 }

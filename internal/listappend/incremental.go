@@ -48,6 +48,11 @@ type session struct {
 	poisoned  bool                   // evidence was retracted; rebuild incr at next scan
 	sinceScan int
 	done      bool
+
+	// Memory-budget state (nil without a budget): quiescent-key tracking
+	// and the store for frozen graph segments. See retire.go.
+	rt     *workload.KeyTracker
+	frozen *workload.FrozenStore
 }
 
 // keyState is one key's maintained inference state.
@@ -60,7 +65,7 @@ type keyState struct {
 
 func beginSession(opts workload.Opts) workload.Session {
 	hs := history.NewStream()
-	return &session{
+	s := &session{
 		a:         newAnalyzer(opts, hs.Keys()),
 		hs:        hs,
 		readersOf: map[elemKey][]int{},
@@ -68,6 +73,13 @@ func beginSession(opts workload.Opts) workload.Session {
 		touched:   map[history.KeyID]bool{},
 		emitted:   map[string]bool{},
 	}
+	if opts.MemoryBudget > 0 {
+		hs.SetBudget(workload.StreamBudget(opts))
+		s.rt = workload.NewKeyTracker(opts.MemoryBudget)
+		s.frozen = workload.NewFrozenStore(opts.SpillDir)
+		s.a.windowed = true
+	}
+	return s
 }
 
 // keystAt reads the KeyID-indexed state slice, which grows on demand as
@@ -99,6 +111,12 @@ func (s *session) Feed(ops []op.Op) (workload.Delta, error) {
 	}
 	if s.sinceScan >= scanEvery {
 		s.scan(&d)
+		if s.rt != nil {
+			// Sweep after the scan: the dirty components the retiring ops
+			// participated in have been searched, so their witnesses are
+			// out before the state backing them goes.
+			s.sweep()
+		}
 	}
 	d.Ops = s.hs.Completions()
 	return d, nil
@@ -108,6 +126,7 @@ func (s *session) Feed(ops []op.Op) (workload.Delta, error) {
 func (s *session) ingest(o op.Op, d *workload.Delta) {
 	a := s.a
 	a.addOp(o, s.hs.SpanOf(o.Index))
+	s.note(o)
 
 	for _, m := range o.Mops {
 		if m.F != op.FAppend {
@@ -296,6 +315,20 @@ func (s *session) Finish() (workload.Analysis, error) {
 		// A chunk was rejected; finishing anyway would bless a history
 		// the batch validator refuses.
 		return workload.Analysis{}, err
+	}
+	if s.rt != nil {
+		// Budgeted sessions retired analyzer state along the way, so the
+		// maintained indices are windows, not the whole history. Rehydrate
+		// the stream (History decodes every retired segment) and run the
+		// batch analyzer over it — byte-identical to batch by
+		// construction, at the documented O(history) finish cost.
+		s.frozen.Close()
+		an := Analyze(s.hs.History(), s.a.opts)
+		return workload.Analysis{
+			Graph:     an.Graph,
+			Anomalies: an.Anomalies,
+			Explainer: &explain.Explainer{Ops: an.Ops, Keys: an.Keys, ListOrders: an.VersionOrders},
+		}, nil
 	}
 	a := s.a
 	a.h = s.hs.History()

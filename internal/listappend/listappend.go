@@ -97,6 +97,12 @@ type analyzer struct {
 	writer       map[elemKey]int
 	failedWriter map[elemKey]int
 	anomalies    []anomaly.Anomaly
+
+	// windowed marks a memory-budgeted streaming session: the oks /
+	// fails / infos slices are not accumulated (they would grow with the
+	// history, and the budgeted Finish re-analyzes the rehydrated
+	// history from scratch instead of reading them).
+	windowed bool
 }
 
 // newAnalyzer returns an analyzer with empty indices over the given
@@ -205,13 +211,15 @@ func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
 func (a *analyzer) addOp(o op.Op, span [2]int) {
 	a.ops[o.Index] = o
 	a.spanOf[o.Index] = span
-	switch o.Type {
-	case op.OK:
-		a.oks = append(a.oks, o)
-	case op.Fail:
-		a.fails = append(a.fails, o)
-	case op.Info:
-		a.infos = append(a.infos, o)
+	if !a.windowed {
+		switch o.Type {
+		case op.OK:
+			a.oks = append(a.oks, o)
+		case op.Fail:
+			a.fails = append(a.fails, o)
+		case op.Info:
+			a.infos = append(a.infos, o)
+		}
 	}
 	for _, m := range o.Mops {
 		if m.F != op.FAppend {

@@ -78,6 +78,12 @@ type Config struct {
 	// Stream checks the history through the incremental API in chunks
 	// instead of one batch call. The verdict must not change.
 	Stream bool
+	// MemoryBudget caps the stream session's resident completed ops; a
+	// tiny budget forces settled prefixes to retire mid-campaign. Like
+	// Parallelism it is checker mechanics, not campaign shape: verdicts
+	// are byte-identical at every setting, so it is deliberately absent
+	// from the Verdict. Ignored in batch mode.
+	MemoryBudget int
 }
 
 // streamChunk is the feed size Stream mode uses.
@@ -163,6 +169,7 @@ func Run(c Campaign, cfg Config) (*Verdict, error) {
 
 	opts := core.OptsFor(c.Workload, model)
 	opts.Parallelism = cfg.Parallelism
+	opts.MemoryBudget = cfg.MemoryBudget
 	opts.TimestampEdges = plan.Timestamps
 
 	var res *core.CheckResult

@@ -20,15 +20,20 @@ import (
 const harnessTxns = 600
 
 // modes is the full checking matrix every campaign must agree across.
+// The mem64 mode runs the stream under a 64-completion memory budget —
+// small enough that every campaign retires settled prefixes many times
+// mid-run — and must match the unbounded modes anyway.
 var modes = []struct {
 	name        string
 	stream      bool
 	parallelism int
+	memBudget   int
 }{
-	{"batch-p1", false, 1},
-	{"batch-p8", false, 8},
-	{"stream-p1", true, 1},
-	{"stream-p8", true, 8},
+	{"batch-p1", false, 1, 0},
+	{"batch-p8", false, 8, 0},
+	{"stream-p1", true, 1, 0},
+	{"stream-p8", true, 8, 0},
+	{"stream-p1-mem64", true, 1, 64},
 }
 
 // TestCampaignsWellFormed validates the campaign table itself: unique
@@ -91,7 +96,7 @@ func TestCampaignSoundness(t *testing.T) {
 				t.Run(fmt.Sprintf("%s/seed%d/%s", c.Name, seed, m.name), func(t *testing.T) {
 					v, err := nemesis.Run(c, nemesis.Config{
 						Seed: seed, Txns: harnessTxns,
-						Stream: m.stream, Parallelism: m.parallelism,
+						Stream: m.stream, Parallelism: m.parallelism, MemoryBudget: m.memBudget,
 					})
 					if err != nil {
 						t.Fatal(err)
@@ -117,7 +122,7 @@ func TestCampaignCompleteness(t *testing.T) {
 			t.Run(c.Name+"/"+m.name, func(t *testing.T) {
 				v, err := nemesis.Run(c, nemesis.Config{
 					Seed: 1, Txns: harnessTxns,
-					Stream: m.stream, Parallelism: m.parallelism,
+					Stream: m.stream, Parallelism: m.parallelism, MemoryBudget: m.memBudget,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -140,8 +145,9 @@ func TestCampaignCompleteness(t *testing.T) {
 }
 
 // TestVerdictDeterminism: the same campaign at the same seed produces a
-// byte-identical verdict JSON in every mode — stream vs batch and
-// parallelism may not change a single byte beyond the mode flag itself.
+// byte-identical verdict JSON in every mode — stream vs batch,
+// parallelism, and memory budget may not change a single byte beyond
+// the mode flag itself.
 func TestVerdictDeterminism(t *testing.T) {
 	for _, name := range []string{"clean-list-append", "g1a", "k-atomicity", "clock-skew"} {
 		c, ok := nemesis.Find(name)
@@ -149,9 +155,10 @@ func TestVerdictDeterminism(t *testing.T) {
 			t.Fatalf("campaign %q missing", name)
 		}
 		t.Run(name, func(t *testing.T) {
-			encode := func(stream bool, p int) []byte {
+			encode := func(stream bool, p, budget int) []byte {
 				v, err := nemesis.Run(c, nemesis.Config{
 					Seed: 1, Txns: harnessTxns, Stream: stream, Parallelism: p,
+					MemoryBudget: budget,
 				})
 				if err != nil {
 					t.Fatal(err)
@@ -163,15 +170,18 @@ func TestVerdictDeterminism(t *testing.T) {
 				}
 				return b
 			}
-			base := encode(false, 1)
-			if again := encode(false, 1); string(again) != string(base) {
+			base := encode(false, 1, 0)
+			if again := encode(false, 1, 0); string(again) != string(base) {
 				t.Fatalf("rerun differs:\n%s\n%s", base, again)
 			}
-			if p8 := encode(false, 8); string(p8) != string(base) {
+			if p8 := encode(false, 8, 0); string(p8) != string(base) {
 				t.Fatalf("parallelism changed the verdict:\n%s\n%s", base, p8)
 			}
-			if st := encode(true, 1); string(st) != string(base) {
+			if st := encode(true, 1, 0); string(st) != string(base) {
 				t.Fatalf("stream changed the verdict:\n%s\n%s", base, st)
+			}
+			if bd := encode(true, 1, 64); string(bd) != string(base) {
+				t.Fatalf("memory budget changed the verdict:\n%s\n%s", base, bd)
 			}
 		})
 	}

@@ -38,11 +38,15 @@ type session struct {
 	emitted   map[string]bool
 	sinceScan int
 	done      bool
+
+	// rt tracks key quiescence under a memory budget (nil without one);
+	// see retire.go.
+	rt *workload.KeyTracker
 }
 
 func beginSession(opts workload.Opts) workload.Session {
 	hs := history.NewStream()
-	return &session{
+	s := &session{
 		a:       newAnalyzer(opts, hs.Keys()),
 		hs:      hs,
 		keySet:  map[history.KeyID]bool{},
@@ -50,6 +54,12 @@ func beginSession(opts workload.Opts) workload.Session {
 		touched: map[history.KeyID]bool{},
 		emitted: map[string]bool{},
 	}
+	if opts.MemoryBudget > 0 {
+		hs.SetBudget(workload.StreamBudget(opts))
+		s.rt = workload.NewKeyTracker(opts.MemoryBudget)
+		s.a.windowed = true
+	}
+	return s
 }
 
 // Feed ingests one chunk, updating the maintained indices, and returns
@@ -71,6 +81,11 @@ func (s *session) Feed(ops []op.Op) (workload.Delta, error) {
 	}
 	if s.sinceScan >= scanEvery {
 		s.scan(&d)
+		if s.rt != nil {
+			// Sweep after the scan so retiring keys' last refresh has
+			// already surfaced their findings.
+			s.sweep()
+		}
 	}
 	d.Ops = s.hs.Completions()
 	return d, nil
@@ -79,6 +94,7 @@ func (s *session) Feed(ops []op.Op) (workload.Delta, error) {
 func (s *session) ingest(o op.Op, d *workload.Delta) {
 	a := s.a
 	a.addOp(o, s.hs.SpanOf(o.Index))
+	s.note(o)
 
 	for _, m := range o.Mops {
 		if m.F != op.FWrite {
@@ -177,6 +193,18 @@ func (s *session) Finish() (workload.Analysis, error) {
 		// A chunk was rejected; finishing anyway would bless a history
 		// the batch validator refuses.
 		return workload.Analysis{}, err
+	}
+	if s.rt != nil {
+		// Budgeted sessions retired per-key state along the way; the
+		// caches are windows, not the whole history. Rehydrate the stream
+		// and run the batch analyzer — byte-identical to batch by
+		// construction, at the documented O(history) finish cost.
+		an := Analyze(s.hs.History(), s.a.opts)
+		return workload.Analysis{
+			Graph:     an.Graph,
+			Anomalies: an.Anomalies,
+			Explainer: &explain.Explainer{Ops: an.Ops, Keys: an.Keys, RegOrders: an.VersionOrders},
+		}, nil
 	}
 	a := s.a
 	a.h = s.hs.History()

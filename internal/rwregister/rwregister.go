@@ -86,6 +86,11 @@ type analyzer struct {
 	writeCount   map[verKey]int
 	readers      map[verKey][]int // ok transactions that read (key, val)
 	anomalies    []anomaly.Anomaly
+
+	// windowed marks a memory-budgeted streaming session: oks is not
+	// accumulated (the budgeted Finish re-analyzes the rehydrated
+	// history instead of reading it).
+	windowed bool
 }
 
 // newAnalyzer returns an analyzer with empty indices over the given
@@ -207,7 +212,7 @@ func (a *analyzer) collect(groups [][]anomaly.Anomaly) {
 func (a *analyzer) addOp(o op.Op, span [2]int) {
 	a.ops[o.Index] = o
 	a.spanOf[o.Index] = span
-	if o.Type == op.OK {
+	if o.Type == op.OK && !a.windowed {
 		a.oks = append(a.oks, o)
 	}
 	for _, m := range o.Mops {

@@ -27,13 +27,24 @@
 //	GET    /v1/workloads         registered workload names
 //	GET    /healthz              liveness probe
 //
-// Three limits bound the service (Config): a cap on resident jobs
+// Four limits bound the service (Config): a cap on resident jobs
 // (creation beyond it is refused with 429 — backpressure, not
-// queueing), a per-chunk body cap (413), and an idle timeout after
-// which jobs nobody has touched are reaped. Chunks of one job must be
+// queueing), a per-chunk body cap (413), an idle timeout after which
+// jobs nobody has touched are reaped, and a finished-job TTL after
+// which done and failed jobs are reaped even if clients keep polling
+// them — finished jobs hold their histories and count against the job
+// cap, so without the TTL a harness that never DELETEs its jobs would
+// drive the service to permanent 429. Chunks of one job must be
 // uploaded sequentially, in history index order — the same restriction
 // core.Stream imposes on every caller; different jobs are fully
 // independent and may be driven concurrently.
+//
+// A job created with "memory_budget": N checks with bounded resident
+// memory: roughly the last N completions stay decoded, earlier settled
+// history retires to compact segments spilled to disk, and analyzer
+// caches for quiescent keys are released (see docs/STREAMING.md). The
+// status endpoint then reports resident/retired counters, and the final
+// report is still byte-identical to an unbudgeted check.
 package service
 
 import (
@@ -44,6 +55,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,7 +71,7 @@ import (
 )
 
 // Config bounds a Service. The zero value means: 8 resident jobs, 8 MiB
-// per chunk, 10 minute idle reaping.
+// per chunk, 10 minute idle reaping, 1 minute finished-job reaping.
 type Config struct {
 	// MaxJobs caps resident jobs — accepting and finished alike, since a
 	// finished job still holds its history until fetched and deleted (or
@@ -71,6 +83,19 @@ type Config struct {
 	// IdleTimeout reaps jobs that no request has touched for this long,
 	// so abandoned streams cannot hold their histories forever.
 	IdleTimeout time.Duration
+	// FinishedTTL reaps done and failed jobs this long after they
+	// finish, even when clients keep polling them. Finished jobs count
+	// against MaxJobs — their histories are still resident — so without
+	// this a harness that fetches reports but never DELETEs its jobs
+	// drives the service to permanent 429; with it, capacity recovers on
+	// its own. The report and error have already been delivered by the
+	// time a job enters a finished state, so reaping loses nothing a
+	// client has not had FinishedTTL to re-fetch.
+	FinishedTTL time.Duration
+	// SpillDir is the directory where jobs created with a memory budget
+	// spill retired history segments (as unlinked temporary files).
+	// Default: the OS temp dir.
+	SpillDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +107,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = 10 * time.Minute
+	}
+	if c.FinishedTTL <= 0 {
+		c.FinishedTTL = time.Minute
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
 	}
 	return c
 }
@@ -137,10 +168,14 @@ func (s *Service) Jobs() int {
 	return len(s.jobs)
 }
 
-// reap deletes jobs nobody has touched for IdleTimeout, checking a few
-// times per window.
+// reap deletes jobs nobody has touched for IdleTimeout and finished
+// jobs older than FinishedTTL, checking a few times per window.
 func (s *Service) reap() {
-	interval := s.cfg.IdleTimeout / 4
+	window := s.cfg.IdleTimeout
+	if s.cfg.FinishedTTL < window {
+		window = s.cfg.FinishedTTL
+	}
+	interval := window / 4
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
@@ -157,6 +192,10 @@ func (s *Service) reap() {
 			s.mu.Lock()
 			for id, j := range s.jobs {
 				if now.Sub(j.touched()) > s.cfg.IdleTimeout {
+					delete(s.jobs, id)
+					continue
+				}
+				if fin := j.finishedAt(); !fin.IsZero() && now.Sub(fin) > s.cfg.FinishedTTL {
 					delete(s.jobs, id)
 				}
 			}
@@ -183,6 +222,7 @@ type job struct {
 	info   workload.Info
 	opts   core.Opts
 	active atomic.Int64 // unix nanos of the last request that touched the job
+	fin    atomic.Int64 // unix nanos of entering a finished state; 0 while accepting
 
 	mu     sync.Mutex
 	stream *core.Stream
@@ -205,10 +245,21 @@ type job struct {
 func (j *job) touch()             { j.active.Store(time.Now().UnixNano()) }
 func (j *job) touched() time.Time { return time.Unix(0, j.active.Load()) }
 
+// finishedAt returns when the job entered a finished state (done or
+// failed), or the zero time while it is still accepting.
+func (j *job) finishedAt() time.Time {
+	n := j.fin.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
 // fail records a terminal error; the job accepts no further chunks.
 func (j *job) fail(err error) {
 	j.state = stateFailed
 	j.errMsg = err.Error()
+	j.fin.Store(time.Now().UnixNano())
 }
 
 // jobJSON is the wire shape of a job's status.
@@ -219,6 +270,9 @@ type jobJSON struct {
 	Model    string `json:"model"`
 	// Ops counts completion ops ingested so far.
 	Ops int `json:"ops"`
+	// Memory reports the bounded-memory session's resident/retired
+	// counters; present only for jobs created with memory_budget > 0.
+	Memory *memoryJSON `json:"memory,omitempty"`
 	// Anomalies are the provisional mid-stream findings surfaced so far
 	// (see workload.Delta for their contract); the report endpoint has
 	// the definitive set.
@@ -226,9 +280,32 @@ type jobJSON struct {
 	Error     string           `json:"error,omitempty"`
 }
 
+// memoryJSON is the wire shape of a budgeted job's memory counters.
+type memoryJSON struct {
+	// Budget is the configured window, in completions.
+	Budget int `json:"budget"`
+	// ResidentOps is the live-tail length: ops still held decoded.
+	ResidentOps int `json:"resident_ops"`
+	// RetiredOps counts ops released into encoded segments, Segments the
+	// segment count, RetiredBytes the encoded bytes held in memory, and
+	// SpilledBytes the encoded bytes written to the spill file.
+	RetiredOps   int   `json:"retired_ops"`
+	Segments     int   `json:"segments"`
+	RetiredBytes int   `json:"retired_bytes"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+	// RetiredKeys counts keys whose analyzer caches were released after
+	// a full window of quiescence; FrozenBytes the encoded size of the
+	// dependency-graph regions condensed along with them.
+	RetiredKeys int `json:"retired_keys"`
+	FrozenBytes int `json:"frozen_bytes,omitempty"`
+	// Degraded names any fallback taken (spill I/O failure, codec
+	// failure); retirement degrades rather than corrupting.
+	Degraded string `json:"degraded,omitempty"`
+}
+
 // statusLocked snapshots a job; callers hold j.mu.
 func (j *job) statusLocked() jobJSON {
-	return jobJSON{
+	st := jobJSON{
 		ID:        j.id,
 		State:     j.state,
 		Workload:  string(j.info.Name),
@@ -237,6 +314,22 @@ func (j *job) statusLocked() jobJSON {
 		Anomalies: append([]report.Anomaly(nil), j.anoms...),
 		Error:     j.errMsg,
 	}
+	if j.opts.MemoryBudget > 0 {
+		if rs, ok := j.stream.RetireStats(); ok {
+			st.Memory = &memoryJSON{
+				Budget:       j.opts.MemoryBudget,
+				ResidentOps:  rs.Stream.ResidentOps,
+				RetiredOps:   rs.Stream.RetiredOps,
+				Segments:     rs.Stream.Segments,
+				RetiredBytes: rs.Stream.RetiredBytes,
+				SpilledBytes: rs.Stream.SpilledBytes,
+				RetiredKeys:  rs.RetiredKeys,
+				FrozenBytes:  rs.FrozenBytes,
+				Degraded:     rs.Stream.Degraded,
+			}
+		}
+	}
+	return st
 }
 
 // deltaJSON is the wire shape of one chunk's outcome.
@@ -252,6 +345,12 @@ type createRequest struct {
 	Workload    string `json:"workload"`
 	Model       string `json:"model"`
 	Parallelism int    `json:"parallelism"`
+	// MemoryBudget > 0 bounds the job's resident memory to roughly the
+	// last MemoryBudget completions: settled history prefixes retire to
+	// encoded segments spilled under Config.SpillDir, and analyzer caches
+	// for quiescent keys are released. The final report is byte-identical
+	// to an unbudgeted job's. 0 (the default) keeps everything resident.
+	MemoryBudget int `json:"memory_budget"`
 }
 
 func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -279,8 +378,16 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.MemoryBudget < 0 {
+		writeErr(w, http.StatusBadRequest, "memory_budget must be >= 0")
+		return
+	}
 	opts := core.OptsFor(core.Workload(info.Name), model)
 	opts.Parallelism = req.Parallelism
+	if req.MemoryBudget > 0 {
+		opts.MemoryBudget = req.MemoryBudget
+		opts.SpillDir = s.cfg.SpillDir
+	}
 
 	s.mu.Lock()
 	if len(s.jobs) >= s.cfg.MaxJobs {
@@ -489,6 +596,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 		j.state = stateDone
 		j.result = res
+		j.fin.Store(time.Now().UnixNano())
 	}
 	w.Header().Set("X-Elle-Valid", fmt.Sprintf("%t", j.result.Valid))
 	if r.URL.Query().Get("format") == "json" {

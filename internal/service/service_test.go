@@ -241,6 +241,97 @@ func TestServiceJobLimit(t *testing.T) {
 	createJob(t, srv.Client(), srv.URL, `{}`)
 }
 
+// TestServiceFinishedReap is the regression test for finished jobs
+// pinning the job table: a done job holds its slot, so at MaxJobs: 1 a
+// harness that fetches its report but never DELETEs sees 429 on the
+// next create — until FinishedTTL reaps the finished job and creation
+// recovers without any client action.
+func TestServiceFinishedReap(t *testing.T) {
+	_, srv := newTestServer(t, Config{
+		MaxJobs:     1,
+		FinishedTTL: 60 * time.Millisecond,
+		IdleTimeout: time.Hour, // isolate the finished-TTL path
+	})
+	c := srv.Client()
+
+	id := createJob(t, c, srv.URL, `{"model":"read-committed"}`)
+	feedChunks(t, c, srv.URL, id, g1aHistory, 2)
+	if code, raw := do(t, c, "GET", srv.URL+"/v1/jobs/"+id+"/report", "", nil); code != http.StatusOK {
+		t.Fatalf("report: %d: %s", code, raw)
+	}
+
+	// The finished job still counts against MaxJobs: creation is refused.
+	if code, raw := do(t, c, "POST", srv.URL+"/v1/jobs", `{}`, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("create while finished job resident: status %d, want 429: %s", code, raw)
+	}
+
+	// Polling must not keep the finished job alive past its TTL.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		do(t, c, "GET", srv.URL+"/v1/jobs/"+id, "", nil)
+		if code, _ := do(t, c, "POST", srv.URL+"/v1/jobs", `{}`, nil); code == http.StatusCreated {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("creation never recovered after the finished job's TTL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServiceMemoryBudget: a job created with memory_budget retires
+// settled history while accepting, surfaces resident/retired counters
+// on the status endpoint, and still reports byte-identically to an
+// unbudgeted job over the same history.
+func TestServiceMemoryBudget(t *testing.T) {
+	_, srv := newTestServer(t, Config{SpillDir: t.TempDir()})
+	c := srv.Client()
+	jsonl := faultedHistory(t, "list-append", 33, 400)
+
+	plain := createJob(t, c, srv.URL, `{"model":"serializable","parallelism":1}`)
+	feedChunks(t, c, srv.URL, plain, jsonl, 50)
+	code, want := do(t, c, "GET", srv.URL+"/v1/jobs/"+plain+"/report", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("unbudgeted report: %d: %s", code, want)
+	}
+
+	id := createJob(t, c, srv.URL, `{"model":"serializable","parallelism":1,"memory_budget":64}`)
+	feedChunks(t, c, srv.URL, id, jsonl, 50)
+
+	var st jobJSON
+	if code, raw := do(t, c, "GET", srv.URL+"/v1/jobs/"+id, "", &st); code != http.StatusOK {
+		t.Fatalf("status: %d: %s", code, raw)
+	}
+	if st.Memory == nil {
+		t.Fatal("budgeted job's status has no memory counters")
+	}
+	if st.Memory.Budget != 64 || st.Memory.RetiredOps == 0 || st.Memory.SpilledBytes == 0 {
+		t.Fatalf("memory counters show no retirement: %+v", *st.Memory)
+	}
+	if st.Memory.Degraded != "" {
+		t.Fatalf("unexpected degradation: %s", st.Memory.Degraded)
+	}
+
+	code, got := do(t, c, "GET", srv.URL+"/v1/jobs/"+id+"/report", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("budgeted report: %d: %s", code, got)
+	}
+	if got != want {
+		t.Fatalf("budgeted report diverges from unbudgeted:\n--- unbudgeted ---\n%s\n--- budgeted ---\n%s", want, got)
+	}
+
+	// The unbudgeted job, by contrast, reports no memory counters.
+	var pst jobJSON
+	do(t, c, "GET", srv.URL+"/v1/jobs/"+plain, "", &pst)
+	if pst.Memory != nil {
+		t.Fatalf("unbudgeted job grew memory counters: %+v", *pst.Memory)
+	}
+
+	if code, raw := do(t, c, "POST", srv.URL+"/v1/jobs", `{"memory_budget":-1}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("negative memory_budget: status %d, want 400: %s", code, raw)
+	}
+}
+
 // TestServiceChunkLimit: an oversized chunk with a declared length is
 // refused with 413 and leaves the job intact.
 func TestServiceChunkLimit(t *testing.T) {

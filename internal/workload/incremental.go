@@ -81,7 +81,9 @@ func BeginSession(info Info, opts Opts) Session {
 	if info.Incremental != nil {
 		return info.Incremental.Begin(opts)
 	}
-	return &batchSession{analyzer: info.Analyzer, opts: opts, hs: history.NewStream()}
+	hs := history.NewStream()
+	hs.SetBudget(StreamBudget(opts))
+	return &batchSession{analyzer: info.Analyzer, opts: opts, hs: hs}
 }
 
 // ErrSessionFinished is returned by Feed after Finish.
@@ -90,6 +92,16 @@ var ErrSessionFinished = errors.New("workload: session already finished")
 // batchSession is the generic fallback: it validates and buffers the
 // stream, then runs the batch analyzer once at Finish. No mid-stream
 // anomalies are surfaced — every Delta is empty but for the op count.
+//
+// Memory budgets apply only partially here — the documented "cannot
+// retire" escape hatch. The adapter keeps no analyzer state to retire;
+// what a budget bounds is the op buffer itself: settled prefixes are
+// encoded into compact segments (a few bytes per op) and optionally
+// spilled to disk, so feed-phase memory is O(window) with a spill dir
+// and O(encoded history) without. Finish then rehydrates the whole
+// history and pays the batch analyzer's full O(history) cost — the
+// adapter has no way to analyze incrementally. Workloads that need a
+// genuinely bounded finish must register a native Incremental.
 type batchSession struct {
 	analyzer Analyzer
 	opts     Opts
@@ -121,3 +133,9 @@ func (s *batchSession) Finish() (Analysis, error) {
 }
 
 func (s *batchSession) History() *history.History { return s.hs.History() }
+
+// RetireStats implements Retirer: only the op stream retires here (see
+// the type comment's escape hatch).
+func (s *batchSession) RetireStats() RetireStats {
+	return RetireStats{Stream: s.hs.RetireStats()}
+}

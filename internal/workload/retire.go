@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"repro/internal/binhist"
+	"repro/internal/graph"
+	"repro/internal/history"
+)
+
+// RetireStats reports how much of a budgeted streaming session has been
+// retired: the history stream's own counters plus whatever analyzer
+// state the session released (key caches, frozen graph segments).
+type RetireStats struct {
+	// Stream is the underlying op stream's retirement counters.
+	Stream history.RetireStats
+	// RetiredKeys counts keys whose per-key analyzer state (version
+	// orders, clean-read caches) has been released. A key seen again
+	// after retirement is treated as brand new and counted again.
+	RetiredKeys int
+	// FrozenSegments / FrozenNodes / FrozenEdges describe the settled
+	// graph regions condensed into immutable CSR segments.
+	FrozenSegments int
+	FrozenNodes    int
+	FrozenEdges    int
+	// FrozenBytes is the encoded frozen-segment bytes held in memory;
+	// FrozenSpilledBytes the encoded bytes written to the spill file.
+	FrozenBytes        int
+	FrozenSpilledBytes int64
+}
+
+// Retirer is the optional Session extension a budget-aware session
+// implements so callers (core.Stream, the service's status endpoint)
+// can report resident/retired progress without knowing the workload.
+type Retirer interface {
+	RetireStats() RetireStats
+}
+
+// StreamBudget translates Opts memory settings into a history.Budget
+// over the production ellebin segment codec. A zero MemoryBudget yields
+// the zero Budget, which disables retirement.
+func StreamBudget(opts Opts) history.Budget {
+	if opts.MemoryBudget <= 0 {
+		return history.Budget{}
+	}
+	return history.Budget{
+		Window:   opts.MemoryBudget,
+		Codec:    binhist.Segments{},
+		SpillDir: opts.SpillDir,
+	}
+}
+
+// KeyTracker is the quiescence bookkeeping shared by the native
+// budget-aware sessions: it timestamps every key's last touch in
+// completion counts, refcounts which ops each live key pins, and sweeps
+// out keys untouched for a full window. The session applies the sweep
+// result to its own per-key caches and op indices; the tracker itself
+// holds only ints. A retired key seen again is simply re-tracked from
+// zero — sessions treat resurrected keys as brand new, which is sound
+// for provisional findings (Finish re-analyzes the full history).
+type KeyTracker struct {
+	window    int
+	comps     int
+	lastSweep int
+	lastTouch []int   // per KeyID: comps at last touch; 0 = unseen or retired
+	opsOfKey  [][]int // per KeyID: op indices pinned by this key
+	refs      map[int]int
+	retired   int
+}
+
+// NewKeyTracker tracks quiescence over the given completion window.
+func NewKeyTracker(window int) *KeyTracker {
+	return &KeyTracker{window: window, refs: map[int]int{}}
+}
+
+// NoteOp records one completion op touching the given keys (duplicates
+// tolerated; the op is pinned once per distinct key).
+func (t *KeyTracker) NoteOp(index int, keys []history.KeyID) {
+	t.comps++
+	for i, k := range keys {
+		dup := false
+		for _, p := range keys[:i] {
+			if p == k {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		t.lastTouch = history.GrowKeyed(t.lastTouch, k)
+		t.opsOfKey = history.GrowKeyed(t.opsOfKey, k)
+		t.lastTouch[k] = t.comps
+		t.opsOfKey[k] = append(t.opsOfKey[k], index)
+		t.refs[index]++
+	}
+}
+
+// LiveOp reports whether any live key still pins op index — the keep
+// predicate for graph retirement.
+func (t *KeyTracker) LiveOp(index int) bool { return t.refs[index] > 0 }
+
+// Sweep retires every key untouched for a full window, returning the
+// retired keys and the ops no longer pinned by any live key (both nil
+// when a window hasn't elapsed since the last sweep). The caller drops
+// its own state for exactly those keys and ops.
+func (t *KeyTracker) Sweep() (dead []history.KeyID, deadOps []int) {
+	if t.comps-t.lastSweep < t.window {
+		return nil, nil
+	}
+	t.lastSweep = t.comps
+	horizon := t.comps - t.window
+	for k, touch := range t.lastTouch {
+		if touch == 0 || touch > horizon {
+			continue
+		}
+		dead = append(dead, history.KeyID(k))
+		t.lastTouch[k] = 0
+		for _, i := range t.opsOfKey[k] {
+			if t.refs[i]--; t.refs[i] == 0 {
+				delete(t.refs, i)
+				deadOps = append(deadOps, i)
+			}
+		}
+		t.opsOfKey[k] = nil
+	}
+	t.retired += len(dead)
+	return dead, deadOps
+}
+
+// RetiredKeys returns the total keys retired over the tracker's life.
+func (t *KeyTracker) RetiredKeys() int { return t.retired }
+
+// frozenSeg is one encoded graph.Frozen, in memory or spilled.
+type frozenSeg struct {
+	data    []byte
+	ref     history.SpillRef
+	spilled bool
+}
+
+// FrozenStore accumulates encoded frozen-graph segments, reusing the
+// history spill machinery when a spill directory is configured. Like
+// stream retirement it degrades rather than fails: spill trouble keeps
+// segments in memory.
+type FrozenStore struct {
+	spillDir string
+	segs     []frozenSeg
+	spill    *history.Spill
+	nodes    int
+	edges    int
+	bytes    int
+}
+
+// NewFrozenStore returns a store spilling to dir ("" keeps segments in
+// memory).
+func NewFrozenStore(dir string) *FrozenStore {
+	return &FrozenStore{spillDir: dir}
+}
+
+// Add encodes and stores one frozen region.
+func (f *FrozenStore) Add(fz *graph.Frozen) {
+	f.nodes += fz.NumNodes()
+	f.edges += fz.NumEdges()
+	data := fz.Encode(nil)
+	seg := frozenSeg{}
+	if f.spillDir != "" {
+		if f.spill == nil {
+			sp, err := history.NewSpill(f.spillDir)
+			if err != nil {
+				f.spillDir = ""
+			} else {
+				f.spill = sp
+			}
+		}
+		if f.spill != nil {
+			if ref, err := f.spill.Append(data); err == nil {
+				seg.ref, seg.spilled = ref, true
+			} else {
+				f.spillDir = ""
+			}
+		}
+	}
+	if !seg.spilled {
+		seg.data = data
+		f.bytes += len(data)
+	}
+	f.segs = append(f.segs, seg)
+}
+
+// Segments iterates the stored regions, decoding each in turn.
+func (f *FrozenStore) Segments(fn func(*graph.Frozen) error) error {
+	var buf []byte
+	for _, seg := range f.segs {
+		data := seg.data
+		if seg.spilled {
+			var err error
+			buf, err = f.spill.Read(seg.ref, buf[:0])
+			if err != nil {
+				return err
+			}
+			data = buf
+		}
+		fz, err := graph.DecodeFrozen(data)
+		if err != nil {
+			return err
+		}
+		if err := fn(fz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close releases the spill file, if any.
+func (f *FrozenStore) Close() {
+	if f.spill != nil {
+		f.spill.Close()
+		f.spill = nil
+	}
+}
+
+// AddTo folds the store's counters into st.
+func (f *FrozenStore) AddTo(st *RetireStats) {
+	st.FrozenSegments += len(f.segs)
+	st.FrozenNodes += f.nodes
+	st.FrozenEdges += f.edges
+	st.FrozenBytes += f.bytes
+	if f.spill != nil {
+		st.FrozenSpilledBytes += f.spill.Size()
+	}
+}

@@ -87,6 +87,21 @@ type Opts struct {
 	// bank history. 0 means infer it from the history's opening
 	// deposit (the first committed all-write transaction).
 	BankTotal int
+
+	// MemoryBudget, when > 0, bounds a streaming session's resident
+	// memory: roughly the last MemoryBudget completions stay fully
+	// resident, while settled prefixes — closed spans behind the window,
+	// quiescent keys' caches, frozen graph regions — are retired into
+	// compact encoded segments. Finish still returns an Analysis
+	// byte-identical to the batch analyzer (it rehydrates the retired
+	// segments), so the budget trades finish-time work for feed-phase
+	// memory. Batch analyzers ignore it.
+	MemoryBudget int
+	// SpillDir, when non-empty and MemoryBudget > 0, spills retired
+	// segments to an unlinked temporary file in that directory instead
+	// of holding their encoded bytes in memory. Empty keeps segments in
+	// memory.
+	SpillDir string
 }
 
 // DefaultOpts enables every inference rule, matching the paper's most
