@@ -1,0 +1,296 @@
+// Command ellectl is the command-line client for elled, built on the
+// elleclient package: the curl choreography from docs/SERVICE.md as one
+// binary. It speaks the v1 API — typed error envelopes, Retry-After
+// backoff, and the crash-resume protocol — so shell harnesses get the
+// same semantics Go callers do.
+//
+// Usage:
+//
+//	ellectl [-addr URL] create [-workload W] [-model M] [-parallelism N] [-memory-budget N]
+//	ellectl [-addr URL] feed -job ID [-lines N] [-bytes N] [-binary] [-resume] [FILE]
+//	ellectl [-addr URL] status -job ID
+//	ellectl [-addr URL] report -job ID [-json]
+//	ellectl [-addr URL] cancel -job ID
+//	ellectl [-addr URL] list [-state S] [-limit N]
+//
+// create prints the new job id on stdout. feed reads a history from
+// FILE (or stdin), splits it into chunks — -lines N JSON lines per
+// chunk, or -bytes N bytes per chunk with -binary — and uploads them
+// in order; with -resume it first asks the job how many chunks it
+// already holds (the journal replay count after an elled restart) and
+// re-sends only the difference, so the same invocation works before
+// and after a crash as long as the chunking flags match. report prints
+// the final report on stdout, byte-identical to `elle` over the same
+// history; -json prints the structured result instead. list follows
+// the pagination cursor and prints one `id state` line per job.
+//
+// Exit status: 0 on success, 1 on a service or transport error, 2 on
+// usage errors. Typed service errors print as `ellectl: <message>
+// (<code>)` on stderr.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/elleclient"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage: ellectl [-addr URL] <command> [flags]
+
+commands:
+  create   create a job, print its id
+  feed     upload a history to a job in chunks
+  status   print a job's status JSON
+  report   print a job's final report
+  cancel   delete a job and its journal
+  list     list jobs, one "id state" line each`)
+	return 2
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	global := flag.NewFlagSet("ellectl", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	addr := global.String("addr", "http://127.0.0.1:8866", "elled base URL")
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	if global.NArg() == 0 {
+		return usage(stderr)
+	}
+	c := elleclient.New(*addr)
+	cmd, rest := global.Arg(0), global.Args()[1:]
+	ctx := context.Background()
+
+	var err error
+	switch cmd {
+	case "create":
+		err = runCreate(ctx, c, rest, stdout, stderr)
+	case "feed":
+		err = runFeed(ctx, c, rest, stdin, stdout, stderr)
+	case "status":
+		err = runStatus(ctx, c, rest, stdout, stderr)
+	case "report":
+		err = runReport(ctx, c, rest, stdout, stderr)
+	case "cancel":
+		err = runCancel(ctx, c, rest, stderr)
+	case "list":
+		err = runList(ctx, c, rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "ellectl: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+	if err != nil {
+		var bad badUsage
+		if errors.As(err, &bad) {
+			fmt.Fprintf(stderr, "ellectl: %v\n", err)
+			return 2
+		}
+		var api *elleclient.APIError
+		if errors.As(err, &api) && api.Code != "" {
+			fmt.Fprintf(stderr, "ellectl: %s (%s)\n", api.Message, api.Code)
+		} else {
+			fmt.Fprintf(stderr, "ellectl: %v\n", err)
+		}
+		return 1
+	}
+	return 0
+}
+
+// badUsage marks flag/argument mistakes so run can exit 2, not 1.
+type badUsage struct{ error }
+
+func runCreate(ctx context.Context, c *elleclient.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl create", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "", "workload analyzer (default list-append)")
+	model := fs.String("model", "", "consistency model to check (default strict-serializable)")
+	par := fs.Int("parallelism", 0, "decode/check workers (default: one per CPU)")
+	budget := fs.Int("memory-budget", 0, "bound resident memory to roughly N completions")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("create takes flags only")}
+	}
+	job, err := c.Create(ctx, elleclient.CreateRequest{
+		Workload: *workload, Model: *model,
+		Parallelism: *par, MemoryBudget: *budget,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, job.ID)
+	return nil
+}
+
+func runFeed(ctx context.Context, c *elleclient.Client, args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl feed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	job := fs.String("job", "", "job id (required)")
+	lines := fs.Int("lines", 1000, "JSON lines per chunk")
+	byteN := fs.Int("bytes", 1<<20, "bytes per chunk (binary mode)")
+	binary := fs.Bool("binary", false, "input is ellebin, not JSON lines")
+	resume := fs.Bool("resume", false,
+		"skip chunks the job already journaled; chunking flags must match the original upload")
+	if err := fs.Parse(args); err != nil {
+		return badUsage{err}
+	}
+	if *job == "" {
+		return badUsage{fmt.Errorf("feed requires -job ID")}
+	}
+	in := stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return badUsage{fmt.Errorf("feed takes at most one input file")}
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+
+	var chunks [][]byte
+	if *binary {
+		if *byteN < 1 {
+			return badUsage{fmt.Errorf("-bytes must be positive")}
+		}
+		for off := 0; off < len(raw); off += *byteN {
+			chunks = append(chunks, raw[off:min(off+*byteN, len(raw))])
+		}
+	} else {
+		if *lines < 1 {
+			return badUsage{fmt.Errorf("-lines must be positive")}
+		}
+		all := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+		for off := 0; off < len(all); off += *lines {
+			chunk := strings.Join(all[off:min(off+*lines, len(all))], "")
+			chunks = append(chunks, []byte(chunk))
+		}
+	}
+	if len(raw) == 0 {
+		chunks = nil
+	}
+
+	if *resume {
+		sent, err := c.Resume(ctx, *job, chunks, *binary)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "resumed: sent %d of %d chunks\n", sent, len(chunks))
+		return nil
+	}
+	var ops int
+	for _, chunk := range chunks {
+		var d *elleclient.Delta
+		var err error
+		if *binary {
+			d, err = c.FeedBinary(ctx, *job, chunk)
+		} else {
+			d, err = c.Feed(ctx, *job, chunk)
+		}
+		if err != nil {
+			return err
+		}
+		ops = d.Ops
+	}
+	fmt.Fprintf(stdout, "fed %d chunks, %d ops\n", len(chunks), ops)
+	return nil
+}
+
+func runStatus(ctx context.Context, c *elleclient.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	job := fs.String("job", "", "job id (required)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("status takes -job ID")}
+	}
+	if *job == "" {
+		return badUsage{fmt.Errorf("status requires -job ID")}
+	}
+	raw, err := c.StatusJSON(ctx, *job)
+	if err != nil {
+		return err
+	}
+	stdout.Write(append(bytes.TrimRight(raw, "\n"), '\n'))
+	return nil
+}
+
+func runReport(ctx context.Context, c *elleclient.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	job := fs.String("job", "", "job id (required)")
+	asJSON := fs.Bool("json", false, "print the structured result instead of prose")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("report takes -job ID [-json]")}
+	}
+	if *job == "" {
+		return badUsage{fmt.Errorf("report requires -job ID")}
+	}
+	if *asJSON {
+		raw, err := c.ReportJSON(ctx, *job)
+		if err != nil {
+			return err
+		}
+		stdout.Write(append(bytes.TrimRight(raw, "\n"), '\n'))
+		return nil
+	}
+	rep, err := c.Report(ctx, *job)
+	if err != nil {
+		return err
+	}
+	stdout.Write(rep.Text)
+	return nil
+}
+
+func runCancel(ctx context.Context, c *elleclient.Client, args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl cancel", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	job := fs.String("job", "", "job id (required)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("cancel takes -job ID")}
+	}
+	if *job == "" {
+		return badUsage{fmt.Errorf("cancel requires -job ID")}
+	}
+	return c.Cancel(ctx, *job)
+}
+
+func runList(ctx context.Context, c *elleclient.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	state := fs.String("state", "", "filter by state: accepting, done, failed")
+	limit := fs.Int("limit", 0, "page size (the cursor is followed either way)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("list takes flags only")}
+	}
+	next := ""
+	for {
+		jobs, cursor, err := c.List(ctx, elleclient.ListOpts{State: *state, Limit: *limit, Next: next})
+		if err != nil {
+			return err
+		}
+		for _, j := range jobs {
+			fmt.Fprintf(stdout, "%s %s\n", j.ID, j.State)
+		}
+		if cursor == "" {
+			return nil
+		}
+		next = cursor
+	}
+}

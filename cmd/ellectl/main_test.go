@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+// history generates a faulted list-append history and returns its
+// JSON-lines encoding plus the batch report `elle` would print for it.
+func history(t *testing.T, seed int64, txns int) (jsonl, batch string) {
+	t.Helper()
+	h := memdb.Run(memdb.RunConfig{
+		Clients: 8, Txns: txns, Isolation: memdb.SnapshotIsolation, Seed: seed,
+		Source:   gen.New(gen.Config{Workload: gen.ListAppend, ActiveKeys: 4, MaxWritesPerKey: 30}, seed),
+		Workload: memdb.WorkloadList,
+		Faults:   memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1},
+	})
+	var buf bytes.Buffer
+	if err := jsonhist.Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	report.Prose(&rep, core.Check(h, core.OptsFor(core.ListAppend, "serializable")), report.ProseOpts{})
+	return buf.String(), rep.String()
+}
+
+// ellectl runs one CLI invocation against the test server and returns
+// its stdout; any non-zero exit fails the test unless wantCode is set.
+func ellectl(t *testing.T, addr string, stdin string, wantCode int, args ...string) string {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(append([]string{"-addr", addr}, args...), strings.NewReader(stdin), &out, &errb)
+	if code != wantCode {
+		t.Fatalf("ellectl %v: exit %d (want %d)\nstderr: %s", args, code, wantCode, errb.String())
+	}
+	return out.String()
+}
+
+func TestCLILifecycle(t *testing.T) {
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	jsonl, batch := history(t, 11, 150)
+	id := strings.TrimSpace(ellectl(t, srv.URL, "", 0,
+		"create", "-model", "serializable", "-parallelism", "1"))
+	if id == "" {
+		t.Fatal("create printed no id")
+	}
+
+	fed := ellectl(t, srv.URL, jsonl, 0, "feed", "-job", id, "-lines", "40")
+	if !strings.Contains(fed, "chunks") {
+		t.Fatalf("feed output: %q", fed)
+	}
+	status := ellectl(t, srv.URL, "", 0, "status", "-job", id)
+	if !strings.Contains(status, `"state": "accepting"`) {
+		t.Fatalf("status: %s", status)
+	}
+	got := ellectl(t, srv.URL, "", 0, "report", "-job", id)
+	if got != batch {
+		t.Fatalf("CLI report diverges from batch:\n--- cli ---\n%s\n--- batch ---\n%s", got, batch)
+	}
+	listing := ellectl(t, srv.URL, "", 0, "list", "-state", "done")
+	if !strings.Contains(listing, id+" done") {
+		t.Fatalf("list: %q", listing)
+	}
+	ellectl(t, srv.URL, "", 0, "cancel", "-job", id)
+	if out := ellectl(t, srv.URL, "", 1, "status", "-job", id); out != "" {
+		t.Fatalf("status after cancel wrote stdout: %q", out)
+	}
+}
+
+// TestCLIResume drives the crash-resume protocol end to end through
+// the CLI: feed part of a history, kill the service, restart it on the
+// same journal dir, then re-run the same feed with -resume and check
+// the report matches batch.
+func TestCLIResume(t *testing.T) {
+	dir := t.TempDir()
+	cfg := service.Config{WALDir: dir}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+
+	jsonl, batch := history(t, 12, 150)
+	lines := strings.SplitAfter(strings.TrimSuffix(jsonl, "\n"), "\n")
+	half := strings.Join(lines[:len(lines)/2], "")
+
+	id := strings.TrimSpace(ellectl(t, srv.URL, "", 0,
+		"create", "-model", "serializable", "-parallelism", "1"))
+	ellectl(t, srv.URL, half, 0, "feed", "-job", id, "-lines", "25")
+
+	// Crash: drop the server and tear the journal's trailing record, as
+	// a kill -9 mid-append would.
+	srv.Close()
+	svc.Close()
+	walPath := filepath.Join(dir, id+".wal")
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	srv2 := httptest.NewServer(svc2)
+	defer srv2.Close()
+
+	status := ellectl(t, srv2.URL, "", 0, "status", "-job", id)
+	if !strings.Contains(status, `"resumed": true`) {
+		t.Fatalf("restarted job not resumed: %s", status)
+	}
+	// Same chunking flags, full input, -resume: only the tail is sent.
+	resumed := ellectl(t, srv2.URL, jsonl, 0, "feed", "-job", id, "-lines", "25", "-resume")
+	if !strings.Contains(resumed, "resumed: sent") {
+		t.Fatalf("resume output: %q", resumed)
+	}
+	got := ellectl(t, srv2.URL, "", 0, "report", "-job", id)
+	if got != batch {
+		t.Fatalf("resumed report diverges from batch:\n--- cli ---\n%s\n--- batch ---\n%s", got, batch)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	svc, err := service.New(service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	ellectl(t, srv.URL, "", 2)                                 // no command
+	ellectl(t, srv.URL, "", 2, "bogus")                        // unknown command
+	ellectl(t, srv.URL, "", 2, "feed")                         // missing -job
+	ellectl(t, srv.URL, "", 2, "feed", "-job", "j1", "a", "b") // two files
+	ellectl(t, srv.URL, "", 1, "report", "-job", "j999")       // typed 404
+}

@@ -28,6 +28,16 @@
 //	                       poll but never delete them (default 1m)
 //	-mem-spill DIR         spill directory for jobs created with a
 //	                       memory_budget (default: OS temp dir)
+//	-wal-dir DIR           journal every job to DIR/<id>.wal and replay
+//	                       surviving journals on startup, so a killed
+//	                       elled resumes its in-flight streams (default:
+//	                       no journaling)
+//	-wal-sync MODE         WAL fsync policy: always, interval, or none
+//	                       (default always — acked chunks survive any
+//	                       crash)
+//	-shards N              inference shard count: the bound on chunks
+//	                       decoding/feeding concurrently; any value gives
+//	                       byte-identical reports (default: one per CPU)
 //
 // See docs/SERVICE.md for the endpoint reference and limit semantics.
 // elled shuts down gracefully on SIGINT/SIGTERM: in-flight requests
@@ -68,6 +78,10 @@ func run(args []string, stderr io.Writer, started chan<- string) int {
 		"reap done/failed jobs this long after they finish, freeing their slot")
 	memSpill := fs.String("mem-spill", "",
 		"spill directory for jobs created with a memory_budget (default: OS temp dir)")
+	walDir := fs.String("wal-dir", "",
+		"journal jobs to this directory and replay them on startup (default: no journaling)")
+	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+	shards := fs.Int("shards", 0, "inference shard count (default: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,14 +91,27 @@ func run(args []string, stderr io.Writer, started chan<- string) int {
 		return 2
 	}
 
-	svc := service.New(service.Config{
+	svc, err := service.New(service.Config{
 		MaxJobs:       *maxJobs,
 		MaxChunkBytes: *maxChunk,
 		IdleTimeout:   *jobIdle,
 		FinishedTTL:   *finishedTTL,
 		SpillDir:      *memSpill,
+		Shards:        *shards,
+		WALDir:        *walDir,
+		WALSync:       *walSync,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "elled: %v\n", err)
+		return 2
+	}
 	defer svc.Close()
+	for _, p := range svc.SkippedWALs() {
+		fmt.Fprintf(stderr, "elled: skipping unreadable journal %s\n", p)
+	}
+	if n := svc.Jobs(); n > 0 && *walDir != "" {
+		fmt.Fprintf(stderr, "elled: resumed %d job(s) from %s\n", n, *walDir)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

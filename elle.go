@@ -195,15 +195,40 @@ type (
 	// See docs/SERVICE.md for the endpoint reference.
 	Service = service.Service
 	// ServiceConfig bounds a Service: resident jobs, per-chunk body
-	// bytes, and the idle window after which untouched jobs are reaped.
+	// bytes, the idle window after which untouched jobs are reaped, the
+	// inference shard count, and the WAL directory and fsync policy.
 	ServiceConfig = service.Config
+	// ServiceError is the machine-readable error envelope every non-2xx
+	// service response carries: {"error":{"code","message","retry_after_s"}}.
+	ServiceError = service.ErrorEnvelope
 )
 
-// NewService builds the HTTP checking service under cfg and starts its
-// idle reaper; mount it on any http.Server and Close it when done. The
-// zero ServiceConfig means 8 resident jobs, 8 MiB chunks, 10 minute
-// idle reaping.
-func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+// The service's stable error codes — the envelope's "code" field. See
+// docs/SERVICE.md for the full table.
+const (
+	ServiceCodeBadRequest          = service.CodeBadRequest
+	ServiceCodeUnknownWorkload     = service.CodeUnknownWorkload
+	ServiceCodeUnknownModel        = service.CodeUnknownModel
+	ServiceCodeInvalidMemoryBudget = service.CodeInvalidMemoryBudget
+	ServiceCodeAtCapacity          = service.CodeAtCapacity
+	ServiceCodeShardBusy           = service.CodeShardBusy
+	ServiceCodeChunkTooLarge       = service.CodeChunkTooLarge
+	ServiceCodeJobNotFound         = service.CodeJobNotFound
+	ServiceCodeJobDone             = service.CodeJobDone
+	ServiceCodeJobFailed           = service.CodeJobFailed
+	ServiceCodeFormatMismatch      = service.CodeFormatMismatch
+	ServiceCodeChunkRejected       = service.CodeChunkRejected
+	ServiceCodeBadCursor           = service.CodeBadCursor
+	ServiceCodeWALWrite            = service.CodeWALWrite
+)
+
+// NewService builds the HTTP checking service under cfg, replays any
+// WAL journals in cfg.WALDir, and starts its idle reaper and inference
+// shards; mount it on any http.Server and Close it when done. The zero
+// ServiceConfig means 8 resident jobs, 8 MiB chunks, 10 minute idle
+// reaping, one shard per CPU, and no WAL. It errors only on an unusable
+// WAL configuration.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
 
 // Workload generation and the in-memory engine.
 type (

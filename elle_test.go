@@ -148,7 +148,10 @@ func ExampleCheckStream() {
 // cmd/elled serves it: create a job, feed the history in chunks, fetch
 // the final report.
 func ExampleNewService() {
-	svc := elle.NewService(elle.ServiceConfig{})
+	svc, err := elle.NewService(elle.ServiceConfig{})
+	if err != nil {
+		panic(err)
+	}
 	defer svc.Close()
 	srv := httptest.NewServer(svc)
 	defer srv.Close()

@@ -1,0 +1,379 @@
+package elleclient_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/elleclient"
+	"repro/internal/binhist"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/history"
+	"repro/internal/jsonhist"
+	"repro/internal/memdb"
+	"repro/internal/report"
+	"repro/internal/service"
+)
+
+// mkHistory generates a faulted list-append history and returns its
+// JSON-lines encoding, its decoded ops, and the batch prose report —
+// the byte-identity reference for every service report in this file.
+func mkHistory(t *testing.T, seed int64, txns int) (jsonl string, h *history.History, batch string) {
+	t.Helper()
+	cfg := memdb.RunConfig{
+		Clients: 10, Txns: txns, Isolation: memdb.SnapshotIsolation, Seed: seed,
+		Source:   gen.New(gen.Config{Workload: gen.ListAppend, ActiveKeys: 5, MaxWritesPerKey: 40}, seed),
+		Workload: memdb.WorkloadList,
+		Faults:   memdb.Faults{RetryStompProb: 0.5, RetryRebaseProb: 1},
+	}
+	h = memdb.Run(cfg)
+	var buf bytes.Buffer
+	if err := jsonhist.Encode(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	var rep bytes.Buffer
+	report.Prose(&rep, core.Check(h, core.OptsFor(core.ListAppend, "serializable")), report.ProseOpts{})
+	return buf.String(), h, rep.String()
+}
+
+// lineChunks splits a JSON-lines history into chunks of n lines.
+func lineChunks(jsonl string, n int) [][]byte {
+	lines := strings.SplitAfter(strings.TrimSuffix(jsonl, "\n"), "\n")
+	var chunks [][]byte
+	for i := 0; i < len(lines); i += n {
+		end := min(i+n, len(lines))
+		chunks = append(chunks, []byte(strings.Join(lines[i:end], "")))
+	}
+	return chunks
+}
+
+// byteChunks splits a byte stream into n-byte chunks, deliberately
+// ignoring record boundaries.
+func byteChunks(raw []byte, n int) [][]byte {
+	var chunks [][]byte
+	for i := 0; i < len(raw); i += n {
+		chunks = append(chunks, raw[i:min(i+n, len(raw))])
+	}
+	return chunks
+}
+
+func newServer(t *testing.T, cfg service.Config) (*httptest.Server, *elleclient.Client) {
+	t.Helper()
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc)
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return srv, elleclient.New(srv.URL)
+}
+
+// TestClientLifecycle drives one job end to end through the typed
+// client — create, chunked feed, status, report, list, cancel — and
+// asserts the report is byte-identical to batch.
+func TestClientLifecycle(t *testing.T) {
+	ctx := context.Background()
+	jsonl, _, batch := mkHistory(t, 41, 150)
+	_, c := newServer(t, service.Config{})
+
+	job, err := c.Create(ctx, elleclient.CreateRequest{
+		Workload: "list-append", Model: "serializable", Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != "accepting" || job.CreatedAt.IsZero() {
+		t.Fatalf("created job: %+v", job)
+	}
+
+	chunks := lineChunks(jsonl, 40)
+	for i, chunk := range chunks {
+		d, err := c.Feed(ctx, job.ID, chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", i, err)
+		}
+		if d.Chunks != i+1 {
+			t.Fatalf("chunk %d: server counts %d accepted", i, d.Chunks)
+		}
+	}
+
+	st, err := c.Status(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != len(chunks) || st.Ops == 0 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	rep, err := c.Report(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Text) != batch {
+		t.Fatalf("report diverges from batch:\n--- batch ---\n%s\n--- client ---\n%s", batch, rep.Text)
+	}
+	if rep.Valid {
+		t.Fatal("faulted history reported valid")
+	}
+
+	jobs, _, err := c.List(ctx, elleclient.ListOpts{State: "done"})
+	if err != nil || len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("list done: %v, %v", jobs, err)
+	}
+
+	if err := c.Cancel(ctx, job.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Status(ctx, job.ID); !elleclient.IsCode(err, "job_not_found") {
+		t.Fatalf("status after cancel: %v", err)
+	}
+}
+
+// TestClientBinaryFeed uploads the same history as ellebin, split at
+// arbitrary byte offsets, and expects the identical report.
+func TestClientBinaryFeed(t *testing.T) {
+	ctx := context.Background()
+	_, h, batch := mkHistory(t, 42, 150)
+	_, c := newServer(t, service.Config{})
+
+	var bin bytes.Buffer
+	if err := binhist.Encode(&bin, h); err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := c.Create(ctx, elleclient.CreateRequest{
+		Workload: "list-append", Model: "serializable", Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, chunk := range byteChunks(bin.Bytes(), 777) {
+		if _, err := c.FeedBinary(ctx, job.ID, chunk); err != nil {
+			t.Fatalf("binary chunk %d: %v", i, err)
+		}
+	}
+	rep, err := c.Report(ctx, job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rep.Text) != batch {
+		t.Fatalf("binary-fed report diverges from batch")
+	}
+}
+
+// TestClientTypedErrors pins the envelope-to-APIError mapping for the
+// main refusal paths: stable codes, not message matching.
+func TestClientTypedErrors(t *testing.T) {
+	ctx := context.Background()
+	_, c := newServer(t, service.Config{MaxChunkBytes: 256})
+
+	if _, err := c.Create(ctx, elleclient.CreateRequest{Workload: "nope"}); !elleclient.IsCode(err, "unknown_workload") {
+		t.Errorf("unknown workload: %v", err)
+	}
+	if _, err := c.Create(ctx, elleclient.CreateRequest{Model: "nope"}); !elleclient.IsCode(err, "unknown_model") {
+		t.Errorf("unknown model: %v", err)
+	}
+	if _, err := c.Create(ctx, elleclient.CreateRequest{MemoryBudget: -1}); !elleclient.IsCode(err, "invalid_memory_budget") {
+		t.Errorf("negative budget: %v", err)
+	}
+	if _, err := c.Status(ctx, "j999"); !elleclient.IsCode(err, "job_not_found") {
+		t.Errorf("unknown job: %v", err)
+	}
+
+	job, err := c.Create(ctx, elleclient.CreateRequest{Model: "read-committed", Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte(`{"index":0,"type":"ok","process":0,"value":[["append","x",1]]}`+"\n"), 10)
+	if _, err := c.Feed(ctx, job.ID, big); !elleclient.IsCode(err, "chunk_too_large") {
+		t.Errorf("oversized chunk: %v", err)
+	}
+	line := []byte(`{"index":0,"type":"ok","process":0,"value":[["append","x",1]]}` + "\n")
+	if _, err := c.Feed(ctx, job.ID, line); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.FeedBinary(ctx, job.ID, []byte{0xEB}); !elleclient.IsCode(err, "format_mismatch") {
+		t.Errorf("mixed formats: %v", err)
+	}
+
+	bad, err := c.Create(ctx, elleclient.CreateRequest{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Feed(ctx, bad.ID, []byte("not json\n")); !elleclient.IsCode(err, "chunk_rejected") {
+		t.Errorf("malformed chunk: %v", err)
+	}
+	if _, err := c.Feed(ctx, bad.ID, line); !elleclient.IsCode(err, "job_failed") {
+		t.Errorf("chunk to failed job: %v", err)
+	}
+	if _, err := c.Report(ctx, bad.ID); !elleclient.IsCode(err, "job_failed") {
+		t.Errorf("report of failed job: %v", err)
+	}
+
+	if _, _, err := c.List(ctx, elleclient.ListOpts{Next: "zzz"}); !elleclient.IsCode(err, "bad_cursor") {
+		t.Errorf("bad cursor: %v", err)
+	}
+}
+
+// TestClientRetryBackoff: the client absorbs 429s — honoring
+// Retry-After, capped by MaxBackoff — and the call succeeds once the
+// server relents.
+func TestClientRetryBackoff(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			w.Header().Set("Retry-After", "30") // capped by MaxBackoff below
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"shard_busy","message":"busy","retry_after_s":30}}`)
+			return
+		}
+		fmt.Fprint(w, `{"ops":1,"chunks":1}`)
+	}))
+	defer srv.Close()
+
+	c := elleclient.New(srv.URL)
+	c.MaxBackoff = 10 * time.Millisecond
+	start := time.Now()
+	d, err := c.Feed(context.Background(), "j1", []byte("x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ops != 1 || attempts != 3 {
+		t.Fatalf("delta %+v after %d attempts", d, attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Retry-After was not capped: %v", elapsed)
+	}
+
+	// With retries disabled the refusal surfaces as a typed error.
+	mu.Lock()
+	attempts = 0
+	mu.Unlock()
+	c.RetryLimit = -1
+	if _, err := c.Feed(context.Background(), "j1", []byte("x\n")); !elleclient.IsCode(err, "shard_busy") {
+		t.Fatalf("want typed shard_busy, got %v", err)
+	}
+}
+
+// TestClientCrashResume is the end-to-end crash test: feed part of a
+// stream to a WAL-backed service, kill it mid-stream (with a torn
+// trailing record, as a real kill -9 leaves), restart on the same WAL
+// directory, resume through the client, and demand a report
+// byte-identical to batch.
+func TestClientCrashResume(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		binary bool
+	}{{"json", false}, {"binary", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			jsonl, h, batch := mkHistory(t, 77, 200)
+			cfg := service.Config{WALDir: t.TempDir(), SpillDir: t.TempDir()}
+
+			var chunks [][]byte
+			if tc.binary {
+				var bin bytes.Buffer
+				if err := binhist.Encode(&bin, h); err != nil {
+					t.Fatal(err)
+				}
+				chunks = byteChunks(bin.Bytes(), 1000)
+			} else {
+				chunks = lineChunks(jsonl, 25)
+			}
+			feed := func(c *elleclient.Client, id string, chunk []byte) error {
+				var err error
+				if tc.binary {
+					_, err = c.FeedBinary(ctx, id, chunk)
+				} else {
+					_, err = c.Feed(ctx, id, chunk)
+				}
+				return err
+			}
+
+			// First life: create the job and feed half the stream.
+			svc1, err := service.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv1 := httptest.NewServer(svc1)
+			c1 := elleclient.New(srv1.URL)
+			job, err := c1.Create(ctx, elleclient.CreateRequest{
+				Workload: "list-append", Model: "serializable", Parallelism: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fed := len(chunks) / 2
+			for i := 0; i < fed; i++ {
+				if err := feed(c1, job.ID, chunks[i]); err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+			}
+			srv1.Close()
+			svc1.Close()
+
+			// The kill: tear the journal's trailing record mid-frame, as a
+			// crash between write and ack would. Replay must keep the fed-1
+			// intact chunks and drop the torn one.
+			walPath := filepath.Join(cfg.WALDir, job.ID+".wal")
+			raw, err := os.ReadFile(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(walPath, raw[:len(raw)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second life: replay, resume, finish, report.
+			svc2, err := service.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv2 := httptest.NewServer(svc2)
+			t.Cleanup(func() { srv2.Close(); svc2.Close() })
+			c2 := elleclient.New(srv2.URL)
+
+			st, err := c2.Status(ctx, job.ID)
+			if err != nil {
+				t.Fatalf("job did not survive the restart: %v", err)
+			}
+			if !st.Resumed || st.State != "accepting" {
+				t.Fatalf("replayed status: %+v", st)
+			}
+			if st.Chunks != fed-1 {
+				t.Fatalf("replay preserved %d chunks, want %d (torn record dropped)", st.Chunks, fed-1)
+			}
+
+			resent, err := c2.Resume(ctx, job.ID, chunks, tc.binary)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resent != len(chunks)-(fed-1) {
+				t.Fatalf("resume re-sent %d chunks, want %d", resent, len(chunks)-(fed-1))
+			}
+
+			rep, err := c2.Report(ctx, job.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(rep.Text) != batch {
+				t.Fatalf("resumed report diverges from batch:\n--- batch ---\n%s\n--- resumed ---\n%s",
+					batch, rep.Text)
+			}
+		})
+	}
+}

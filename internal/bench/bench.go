@@ -13,6 +13,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/jsonhist"
 	"repro/internal/memdb"
 	"repro/internal/perf"
+	"repro/internal/service"
 	"repro/internal/workload"
 )
 
@@ -63,6 +66,17 @@ var (
 			Clients: 20, Txns: 50000, Isolation: memdb.StrictSerializable,
 			Source: g, Seed: 1, Workload: memdb.WorkloadRegister,
 		})
+	})
+	// listChunks is listEncoded pre-split into 1000-line uploads, the
+	// shape the service benchmark feeds.
+	listChunks = sync.OnceValue(func() [][]byte {
+		lines := bytes.SplitAfter(bytes.TrimSuffix(listEncoded(), []byte("\n")), []byte("\n"))
+		var chunks [][]byte
+		for i := 0; i < len(lines); i += 1000 {
+			end := min(i+1000, len(lines))
+			chunks = append(chunks, bytes.Join(lines[i:end], nil))
+		}
+		return chunks
 	})
 	bankHistory = sync.OnceValue(func() *history.History {
 		info, ok := workload.Lookup(string(workload.Bank))
@@ -171,6 +185,53 @@ func Cases() []Case {
 				r := core.Check(h, opts)
 				if !r.Valid {
 					b.Fatalf("clean bank history invalid: %v", r.AnomalyTypes())
+				}
+			}
+		}},
+		{Name: "check-service-shard/n=100000/s=4/p=1", F: func(b *testing.B) {
+			// The full elled request path in-process: create a job, feed
+			// the history as 1000-line chunk uploads through the sharded
+			// inference pool, fetch the report, delete. Gates the service
+			// overhead on top of the raw streaming check — routing, chunk
+			// draining, shard dispatch, decode, feed.
+			chunks := listChunks()
+			svc, err := service.New(service.Config{Shards: 4, MaxJobs: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			b.SetBytes(int64(len(listEncoded())))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				svc.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs",
+					bytes.NewReader([]byte(`{"parallelism":1}`))))
+				if rec.Code != 201 {
+					b.Fatalf("create: %d: %s", rec.Code, rec.Body)
+				}
+				var job struct {
+					ID string `json:"id"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &job); err != nil {
+					b.Fatal(err)
+				}
+				for _, chunk := range chunks {
+					rec = httptest.NewRecorder()
+					svc.ServeHTTP(rec, httptest.NewRequest("POST",
+						"/v1/jobs/"+job.ID+"/chunks", bytes.NewReader(chunk)))
+					if rec.Code != 200 {
+						b.Fatalf("chunk: %d: %s", rec.Code, rec.Body)
+					}
+				}
+				rec = httptest.NewRecorder()
+				svc.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/"+job.ID+"/report", nil))
+				if rec.Code != 200 || rec.Header().Get("X-Elle-Valid") != "true" {
+					b.Fatalf("report: %d valid=%q", rec.Code, rec.Header().Get("X-Elle-Valid"))
+				}
+				rec = httptest.NewRecorder()
+				svc.ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/"+job.ID, nil))
+				if rec.Code != 204 {
+					b.Fatalf("delete: %d", rec.Code)
 				}
 			}
 		}},

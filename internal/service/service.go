@@ -16,28 +16,58 @@
 // at report time fails rather than reporting on a silently truncated
 // history.
 //
+// Three subsystems sit between the HTTP handlers and the sessions:
+//
+//   - Durability (internal/wal): with Config.WALDir set, every job's
+//     create parameters and every accepted chunk are journaled to a
+//     per-job WAL before the session sees a byte — acked ⇒ journaled.
+//     On startup the service replays surviving journals, re-feeding each
+//     job's chunks, so a killed elled comes back with its in-flight
+//     streams resumable: clients compare their sent-chunk count against
+//     the status endpoint's accepted count and re-send the difference
+//     (the resume protocol in docs/SERVICE.md).
+//
+//   - Inference sharding (shards.go): chunk ingest runs on a pool of N
+//     single-goroutine shard workers with bounded queues, decoupling
+//     handler goroutines from decode/feed work. A job is pinned to one
+//     shard — hashed from its first history key, the same keys the
+//     history interner densifies — so its chunks stay FIFO and reports
+//     are byte-identical to batch at any shard count; a full queue is
+//     429 shard_busy, not an unbounded queue.
+//
+//   - Metrics (metrics.go, internal/promtext): GET /metrics serves
+//     Prometheus text exposition — jobs by state, chunk/byte/op ingest
+//     counters, refusals by code, WAL append volume and fsync latency,
+//     shard queue depths, and the bounded-memory session counters.
+//
 // The HTTP surface (see docs/SERVICE.md for the full reference):
 //
 //	POST   /v1/jobs              create a job (workload, model, parallelism)
-//	GET    /v1/jobs              list resident jobs
+//	GET    /v1/jobs              list resident jobs (?state=, limit/next paging)
 //	GET    /v1/jobs/{id}         status + provisional findings so far
 //	POST   /v1/jobs/{id}/chunks  feed the next chunk of JSON-lines ops
 //	GET    /v1/jobs/{id}/report  finalize (first call) and render the report
-//	DELETE /v1/jobs/{id}         cancel and discard a job
+//	DELETE /v1/jobs/{id}         cancel a job and delete its WAL journal
 //	GET    /v1/workloads         registered workload names
+//	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness probe
 //
-// Four limits bound the service (Config): a cap on resident jobs
-// (creation beyond it is refused with 429 — backpressure, not
-// queueing), a per-chunk body cap (413), an idle timeout after which
-// jobs nobody has touched are reaped, and a finished-job TTL after
-// which done and failed jobs are reaped even if clients keep polling
-// them — finished jobs hold their histories and count against the job
-// cap, so without the TTL a harness that never DELETEs its jobs would
-// drive the service to permanent 429. Chunks of one job must be
-// uploaded sequentially, in history index order — the same restriction
-// core.Stream imposes on every caller; different jobs are fully
-// independent and may be driven concurrently.
+// Every non-2xx response carries one machine-readable error envelope,
+// {"error":{"code":...,"message":...,"retry_after_s":...}} — the codes
+// are stable API (errors.go) and elleclient maps them to typed errors.
+//
+// Limits bound the service (Config): a cap on resident jobs (creation
+// beyond it is refused with 429 at_capacity — backpressure, not
+// queueing), a per-chunk body cap (413 chunk_too_large), bounded shard
+// queues (429 shard_busy), an idle timeout after which jobs nobody has
+// touched are reaped, and a finished-job TTL after which done and
+// failed jobs are reaped even if clients keep polling them — finished
+// jobs hold their histories and count against the job cap, so without
+// the TTL a harness that never DELETEs its jobs would drive the service
+// to permanent 429. Chunks of one job must be uploaded sequentially, in
+// history index order — the same restriction core.Stream imposes on
+// every caller; different jobs are fully independent and may be driven
+// concurrently.
 //
 // A job created with "memory_budget": N checks with bounded resident
 // memory: roughly the last N completions stay decoded, earlier settled
@@ -57,6 +87,8 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,19 +98,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/jsonhist"
 	"repro/internal/op"
+	"repro/internal/par"
 	"repro/internal/report"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
 // Config bounds a Service. The zero value means: 8 resident jobs, 8 MiB
-// per chunk, 10 minute idle reaping, 1 minute finished-job reaping.
+// per chunk, 10 minute idle reaping, 1 minute finished-job reaping, one
+// inference shard per CPU with 32-deep queues, and no WAL.
 type Config struct {
 	// MaxJobs caps resident jobs — accepting and finished alike, since a
 	// finished job still holds its history until fetched and deleted (or
-	// reaped). Creation beyond the cap returns 429.
+	// reaped). Creation beyond the cap returns 429 at_capacity. Replayed
+	// WAL jobs are always admitted, even past the cap: journaled work is
+	// not dropped to honor a tuning knob.
 	MaxJobs int
 	// MaxChunkBytes caps one chunk upload's body. Oversized chunks are
-	// refused with 413; split the history into smaller chunks instead.
+	// refused with 413 chunk_too_large; split the history instead.
 	MaxChunkBytes int64
 	// IdleTimeout reaps jobs that no request has touched for this long,
 	// so abandoned streams cannot hold their histories forever.
@@ -96,6 +133,26 @@ type Config struct {
 	// spill retired history segments (as unlinked temporary files).
 	// Default: the OS temp dir.
 	SpillDir string
+
+	// Shards is the inference pool's worker count — the bound on chunks
+	// decoding and feeding concurrently, whatever the HTTP concurrency.
+	// Any shard count yields byte-identical reports; it only changes how
+	// much inference runs in parallel. Default: one per CPU.
+	Shards int
+	// ShardQueue is each shard's queue depth; a chunk arriving at a full
+	// queue is refused with 429 shard_busy. Default 32.
+	ShardQueue int
+
+	// WALDir, when set, enables the job WAL: every job journals its
+	// create parameters and accepted chunks to <WALDir>/<id>.wal before
+	// feeding, and New replays surviving journals so jobs outlive
+	// crashes. Empty (the default) disables journaling.
+	WALDir string
+	// WALSync selects fsync policy for the WAL: "always" (default —
+	// every acked chunk survives any crash), "interval" (bounded
+	// staleness), or "none" (the OS flushes; crashes lose more acked
+	// chunks, which clients re-send via the resume protocol).
+	WALSync string
 }
 
 func (c Config) withDefaults() Config {
@@ -114,31 +171,64 @@ func (c Config) withDefaults() Config {
 	if c.SpillDir == "" {
 		c.SpillDir = os.TempDir()
 	}
+	if c.Shards <= 0 {
+		c.Shards = par.Procs(0)
+	}
+	if c.ShardQueue <= 0 {
+		c.ShardQueue = 32
+	}
 	return c
 }
 
 // Service is the HTTP checking service: an http.Handler plus the job
-// table behind it. Create one with New and Close it when done (Close
-// stops the idle reaper; it does not wait for in-flight requests — the
-// enclosing http.Server's Shutdown does that).
+// table, inference pool, and WAL behind it. Create one with New and
+// Close it when done. Close stops the reaper and the shard workers and
+// closes (but keeps) WAL journals; call it only after the enclosing
+// http.Server has drained in-flight requests (its Shutdown does that).
 type Service struct {
-	cfg  Config
-	mux  *http.ServeMux
-	done chan struct{}
-	stop sync.Once
+	cfg     Config
+	mux     *http.ServeMux
+	done    chan struct{}
+	stop    sync.Once
+	pool    *shardPool
+	met     *metrics
+	walOpts wal.Options
 
-	mu   sync.Mutex
-	jobs map[string]*job
-	seq  int
+	mu      sync.Mutex
+	jobs    map[string]*job
+	seq     int
+	skipped []string // WAL files present but not replayable
 }
 
-// New builds a Service under cfg and starts its idle reaper.
-func New(cfg Config) *Service {
+// New builds a Service under cfg, replays any WAL journals in
+// cfg.WALDir, and starts the idle reaper and shard workers. It errors
+// when the WAL directory cannot be created or listed, or cfg.WALSync is
+// not a sync mode; individual unreadable journals are skipped (see
+// SkippedWALs), not fatal.
+func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:  cfg.withDefaults(),
 		mux:  http.NewServeMux(),
 		done: make(chan struct{}),
 		jobs: make(map[string]*job),
+	}
+	s.pool = newShardPool(s.cfg.Shards, s.cfg.ShardQueue)
+	s.met = newMetrics(s)
+	mode, err := wal.ParseSyncMode(s.cfg.WALSync)
+	if err != nil {
+		return nil, err
+	}
+	s.walOpts = wal.Options{
+		Mode:    mode,
+		OnFsync: func(d time.Duration) { s.met.walFsync.Observe(d.Seconds()) },
+	}
+	if s.cfg.WALDir != "" {
+		if err := os.MkdirAll(s.cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: wal dir: %w", err)
+		}
+		if err := s.replayWALs(); err != nil {
+			return nil, err
+		}
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreate)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -147,19 +237,34 @@ func New(cfg Config) *Service {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
 	})
 	go s.reap()
-	return s
+	return s, nil
 }
 
 // ServeHTTP dispatches to the service's routes.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the idle reaper. Safe to call more than once.
-func (s *Service) Close() { s.stop.Do(func() { close(s.done) }) }
+// Close stops the reaper and shard workers and closes open WAL
+// journals (leaving them on disk for the next start's replay). Call
+// after the enclosing server has drained. Safe to call more than once.
+func (s *Service) Close() {
+	s.stop.Do(func() {
+		close(s.done)
+		s.pool.stop()
+		for _, j := range s.snapshot() {
+			j.mu.Lock()
+			if j.wal != nil {
+				j.wal.Close()
+			}
+			j.mu.Unlock()
+		}
+	})
+}
 
 // Jobs returns the number of resident jobs, for monitoring and tests.
 func (s *Service) Jobs() int {
@@ -168,8 +273,91 @@ func (s *Service) Jobs() int {
 	return len(s.jobs)
 }
 
+// SkippedWALs returns the paths of WAL files found at startup that were
+// not replayable (corrupt, or naming an unknown workload or model).
+// They are left on disk for inspection.
+func (s *Service) SkippedWALs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.skipped...)
+}
+
+// replayWALs reconstructs jobs from the WAL directory: for each
+// readable journal, a fresh session is created from the journaled
+// create parameters and every journaled chunk is re-fed, in order —
+// the same path a live upload takes, minus the re-journaling. A job
+// whose replayed chunk fails to decode lands in the failed state, just
+// as it would have before the crash. Torn trailing records were
+// truncated by the journal reader; the client re-sends whatever it
+// never got an ack for.
+func (s *Service) replayWALs() error {
+	replayed, skipped, err := wal.ReplayDir(s.cfg.WALDir)
+	if err != nil {
+		return fmt.Errorf("service: wal replay: %w", err)
+	}
+	s.skipped = skipped
+	for _, r := range replayed {
+		info, ok := workload.Lookup(r.Meta.Workload)
+		if !ok || !consistency.Known(consistency.Model(r.Meta.Model)) || r.Meta.ID == "" {
+			s.skipped = append(s.skipped, r.Path)
+			continue
+		}
+		opts := core.OptsFor(core.Workload(info.Name), consistency.Model(r.Meta.Model))
+		opts.Parallelism = r.Meta.Parallelism
+		if r.Meta.MemoryBudget > 0 {
+			opts.MemoryBudget = r.Meta.MemoryBudget
+			opts.SpillDir = s.cfg.SpillDir
+		}
+		j := &job{
+			id:        r.Meta.ID,
+			seq:       r.Meta.Seq,
+			info:      info,
+			opts:      opts,
+			stream:    core.CheckStream(opts),
+			state:     stateAccepting,
+			createdAt: r.Meta.CreatedAt,
+			resumed:   true,
+			nshards:   s.pool.size(),
+		}
+		j.shard.Store(int32(j.seq % s.pool.size()))
+		j.touch()
+		j.mu.Lock()
+		for _, c := range r.Chunks {
+			format := formatJSON
+			if c.Format == wal.FormatBinary {
+				format = formatBinary
+			}
+			if j.format == "" {
+				j.format = format
+			}
+			var delta deltaJSON
+			if err := j.ingestLocked(format, c.Body, &delta); err != nil {
+				break // job is failed; it stays resident so the client learns why
+			}
+			j.chunks++
+		}
+		jw, err := r.OpenAppend(s.walOpts)
+		if err != nil {
+			// The job is resumed but its journal cannot reopen; keep it
+			// resident (the fed history is real) without further journaling.
+			s.skipped = append(s.skipped, r.Path)
+		} else {
+			j.wal = jw
+		}
+		j.mu.Unlock()
+		s.jobs[j.id] = j
+		if r.Meta.Seq > s.seq {
+			s.seq = r.Meta.Seq
+		}
+		s.met.jobsResumed.Inc()
+	}
+	return nil
+}
+
 // reap deletes jobs nobody has touched for IdleTimeout and finished
-// jobs older than FinishedTTL, checking a few times per window.
+// jobs older than FinishedTTL, checking a few times per window. A
+// reaped job's WAL journal is deleted with it — there is nothing left
+// to resume.
 func (s *Service) reap() {
 	window := s.cfg.IdleTimeout
 	if s.cfg.FinishedTTL < window {
@@ -189,17 +377,22 @@ func (s *Service) reap() {
 		case <-s.done:
 			return
 		case now := <-t.C:
+			var victims []*job
 			s.mu.Lock()
 			for id, j := range s.jobs {
-				if now.Sub(j.touched()) > s.cfg.IdleTimeout {
+				idle := now.Sub(j.touched()) > s.cfg.IdleTimeout
+				fin := j.finishedAt()
+				expired := !fin.IsZero() && now.Sub(fin) > s.cfg.FinishedTTL
+				if idle || expired {
 					delete(s.jobs, id)
-					continue
-				}
-				if fin := j.finishedAt(); !fin.IsZero() && now.Sub(fin) > s.cfg.FinishedTTL {
-					delete(s.jobs, id)
+					victims = append(victims, j)
 				}
 			}
 			s.mu.Unlock()
+			for _, j := range victims {
+				j.discardWAL()
+				s.met.jobsReaped.Inc()
+			}
 		}
 	}
 }
@@ -217,20 +410,27 @@ const (
 // if pointless: chunk order across racing uploads is the client's
 // responsibility.
 type job struct {
-	id     string
-	seq    int
-	info   workload.Info
-	opts   core.Opts
-	active atomic.Int64 // unix nanos of the last request that touched the job
-	fin    atomic.Int64 // unix nanos of entering a finished state; 0 while accepting
+	id        string
+	seq       int
+	info      workload.Info
+	opts      core.Opts
+	createdAt time.Time
+	resumed   bool
+	nshards   int
+	shard     atomic.Int32 // home inference shard
+	active    atomic.Int64 // unix nanos of the last request that touched the job
+	fin       atomic.Int64 // unix nanos of entering a finished state; 0 while accepting
 
 	mu     sync.Mutex
 	stream *core.Stream
 	state  string
 	ops    int
+	chunks int // accepted chunk uploads — the resume protocol's cursor
+	keyed  bool
 	anoms  []report.Anomaly // provisional findings, accumulated across chunks
 	result *core.CheckResult
 	errMsg string
+	wal    *wal.Journal // nil when the service runs without a WAL
 
 	// format is fixed by the first chunk ("json" or "binary"); mixing
 	// formats within one job is refused — an ellebin decoder mid-record
@@ -244,6 +444,21 @@ type job struct {
 
 func (j *job) touch()             { j.active.Store(time.Now().UnixNano()) }
 func (j *job) touched() time.Time { return time.Unix(0, j.active.Load()) }
+
+// homeShard is the shard the job's chunks run on: its creation sequence
+// until the first keyed micro-op arrives, its data's hash after.
+func (j *job) homeShard() int { return int(j.shard.Load()) }
+
+// discardWAL removes the job's journal, if any: the job is gone and has
+// nothing to resume.
+func (j *job) discardWAL() {
+	j.mu.Lock()
+	if j.wal != nil {
+		j.wal.Remove()
+		j.wal = nil
+	}
+	j.mu.Unlock()
+}
 
 // finishedAt returns when the job entered a finished state (done or
 // failed), or the zero time while it is still accepting.
@@ -264,12 +479,21 @@ func (j *job) fail(err error) {
 
 // jobJSON is the wire shape of a job's status.
 type jobJSON struct {
-	ID       string `json:"id"`
-	State    string `json:"state"`
-	Workload string `json:"workload"`
-	Model    string `json:"model"`
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Workload  string    `json:"workload"`
+	Model     string    `json:"model"`
+	CreatedAt time.Time `json:"created_at"`
 	// Ops counts completion ops ingested so far.
 	Ops int `json:"ops"`
+	// Chunks counts accepted chunk uploads. After a crash and restart it
+	// equals the journaled chunks that replayed — a resuming client
+	// compares it against its own sent count and re-sends the difference.
+	Chunks int `json:"chunks"`
+	// WALBytes is the job's journal size on disk; 0 without a WAL.
+	WALBytes int64 `json:"wal_bytes,omitempty"`
+	// Resumed marks a job reconstructed from its journal at startup.
+	Resumed bool `json:"resumed,omitempty"`
 	// Memory reports the bounded-memory session's resident/retired
 	// counters; present only for jobs created with memory_budget > 0.
 	Memory *memoryJSON `json:"memory,omitempty"`
@@ -310,9 +534,15 @@ func (j *job) statusLocked() jobJSON {
 		State:     j.state,
 		Workload:  string(j.info.Name),
 		Model:     string(j.opts.Model),
+		CreatedAt: j.createdAt,
 		Ops:       j.ops,
+		Chunks:    j.chunks,
+		Resumed:   j.resumed,
 		Anomalies: append([]report.Anomaly(nil), j.anoms...),
 		Error:     j.errMsg,
+	}
+	if j.wal != nil {
+		st.WALBytes = j.wal.Size()
 	}
 	if j.opts.MemoryBudget > 0 {
 		if rs, ok := j.stream.RetireStats(); ok {
@@ -335,6 +565,7 @@ func (j *job) statusLocked() jobJSON {
 // deltaJSON is the wire shape of one chunk's outcome.
 type deltaJSON struct {
 	Ops       int              `json:"ops"`
+	Chunks    int              `json:"chunks"`
 	Anomalies []report.Anomaly `json:"anomalies,omitempty"`
 }
 
@@ -357,7 +588,7 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	body := http.MaxBytesReader(w, r.Body, 4096)
 	if err := json.NewDecoder(body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("bad request body: %v", err))
 		return
 	}
 	if req.Workload == "" {
@@ -365,7 +596,7 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	info, ok := workload.Lookup(req.Workload)
 	if !ok {
-		writeErr(w, http.StatusBadRequest,
+		writeErr(w, http.StatusBadRequest, CodeUnknownWorkload,
 			fmt.Sprintf("unknown workload %q; choose from: %s", req.Workload, workload.NameList()))
 		return
 	}
@@ -374,12 +605,12 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	model := consistency.Model(req.Model)
 	if !consistency.Known(model) {
-		writeErr(w, http.StatusBadRequest, fmt.Sprintf("unknown model %q", req.Model))
+		writeErr(w, http.StatusBadRequest, CodeUnknownModel, fmt.Sprintf("unknown model %q", req.Model))
 		return
 	}
 
 	if req.MemoryBudget < 0 {
-		writeErr(w, http.StatusBadRequest, "memory_budget must be >= 0")
+		writeErr(w, http.StatusBadRequest, CodeInvalidMemoryBudget, "memory_budget must be >= 0")
 		return
 	}
 	opts := core.OptsFor(core.Workload(info.Name), model)
@@ -392,23 +623,53 @@ func (s *Service) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if len(s.jobs) >= s.cfg.MaxJobs {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests,
-			fmt.Sprintf("at capacity: %d resident jobs; finish, delete, or wait for reaping", s.cfg.MaxJobs))
+		s.met.refused.With(CodeAtCapacity).Inc()
+		writeErrRetry(w, http.StatusTooManyRequests, CodeAtCapacity,
+			fmt.Sprintf("at capacity: %d resident jobs; finish, delete, or wait for reaping", s.cfg.MaxJobs), 1)
 		return
 	}
 	s.seq++
 	j := &job{
-		id:     fmt.Sprintf("j%d", s.seq),
-		seq:    s.seq,
-		info:   info,
-		opts:   opts,
-		stream: core.CheckStream(opts),
-		state:  stateAccepting,
+		id:        fmt.Sprintf("j%d", s.seq),
+		seq:       s.seq,
+		info:      info,
+		opts:      opts,
+		stream:    core.CheckStream(opts),
+		state:     stateAccepting,
+		createdAt: time.Now().UTC(),
+		nshards:   s.pool.size(),
 	}
+	j.shard.Store(int32(j.seq % s.pool.size()))
 	j.touch()
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+
+	if s.cfg.WALDir != "" {
+		jw, err := wal.Create(s.cfg.WALDir, s.walOpts, wal.Meta{
+			ID: j.id, Seq: j.seq,
+			Workload:     string(info.Name),
+			Model:        string(model),
+			Parallelism:  req.Parallelism,
+			MemoryBudget: req.MemoryBudget,
+			CreatedAt:    j.createdAt,
+		})
+		if err != nil {
+			// No journal, no job: a create the WAL cannot record would
+			// silently lose the job on restart — refuse instead.
+			s.mu.Lock()
+			delete(s.jobs, j.id)
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, CodeWALWrite,
+				fmt.Sprintf("journaling job failed: %v", err))
+			return
+		}
+		j.mu.Lock()
+		j.wal = jw
+		j.mu.Unlock()
+		s.met.walAppends.Inc() // header + meta record
+		s.met.walBytes.Add(int(jw.Size()))
+	}
+	s.met.jobsCreated.Inc()
 
 	j.mu.Lock()
 	st := j.statusLocked()
@@ -426,51 +687,114 @@ func (s *Service) lookup(id string) (*job, bool) {
 func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, "no such job")
 		return
 	}
 	j.touch()
 	defer j.touch()
 	if r.ContentLength > s.cfg.MaxChunkBytes {
-		writeErr(w, http.StatusRequestEntityTooLarge,
+		s.met.refused.With(CodeChunkTooLarge).Inc()
+		writeErr(w, http.StatusRequestEntityTooLarge, CodeChunkTooLarge,
 			fmt.Sprintf("chunk of %d bytes exceeds the %d-byte limit; split it", r.ContentLength, s.cfg.MaxChunkBytes))
 		return
 	}
-	// Drain the (bounded) body before taking the job lock: a slow or
-	// stalled uploader must not hold j.mu across a network read, which
-	// would block the job's status and report — and the list endpoint
-	// for everyone. It also means an oversized chunk is always refused
-	// before the stream sees a byte, so the job survives and the client
-	// can re-split and resend.
+	// Drain the (bounded) body before dispatching to the job's shard: a
+	// slow or stalled uploader must not occupy a shard worker — or hold
+	// j.mu — across a network read. It also means an oversized chunk is
+	// always refused before the stream sees a byte, so the job survives
+	// and the client can re-split and resend.
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxChunkBytes))
 	if err != nil {
-		code := http.StatusBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			code = http.StatusRequestEntityTooLarge
+			s.met.refused.With(CodeChunkTooLarge).Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeChunkTooLarge, err.Error())
+			return
 		}
-		writeErr(w, code, err.Error())
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
 
 	format := chunkFormat(r.Header.Get("Content-Type"))
 
+	// The whole ingest — state check, WAL append, decode, feed — runs as
+	// one task on the job's home shard; the handler just waits for the
+	// verdict. One job, one shard, one worker goroutine: feed order is
+	// upload order, whatever the shard count.
+	var (
+		status    int
+		code, msg string
+		delta     deltaJSON
+	)
+	if !s.pool.run(j.homeShard(), func() {
+		status, code, msg = s.processChunk(j, format, body, &delta)
+	}) {
+		s.met.refused.With(CodeShardBusy).Inc()
+		writeErrRetry(w, http.StatusTooManyRequests, CodeShardBusy,
+			"inference shard queue is full; retry this chunk", 1)
+		return
+	}
+	if status != http.StatusOK {
+		writeErr(w, status, code, msg)
+		return
+	}
+	writeJSON(w, http.StatusOK, delta)
+}
+
+// processChunk ingests one chunk body on the job's shard: journal
+// first (acked ⇒ journaled), then decode and feed. It returns the HTTP
+// status plus error code/message for non-200s.
+func (s *Service) processChunk(j *job, format string, body []byte, delta *deltaJSON) (int, string, string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state != stateAccepting {
-		writeErr(w, http.StatusConflict, fmt.Sprintf("job is %s", j.state))
-		return
+		code := CodeJobDone
+		if j.state == stateFailed {
+			code = CodeJobFailed
+		}
+		return http.StatusConflict, code, fmt.Sprintf("job is %s", j.state)
 	}
-	if j.format == "" {
-		j.format = format
-	} else if j.format != format {
+	if j.format != "" && j.format != format {
 		// Not a job failure: the stream is intact, the chunk just never
 		// reached it. The client can resend with the right Content-Type.
-		writeErr(w, http.StatusBadRequest,
-			fmt.Sprintf("job is a %s stream; this chunk is %s — one job, one format", j.format, format))
-		return
+		return http.StatusBadRequest, CodeFormatMismatch,
+			fmt.Sprintf("job is a %s stream; this chunk is %s — one job, one format", j.format, format)
 	}
-	var delta deltaJSON
+	if j.wal != nil {
+		wf := wal.FormatJSON
+		if format == formatBinary {
+			wf = wal.FormatBinary
+		}
+		before := j.wal.Size()
+		if err := j.wal.AppendChunk(wf, body); err != nil {
+			// The chunk is not journaled, so it must not be fed: replay
+			// would silently drop it. The job survives; the client retries.
+			return http.StatusInternalServerError, CodeWALWrite,
+				fmt.Sprintf("journaling chunk failed: %v", err)
+		}
+		s.met.walAppends.Inc()
+		s.met.walBytes.Add(int(j.wal.Size() - before))
+	}
+	j.format = format
+	prevOps := j.ops
+	if err := j.ingestLocked(format, body, delta); err != nil {
+		return http.StatusBadRequest, CodeChunkRejected, err.Error()
+	}
+	j.chunks++
+	delta.Ops = j.ops
+	delta.Chunks = j.chunks
+	s.met.chunks.Inc()
+	s.met.ingestBytes.Add(len(body))
+	s.met.ingestOps.Add(j.ops - prevOps)
+	return http.StatusOK, "", ""
+}
+
+// ingestLocked decodes one chunk body and feeds the results into the
+// job's stream, failing the job on decode or stream errors. It is the
+// shared ingest path: live uploads run it on the job's shard after the
+// WAL append; startup replay runs it directly on already-journaled
+// chunks. Callers hold j.mu.
+func (j *job) ingestLocked(format string, body []byte, delta *deltaJSON) error {
 	if format == formatBinary {
 		if j.bin == nil {
 			j.bin = new(binhist.ChunkDecoder)
@@ -478,16 +802,13 @@ func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
 		ops, err := j.bin.Feed(body)
 		if err != nil {
 			j.fail(err)
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
+			return err
 		}
-		if err := j.feedLocked(ops, &delta); err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
+		if err := j.feedLocked(ops, delta); err != nil {
+			return err
 		}
-		delta.Ops = j.ops
-		writeJSON(w, http.StatusOK, delta)
-		return
+		j.pinShard(ops)
+		return nil
 	}
 	dec := jsonhist.NewStreamDecoder(bytes.NewReader(body), jsonhist.DecodeOpts{
 		Register:    j.info.RegisterReads,
@@ -500,16 +821,29 @@ func (s *Service) handleChunk(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			j.fail(err)
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
+			return err
 		}
-		if err := j.feedLocked(ops, &delta); err != nil {
-			writeErr(w, http.StatusBadRequest, err.Error())
-			return
+		if err := j.feedLocked(ops, delta); err != nil {
+			return err
 		}
+		j.pinShard(ops)
 	}
-	delta.Ops = j.ops
-	writeJSON(w, http.StatusOK, delta)
+	return nil
+}
+
+// pinShard fixes the job's home shard to the hash of its first history
+// key, once one arrives — after that, placement is a function of the
+// job's data, not its creation order. Chunks already dispatched keep
+// running where they are; j.mu (held here) is what feed order actually
+// hangs on, the shard is an affinity.
+func (j *job) pinShard(ops []op.Op) {
+	if j.keyed {
+		return
+	}
+	if k, ok := firstKey(ops); ok {
+		j.keyed = true
+		j.shard.Store(int32(shardFor(k, j.nshards)))
+	}
 }
 
 // Chunk upload formats, fixed per job by its first chunk.
@@ -553,7 +887,7 @@ func (j *job) feedLocked(ops []op.Op, delta *deltaJSON) error {
 func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, "no such job")
 		return
 	}
 	j.touch()
@@ -566,7 +900,7 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, "no such job")
 		return
 	}
 	j.touch()
@@ -574,7 +908,7 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state == stateFailed {
-		writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+		writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
 		return
 	}
 	if j.state == stateAccepting {
@@ -584,14 +918,14 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 		if j.bin != nil {
 			if err := j.bin.Close(); err != nil {
 				j.fail(err)
-				writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+				writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
 				return
 			}
 		}
 		res, err := j.stream.Finish()
 		if err != nil {
 			j.fail(err)
-			writeErr(w, http.StatusConflict, fmt.Sprintf("job failed: %s", j.errMsg))
+			writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
 			return
 		}
 		j.state = stateDone
@@ -616,31 +950,75 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.jobs[id]
+	j, ok := s.jobs[id]
 	delete(s.jobs, id)
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "no such job")
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, "no such job")
 		return
 	}
+	j.discardWAL()
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// listJSON is the wire shape of GET /v1/jobs: one status page plus the
+// cursor for the next one (absent on the last page).
+type listJSON struct {
+	Jobs []jobJSON `json:"jobs"`
+	Next string    `json:"next,omitempty"`
+}
+
 func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	jobs := make([]*job, 0, len(s.jobs))
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	q := r.URL.Query()
+	stateFilter := q.Get("state")
+	switch stateFilter {
+	case "", stateAccepting, stateDone, stateFailed:
+	default:
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("unknown state %q (accepting, done, failed)", stateFilter))
+		return
 	}
-	s.mu.Unlock()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer")
+			return
+		}
+		limit = n
+	}
+	// The cursor is the last-seen job id; listing resumes strictly after
+	// its sequence number. Jobs deleted between pages are simply skipped
+	// — ids never reorder, so the cursor stays valid.
+	afterSeq := 0
+	if cur := q.Get("next"); cur != "" {
+		n, err := strconv.Atoi(strings.TrimPrefix(cur, "j"))
+		if !strings.HasPrefix(cur, "j") || err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, CodeBadCursor,
+				fmt.Sprintf("cursor %q is not a job id this service issued", cur))
+			return
+		}
+		afterSeq = n
+	}
+
+	jobs := s.snapshot()
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
-	out := struct {
-		Jobs []jobJSON `json:"jobs"`
-	}{Jobs: make([]jobJSON, 0, len(jobs))}
+	out := listJSON{Jobs: make([]jobJSON, 0, len(jobs))}
 	for _, j := range jobs {
+		if j.seq <= afterSeq {
+			continue
+		}
 		j.mu.Lock()
-		out.Jobs = append(out.Jobs, j.statusLocked())
+		st := j.statusLocked()
 		j.mu.Unlock()
+		if stateFilter != "" && st.State != stateFilter {
+			continue
+		}
+		if limit > 0 && len(out.Jobs) == limit {
+			out.Next = out.Jobs[limit-1].ID
+			break
+		}
+		out.Jobs = append(out.Jobs, st)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -649,18 +1027,4 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Workloads []string `json:"workloads"`
 	}{Workloads: workload.Names()})
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
-}
-
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, struct {
-		Error string `json:"error"`
-	}{Error: msg})
 }

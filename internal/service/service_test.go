@@ -110,7 +110,10 @@ func feedChunks(t *testing.T, client *http.Client, base, id, jsonl string, n int
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(svc)
 	t.Cleanup(func() { srv.Close(); svc.Close() })
 	return svc, srv
@@ -118,11 +121,12 @@ func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 
 // TestServiceConcurrentJobs drives N concurrent jobs — mixed workloads,
 // chunked uploads — to completion and asserts every service report is
-// byte-identical to its batch equivalent. Run under -race this is the
-// concurrency acceptance test for the job manager.
+// byte-identical to its batch equivalent, at every inference shard
+// count: sharding changes how much inference runs in parallel, never
+// what a job reports. Run under -race this is the concurrency
+// acceptance test for the job manager and the shard pool.
 func TestServiceConcurrentJobs(t *testing.T) {
 	const n = 6
-	_, srv := newTestServer(t, Config{MaxJobs: n})
 
 	type tc struct {
 		workload string
@@ -149,26 +153,31 @@ func TestServiceConcurrentJobs(t *testing.T) {
 		cases[i] = tc{workload: w, jsonl: jsonl, batch: buf.String()}
 	}
 
-	var wg sync.WaitGroup
-	for i, c := range cases {
-		wg.Add(1)
-		go func(i int, c tc) {
-			defer wg.Done()
-			body := fmt.Sprintf(`{"workload":%q,"model":"serializable","parallelism":1}`, c.workload)
-			id := createJob(t, srv.Client(), srv.URL, body)
-			feedChunks(t, srv.Client(), srv.URL, id, c.jsonl, 40)
-			code, got := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/report", "", nil)
-			if code != http.StatusOK {
-				t.Errorf("job %d: report status %d: %s", i, code, got)
-				return
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, srv := newTestServer(t, Config{MaxJobs: n, Shards: shards})
+			var wg sync.WaitGroup
+			for i, c := range cases {
+				wg.Add(1)
+				go func(i int, c tc) {
+					defer wg.Done()
+					body := fmt.Sprintf(`{"workload":%q,"model":"serializable","parallelism":1}`, c.workload)
+					id := createJob(t, srv.Client(), srv.URL, body)
+					feedChunks(t, srv.Client(), srv.URL, id, c.jsonl, 40)
+					code, got := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/report", "", nil)
+					if code != http.StatusOK {
+						t.Errorf("job %d: report status %d: %s", i, code, got)
+						return
+					}
+					if got != c.batch {
+						t.Errorf("job %d (%s): service report diverges from batch:\n--- batch ---\n%s\n--- service ---\n%s",
+							i, c.workload, c.batch, got)
+					}
+				}(i, c)
 			}
-			if got != c.batch {
-				t.Errorf("job %d (%s): service report diverges from batch:\n--- batch ---\n%s\n--- service ---\n%s",
-					i, c.workload, c.batch, got)
-			}
-		}(i, c)
+			wg.Wait()
+		})
 	}
-	wg.Wait()
 }
 
 // TestServiceProvisionalDeltas: a mid-stream-provable anomaly surfaces

@@ -1,0 +1,103 @@
+package service
+
+import (
+	"hash/fnv"
+
+	"repro/internal/op"
+)
+
+// shardPool is the inference pool: N single-goroutine workers, each
+// owning a bounded task queue. Chunk ingest — WAL append, decode, and
+// session Feed — runs as a task on the job's home shard, which decouples
+// HTTP handler goroutines (one per in-flight request, unbounded) from
+// inference (at most N chunks decoding/feeding at once), while keeping
+// every job's chunks strictly FIFO: one job always lands on one shard,
+// and a shard is one goroutine, so feed order is upload order and the
+// report stays byte-identical to batch at any shard count.
+//
+// A full queue refuses the task instead of blocking — the handler turns
+// that into 429 shard_busy, the same backpressure-not-queueing stance
+// MaxJobs takes.
+type shardPool struct {
+	queues []chan func()
+	done   chan struct{}
+}
+
+func newShardPool(n, depth int) *shardPool {
+	p := &shardPool{queues: make([]chan func(), n), done: make(chan struct{})}
+	for i := range p.queues {
+		q := make(chan func(), depth)
+		p.queues[i] = q
+		go p.work(q)
+	}
+	return p
+}
+
+func (p *shardPool) work(q chan func()) {
+	for {
+		select {
+		case <-p.done:
+			// Drain tasks already accepted — each has a handler blocked on
+			// its completion — then exit.
+			for {
+				select {
+				case f := <-q:
+					f()
+				default:
+					return
+				}
+			}
+		case f := <-q:
+			f()
+		}
+	}
+}
+
+// run executes f on the given shard and waits for it to finish,
+// returning false without running it when the shard's queue is full.
+func (p *shardPool) run(shard int, f func()) bool {
+	fin := make(chan struct{})
+	task := func() {
+		defer close(fin)
+		f()
+	}
+	select {
+	case p.queues[shard%len(p.queues)] <- task:
+	default:
+		return false
+	}
+	<-fin
+	return true
+}
+
+func (p *shardPool) size() int       { return len(p.queues) }
+func (p *shardPool) depth(i int) int { return len(p.queues[i]) }
+
+// stop shuts the workers down after they drain accepted tasks. Call
+// only after the enclosing HTTP server has stopped accepting requests;
+// tasks enqueued concurrently with stop still run (the drain loop picks
+// them up), but new run calls may spuriously report a full queue.
+func (p *shardPool) stop() { close(p.done) }
+
+// shardFor maps a key to its home shard. The hash is FNV-1a over the
+// raw key bytes — the same keys the history interner densifies — so a
+// job's placement is a pure function of its data, stable across
+// restarts and shard-count-independent modulo n.
+func shardFor(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32()) % n
+}
+
+// firstKey returns the first keyed micro-op in ops, for pinning a job's
+// home shard to its data rather than its creation order.
+func firstKey(ops []op.Op) (string, bool) {
+	for _, o := range ops {
+		for _, m := range o.Mops {
+			if m.Key != "" {
+				return m.Key, true
+			}
+		}
+	}
+	return "", false
+}
