@@ -48,13 +48,22 @@
 //	                          format) and write it to stdout as FORMAT —
 //	                          json or binary (-workload still selects
 //	                          register-read decoding for JSON input)
+//	-query PATTERN            after checking, evaluate a docs/QUERY.md
+//	                          pattern query against the analysis and
+//	                          print its rows instead of the report;
+//	                          incompatible with -follow and -convert
+//	-explain                  with -query, also print the checker's
+//	                          explanation of every anomaly a result
+//	                          variable binds (provenance)
 //	-dot                      also print Graphviz DOT for each cycle witness
 //	-q                        print only the verdict line
 //	-json                     emit a machine-readable JSON report
 //	-stats                    print history statistics
 //
-// Exit status: 0 if the history is consistent with the expected model,
-// 1 if anomalies rule it out, 2 on usage or input errors, 3 if a
+// Exit status: 0 if the history is consistent with the expected model
+// (or, in -query mode, if the query evaluated), 1 if anomalies rule it
+// out, 2 on usage or input errors — including malformed queries, which
+// report the 1-based position of the fault — 3 if a
 // followed history was truncated or rotated mid-run — the file shrank
 // below what was already consumed, or (for ellebin input) the stream
 // stopped framing correctly at the reader's offset, the signature of a
@@ -70,6 +79,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/binhist"
@@ -113,6 +123,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		"with -mem-budget, spill retired segments to an unlinked temp file in this directory")
 	convert := fs.String("convert", "",
 		"do not check: re-encode the input to stdout as this format (json or binary)")
+	query := fs.String("query", "",
+		"evaluate a docs/QUERY.md pattern query against the analysis and print its rows")
+	explainQ := fs.Bool("explain", false,
+		"with -query, print the explanation of every anomaly a result variable binds")
 	dot := fs.Bool("dot", false, "print Graphviz DOT for each cycle witness")
 	quiet := fs.Bool("q", false, "print only the verdict line")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON report instead of prose")
@@ -148,6 +162,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	case "", "json", "binary", "ellebin":
 	default:
 		fmt.Fprintf(stderr, "elle: unknown convert format %q (json or binary)\n", *convert)
+		return 2
+	}
+	if *query != "" && (*follow || *convert != "") {
+		fmt.Fprintln(stderr, "elle: -query is incompatible with -follow and -convert")
+		return 2
+	}
+	if *explainQ && *query == "" {
+		fmt.Fprintln(stderr, "elle: -explain requires -query")
 		return 2
 	}
 
@@ -211,7 +233,43 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *convert != "" {
 		return runConvert(h, *convert, stdout, stderr)
 	}
+	if *query != "" {
+		return runQuery(core.Check(h, opts), h, *query, *explainQ, stdout, stderr)
+	}
 	return render(core.Check(h, opts), h, w, out)
+}
+
+// runQuery evaluates one docs/QUERY.md pattern against the finished
+// check and prints its canonical tab-separated rows; with provenance
+// enabled, the checker's explanation of each anomaly a result variable
+// binds follows the rows.
+func runQuery(res *core.CheckResult, h *history.History, q string, provenance bool, stdout, stderr io.Writer) int {
+	r, err := res.Query(h, q)
+	if err != nil {
+		fmt.Fprintf(stderr, "elle: %v\n", err)
+		return 2
+	}
+	if _, err := r.WriteTo(stdout); err != nil {
+		fmt.Fprintf(stderr, "elle: %v\n", err)
+		return 2
+	}
+	if provenance {
+		cat := res.Relations(h)
+		for _, id := range r.AnomalyIDs() {
+			a, ok := cat.AnomalyAt(id)
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(stdout, "\n# anomaly %d: %s\n", id, a.Type)
+			if exp := a.Explanation; exp != "" {
+				fmt.Fprint(stdout, exp)
+				if !strings.HasSuffix(exp, "\n") {
+					fmt.Fprintln(stdout)
+				}
+			}
+		}
+	}
+	return 0
 }
 
 // runConvert writes the decoded history to stdout in the requested

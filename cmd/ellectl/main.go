@@ -10,6 +10,7 @@
 //	ellectl [-addr URL] feed -job ID [-lines N] [-bytes N] [-binary] [-resume] [FILE]
 //	ellectl [-addr URL] status -job ID
 //	ellectl [-addr URL] report -job ID [-json]
+//	ellectl [-addr URL] query -job ID -q PATTERN
 //	ellectl [-addr URL] cancel -job ID
 //	ellectl [-addr URL] list [-state S] [-limit N]
 //
@@ -21,8 +22,12 @@
 // re-sends only the difference, so the same invocation works before
 // and after a crash as long as the chunking flags match. report prints
 // the final report on stdout, byte-identical to `elle` over the same
-// history; -json prints the structured result instead. list follows
-// the pagination cursor and prints one `id state` line per job.
+// history; -json prints the structured result instead. query evaluates
+// a docs/QUERY.md pattern against the job's analysis (finalizing it on
+// first use, like report) and prints the canonical rows, byte-identical
+// to `elle -query PATTERN` over the same history; a malformed pattern
+// surfaces the service's bad_query error with the parse position. list
+// follows the pagination cursor and prints one `id state` line per job.
 //
 // Exit status: 0 on success, 1 on a service or transport error, 2 on
 // usage errors. Typed service errors print as `ellectl: <message>
@@ -54,6 +59,7 @@ commands:
   feed     upload a history to a job in chunks
   status   print a job's status JSON
   report   print a job's final report
+  query    evaluate a pattern query against a job's analysis
   cancel   delete a job and its journal
   list     list jobs, one "id state" line each`)
 	return 2
@@ -83,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = runStatus(ctx, c, rest, stdout, stderr)
 	case "report":
 		err = runReport(ctx, c, rest, stdout, stderr)
+	case "query":
+		err = runQuery(ctx, c, rest, stdout, stderr)
 	case "cancel":
 		err = runCancel(ctx, c, rest, stderr)
 	case "list":
@@ -255,6 +263,25 @@ func runReport(ctx context.Context, c *elleclient.Client, args []string, stdout,
 		return err
 	}
 	stdout.Write(rep.Text)
+	return nil
+}
+
+func runQuery(ctx context.Context, c *elleclient.Client, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ellectl query", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	job := fs.String("job", "", "job id (required)")
+	q := fs.String("q", "", "docs/QUERY.md pattern query (required)")
+	if err := fs.Parse(args); err != nil || fs.NArg() != 0 {
+		return badUsage{fmt.Errorf("query takes -job ID -q PATTERN")}
+	}
+	if *job == "" || *q == "" {
+		return badUsage{fmt.Errorf("query requires -job ID and -q PATTERN")}
+	}
+	raw, err := c.Query(ctx, *job, *q)
+	if err != nil {
+		return err
+	}
+	stdout.Write(raw)
 	return nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -235,6 +236,28 @@ func (c *Client) Report(ctx context.Context, id string) (*Report, error) {
 // structured report.
 func (c *Client) ReportJSON(ctx context.Context, id string) ([]byte, error) {
 	resp, err := c.send(ctx, http.MethodGet, "/v1/jobs/"+id+"/report?format=json", "", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, envelopeError(resp.StatusCode, raw)
+	}
+	return raw, nil
+}
+
+// Query finalizes the job (on first call) and evaluates one
+// docs/QUERY.md pattern query against its analysis, returning the
+// canonical tab-separated rows — byte-identical to `elle -query` over
+// the same history and options. A malformed pattern surfaces as an
+// *APIError with code "bad_query" whose message carries the 1-based
+// position of the parse fault.
+func (c *Client) Query(ctx context.Context, id, q string) ([]byte, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/jobs/"+id+"/query?q="+url.QueryEscape(q), "", nil)
 	if err != nil {
 		return nil, err
 	}

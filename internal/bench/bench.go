@@ -78,6 +78,16 @@ var (
 		}
 		return chunks
 	})
+	// faultedListHistory plants retry-stomp and stale-read faults so the
+	// analysis carries cycles for the query benchmark to find.
+	faultedListHistory = sync.OnceValue(func() *history.History {
+		g := gen.New(gen.Config{ActiveKeys: 10, MaxWritesPerKey: 50}, 1)
+		return memdb.Run(memdb.RunConfig{
+			Clients: 20, Txns: 20000, Isolation: memdb.SnapshotIsolation,
+			Faults: memdb.Faults{RetryStompProb: 0.5, StaleReadProb: 0.3},
+			Source: g, Seed: 1, Workload: memdb.WorkloadList,
+		})
+	})
 	bankHistory = sync.OnceValue(func() *history.History {
 		info, ok := workload.Lookup(string(workload.Bank))
 		if !ok {
@@ -232,6 +242,26 @@ func Cases() []Case {
 				svc.ServeHTTP(rec, httptest.NewRequest("DELETE", "/v1/jobs/"+job.ID, nil))
 				if rec.Code != 204 {
 					b.Fatalf("delete: %d", rec.Code)
+				}
+			}
+		}},
+		{Name: "query-cycles/n=20000/p=1", F: func(b *testing.B) {
+			// The relational layer end to end: derive the catalog from a
+			// faulted analysis and evaluate the docs/QUERY.md join of
+			// cycle participants against their outgoing anti-dependency
+			// edges — a full dep scan plus the σ/⋈/sort pipeline. Gates
+			// the query engine's throughput and allocation behavior.
+			h := faultedListHistory()
+			res := core.Check(h, checkOpts(core.ListAppend))
+			const q = `(cycle ?c _ ?t _) (dep ?t ?u rw)`
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := res.Query(h, q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Rows) == 0 {
+					b.Fatal("faulted history yielded no cycle rows")
 				}
 			}
 		}},

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"repro/internal/history"
+	"repro/internal/rel"
+)
+
+// Relations derives the relational catalog of this check over h, the
+// history the check analyzed. The catalog is lazy — each relation is a
+// streaming view over the result's graph, anomaly list, and inferred
+// version orders — so building it costs nothing until a query runs.
+// Every query surface (elle -query, elled's query endpoint, ellectl
+// query) evaluates against this catalog, which is what makes their
+// outputs byte-identical for the same query.
+func (r *CheckResult) Relations(h *history.History) *rel.Catalog {
+	src := rel.Source{
+		History:   h,
+		Graph:     r.Graph,
+		Anomalies: r.Anomalies,
+	}
+	if e := r.Explainer; e != nil {
+		src.Keys = e.Keys
+		src.ListOrders = e.ListOrders
+		src.RegOrders = e.RegOrders
+	}
+	return rel.NewCatalog(src)
+}
+
+// Query parses and evaluates one pattern query (docs/QUERY.md) against
+// the check's catalog. Errors are *rel.ParseError values carrying the
+// 1-based input position of the fault.
+func (r *CheckResult) Query(h *history.History, q string) (*rel.Result, error) {
+	return rel.Eval(r.Relations(h), q)
+}

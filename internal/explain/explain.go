@@ -7,12 +7,14 @@ package explain
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/history"
 	"repro/internal/op"
+	"repro/internal/rel"
 )
 
 // Explainer renders cycles against the ops and version orders of one
@@ -165,47 +167,135 @@ func (e *Explainer) edgeReason(s graph.Step) string {
 	}
 }
 
+// Witness scans are relational semijoins over internal/rel: the probe
+// side streams candidate facts in the order the old nested loops
+// visited them, the build side is an index over one transaction's
+// writes, and the first joined row is exactly the witness the
+// sequential scan produced. The probes carry every output column, and
+// the indexes key on all their columns, so each join filters without
+// widening the tuple.
+
+// firstRow evaluates r just far enough to return its first tuple.
+func firstRow(r rel.Relation) (rel.Tuple, bool) {
+	var out rel.Tuple
+	r.Each(func(t rel.Tuple) bool {
+		out = t.Clone()
+		return false
+	})
+	return out, out != nil
+}
+
+// appendIx indexes append(key, <col>) over o's list appends; the
+// caller names the element column so the index binds against the
+// matching probe column (e.g. a version pair's e1 vs e2).
+func appendIx(o op.Op, col string) *rel.Index {
+	r := rel.NewRelation([]string{"key", col}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range o.Mops {
+			if m.F != op.FAppend {
+				continue
+			}
+			t[0], t[1] = rel.Str(m.Key), rel.Int(m.Arg)
+			if !yield(t) {
+				return
+			}
+		}
+	})
+	return rel.BuildIndex(r, "key", col)
+}
+
+// setWriteIx indexes o's non-register writes (append and add mops) on
+// (key, elem) — the build side of the set-add wr fallback.
+func setWriteIx(o op.Op) *rel.Index {
+	r := rel.NewRelation([]string{"key", "elem"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range o.Mops {
+			if !m.IsWrite() || m.F == op.FWrite {
+				continue
+			}
+			t[0], t[1] = rel.Str(m.Key), rel.Int(m.Arg)
+			if !yield(t) {
+				return
+			}
+		}
+	})
+	return rel.BuildIndex(r, "key", "elem")
+}
+
+// regWriteIx indexes write(key, <col>) over o's register writes, the
+// value rendered as a decimal string exactly as version-order edges
+// store versions.
+func regWriteIx(o op.Op, col string) *rel.Index {
+	r := rel.NewRelation([]string{"key", col}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range o.Mops {
+			if m.F != op.FWrite {
+				continue
+			}
+			t[0], t[1] = rel.Str(m.Key), rel.Str(strconv.Itoa(m.Arg))
+			if !yield(t) {
+				return
+			}
+		}
+	})
+	return rel.BuildIndex(r, "key", col)
+}
+
 // wrWitness finds a key and element proving a list (or set) wr edge:
 // preferentially the final element of a read `from` appended (the
 // list-append wr definition), falling back to any observed element (the
 // set-add definition).
 func (e *Explainer) wrWitness(from, to op.Op) (string, int, bool) {
-	for _, m := range to.Mops {
-		if !m.ListKnown() || len(m.List) == 0 {
-			continue
-		}
-		last := m.List[len(m.List)-1]
-		for _, w := range from.Mops {
-			if w.F == op.FAppend && w.Key == m.Key && w.Arg == last {
-				return m.Key, last, true
+	finals := rel.NewRelation([]string{"key", "elem"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range to.Mops {
+			if !m.ListKnown() || len(m.List) == 0 {
+				continue
+			}
+			t[0], t[1] = rel.Str(m.Key), rel.Int(m.List[len(m.List)-1])
+			if !yield(t) {
+				return
 			}
 		}
+	})
+	if t, ok := firstRow(finals.LookupJoin(appendIx(from, "elem"))); ok {
+		return t[0].Text(), int(t[1].Num()), true
 	}
-	for _, m := range to.Mops {
-		if !m.ListKnown() {
-			continue
-		}
-		for _, elem := range m.List {
-			for _, w := range from.Mops {
-				if w.IsWrite() && w.F != op.FWrite && w.Key == m.Key && w.Arg == elem {
-					return m.Key, elem, true
+	observed := rel.NewRelation([]string{"key", "elem"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range to.Mops {
+			if !m.ListKnown() {
+				continue
+			}
+			for _, elem := range m.List {
+				t[0], t[1] = rel.Str(m.Key), rel.Int(elem)
+				if !yield(t) {
+					return
 				}
 			}
 		}
+	})
+	if t, ok := firstRow(observed.LookupJoin(setWriteIx(from))); ok {
+		return t[0].Text(), int(t[1].Num()), true
 	}
 	return "", 0, false
 }
 
 func (e *Explainer) wrRegWitness(from, to op.Op) (string, int, bool) {
-	for _, m := range to.Mops {
-		if m.F != op.FRead || !m.RegKnown || m.RegNil {
-			continue
-		}
-		for _, w := range from.Mops {
-			if w.F == op.FWrite && w.Key == m.Key && w.Arg == m.Reg {
-				return m.Key, m.Reg, true
+	reads := rel.NewRelation([]string{"key", "reg", "value"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 3)
+		for _, m := range to.Mops {
+			if m.F != op.FRead || !m.RegKnown || m.RegNil {
+				continue
+			}
+			t[0], t[1], t[2] = rel.Str(m.Key), rel.Int(m.Reg), rel.Str(strconv.Itoa(m.Reg))
+			if !yield(t) {
+				return
 			}
 		}
+	})
+	if t, ok := firstRow(reads.LookupJoin(regWriteIx(from, "value"))); ok {
+		return t[0].Text(), int(t[1].Num()), true
 	}
 	return "", 0, false
 }
@@ -213,20 +303,24 @@ func (e *Explainer) wrRegWitness(from, to op.Op) (string, int, bool) {
 // rwWitness finds a key and element proving an rw edge: `from` read a
 // version of key k that did not yet include `to`'s append.
 func (e *Explainer) rwWitness(from, to op.Op) (string, int, bool) {
-	for _, m := range from.Mops {
-		if !m.ListKnown() {
-			continue
-		}
-		order := e.ListOrder(m.Key)
-		if len(m.List) >= len(order) {
-			continue
-		}
-		next := order[len(m.List)]
-		for _, w := range to.Mops {
-			if w.F == op.FAppend && w.Key == m.Key && w.Arg == next {
-				return m.Key, next, true
+	nexts := rel.NewRelation([]string{"key", "elem"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 2)
+		for _, m := range from.Mops {
+			if !m.ListKnown() {
+				continue
+			}
+			order := e.ListOrder(m.Key)
+			if len(m.List) >= len(order) {
+				continue
+			}
+			t[0], t[1] = rel.Str(m.Key), rel.Int(order[len(m.List)])
+			if !yield(t) {
+				return
 			}
 		}
+	})
+	if t, ok := firstRow(nexts.LookupJoin(appendIx(to, "elem"))); ok {
+		return t[0].Text(), int(t[1].Num()), true
 	}
 	return "", 0, false
 }
@@ -234,24 +328,29 @@ func (e *Explainer) rwWitness(from, to op.Op) (string, int, bool) {
 // rwRegWitness proves a register rw edge: `from` read version prev of a
 // key whose inferred successor next was written by `to`.
 func (e *Explainer) rwRegWitness(from, to op.Op) (key, prev, next string, ok bool) {
-	for _, m := range from.Mops {
-		if m.F != op.FRead || !m.RegKnown {
-			continue
-		}
-		observed := "nil"
-		if !m.RegNil {
-			observed = fmt.Sprintf("%d", m.Reg)
-		}
-		for _, edge := range e.RegOrder(m.Key) {
-			if edge[0] != observed {
+	succs := rel.NewRelation([]string{"key", "prev", "next"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 3)
+		for _, m := range from.Mops {
+			if m.F != op.FRead || !m.RegKnown {
 				continue
 			}
-			for _, w := range to.Mops {
-				if w.F == op.FWrite && w.Key == m.Key && fmt.Sprintf("%d", w.Arg) == edge[1] {
-					return m.Key, observed, edge[1], true
+			observed := "nil"
+			if !m.RegNil {
+				observed = strconv.Itoa(m.Reg)
+			}
+			for _, edge := range e.RegOrder(m.Key) {
+				if edge[0] != observed {
+					continue
+				}
+				t[0], t[1], t[2] = rel.Str(m.Key), rel.Str(observed), rel.Str(edge[1])
+				if !yield(t) {
+					return
 				}
 			}
 		}
+	})
+	if t, found := firstRow(succs.LookupJoin(regWriteIx(to, "next"))); found {
+		return t[0].Text(), t[1].Text(), t[2].Text(), true
 	}
 	return "", "", "", false
 }
@@ -263,27 +362,26 @@ func (e *Explainer) wwRegWitness(from, to op.Op) (key, prev, next string, ok boo
 	if e.Keys == nil {
 		return "", "", "", false
 	}
-	for _, id := range e.keyIDsByName() {
-		if int(id) >= len(e.RegOrders) {
-			continue
-		}
-		k := e.Keys.Key(id)
-		for _, edge := range e.RegOrders[id] {
-			if writesValue(from, k, edge[0]) && writesValue(to, k, edge[1]) {
-				return k, edge[0], edge[1], true
+	pairs := rel.NewRelation([]string{"key", "prev", "next"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 3)
+		for _, id := range e.keyIDsByName() {
+			if int(id) >= len(e.RegOrders) {
+				continue
+			}
+			k := rel.Str(e.Keys.Key(id))
+			for _, edge := range e.RegOrders[id] {
+				t[0], t[1], t[2] = k, rel.Str(edge[0]), rel.Str(edge[1])
+				if !yield(t) {
+					return
+				}
 			}
 		}
+	})
+	r := pairs.LookupJoin(regWriteIx(from, "prev")).LookupJoin(regWriteIx(to, "next"))
+	if t, found := firstRow(r); found {
+		return t[0].Text(), t[1].Text(), t[2].Text(), true
 	}
 	return "", "", "", false
-}
-
-func writesValue(o op.Op, key, val string) bool {
-	for _, m := range o.Mops {
-		if m.F == op.FWrite && m.Key == key && fmt.Sprintf("%d", m.Arg) == val {
-			return true
-		}
-	}
-	return false
 }
 
 // wwWitness finds a key and adjacent elements proving a ww edge. Keys
@@ -293,29 +391,27 @@ func (e *Explainer) wwWitness(from, to op.Op) (string, int, int, bool) {
 	if e.Keys == nil {
 		return "", 0, 0, false
 	}
-	for _, id := range e.keyIDsByName() {
-		if int(id) >= len(e.ListOrders) {
-			continue
-		}
-		key := e.Keys.Key(id)
-		order := e.ListOrders[id]
-		for i := 0; i+1 < len(order); i++ {
-			e1, e2 := order[i], order[i+1]
-			if appends(from, key, e1) && appends(to, key, e2) {
-				return key, e1, e2, true
+	pairs := rel.NewRelation([]string{"key", "e1", "e2"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 3)
+		for _, id := range e.keyIDsByName() {
+			if int(id) >= len(e.ListOrders) {
+				continue
+			}
+			key := rel.Str(e.Keys.Key(id))
+			order := e.ListOrders[id]
+			for i := 0; i+1 < len(order); i++ {
+				t[0], t[1], t[2] = key, rel.Int(order[i]), rel.Int(order[i+1])
+				if !yield(t) {
+					return
+				}
 			}
 		}
+	})
+	r := pairs.LookupJoin(appendIx(from, "e1")).LookupJoin(appendIx(to, "e2"))
+	if t, found := firstRow(r); found {
+		return t[0].Text(), int(t[1].Num()), int(t[2].Num()), true
 	}
 	return "", 0, 0, false
-}
-
-func appends(o op.Op, key string, elem int) bool {
-	for _, m := range o.Mops {
-		if m.F == op.FAppend && m.Key == key && m.Arg == elem {
-			return true
-		}
-	}
-	return false
 }
 
 // DOT renders the cycle as a Graphviz digraph in the style of Figure 3:

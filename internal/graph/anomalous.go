@@ -43,11 +43,11 @@ func (g *Graph) AnomalousCycles(extra KindSet, p int) []Cycle {
 	}
 	found := par.Map(outer, len(searches), func(i int) []Cycle { return searches[i]() })
 
-	seen := map[string]bool{}
+	seen := map[cycleSig]bool{}
 	var out []Cycle
 	for _, cs := range found {
 		for _, c := range cs {
-			sig := CycleKey(c)
+			sig := sigOf(c)
 			if !seen[sig] {
 				seen[sig] = true
 				out = append(out, c)
@@ -57,10 +57,46 @@ func (g *Graph) AnomalousCycles(extra KindSet, p int) []Cycle {
 	return out
 }
 
-// CycleKey canonicalizes a cycle by its sorted node set; two witnesses
-// over the same transactions are considered the same finding, both by
-// the batch deduplication above and by the streaming sessions' "already
-// surfaced" bookkeeping.
+// cycleSig is a comparable canonical signature of a cycle's node set:
+// the sorted nodes inline for cycles of up to eight steps, the string
+// CycleKey as a spill otherwise. A struct key keeps the dedup on the
+// SCC search hot path allocation-free, where CycleKey builds a string
+// per candidate cycle.
+type cycleSig struct {
+	n     int
+	nodes [8]int64
+	spill string
+}
+
+// sigOf computes the comparable signature of c without allocating:
+// each step's From node is insertion-sorted into the inline array,
+// avoiding the slice Cycle.Nodes would allocate. Cycles longer than
+// eight steps (rare: the searches return shortest witnesses) fall back
+// to the spill string; n = -1 keeps spilled signatures from colliding
+// with inline ones.
+func sigOf(c Cycle) cycleSig {
+	var s cycleSig
+	if len(c.Steps) > len(s.nodes) {
+		return cycleSig{n: -1, spill: CycleKey(c)}
+	}
+	s.n = len(c.Steps)
+	for i, st := range c.Steps {
+		v := int64(st.From)
+		j := i
+		for ; j > 0 && s.nodes[j-1] > v; j-- {
+			s.nodes[j] = s.nodes[j-1]
+		}
+		s.nodes[j] = v
+	}
+	return s
+}
+
+// CycleKey canonicalizes a cycle by its sorted node set as a string;
+// two witnesses over the same transactions are considered the same
+// finding. The batch deduplication above uses the comparable cycleSig
+// form of the same identity; the string form remains for the streaming
+// sessions' "already surfaced" bookkeeping, whose keys mix cycle and
+// non-cycle findings in one table.
 func CycleKey(c Cycle) string {
 	nodes := c.Nodes()
 	sort.Ints(nodes)

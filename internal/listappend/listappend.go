@@ -33,6 +33,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/op"
 	"repro/internal/par"
+	"repro/internal/rel"
 	"repro/internal/workload"
 )
 
@@ -97,6 +98,12 @@ type analyzer struct {
 	writer       map[elemKey]int
 	failedWriter map[elemKey]int
 	anomalies    []anomaly.Anomaly
+
+	// failedIx indexes failed_append(key, elem, writer) tuples — the
+	// aborted writers — for the relational G1a scan, which probes it
+	// in one lookup join over the whole history. Built once by
+	// finishAnomalies; immutable thereafter.
+	failedIx *rel.Index
 
 	// windowed marks a memory-budgeted streaming session: the oks /
 	// fails / infos slices are not accumulated (they would grow with the
@@ -188,8 +195,10 @@ func orderAt(orders [][]int, k history.KeyID) []int {
 // batch Analyze and the streaming session's Finish.
 func (a *analyzer) finishAnomalies(keys []history.KeyID, orders [][]int) {
 	p := a.opts.Parallelism
+	a.failedIx = rel.BuildIndex(a.failedAppends(), "key", "elem")
+	a.anomalies = append(a.anomalies, a.abortedReadAnomalies()...)
 	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
-		return a.abortedIntermediateAnomalies(a.oks[i])
+		return a.intermediateReadAnomalies(a.oks[i])
 	}))
 	a.collect(par.Map(p, len(keys), func(i int) []anomaly.Anomaly {
 		return a.dirtyUpdateAnomalies(keys[i], orderAt(orders, keys[i]))
@@ -483,21 +492,87 @@ func (a *analyzer) keyEdges(k history.KeyID, reads []cleanRead, elems []int) []g
 	return out
 }
 
-// abortedIntermediateAnomalies finds G1a (reads of versions containing
-// elements written by aborted transactions) and G1b (reads whose final
-// element was an intermediate write) for one committed transaction.
-func (a *analyzer) abortedIntermediateAnomalies(o op.Op) []anomaly.Anomaly {
+// failedAppends is the relation failed_append(key, elem, writer): one
+// tuple per recoverable element whose only writer aborted. Build order
+// over the map is arbitrary, but every (key, elem) bucket holds exactly
+// one tuple, so index probes are deterministic regardless.
+func (a *analyzer) failedAppends() rel.Relation {
+	fw := a.failedWriter
+	return rel.NewRelation([]string{"key", "elem", "writer"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 3)
+		for ek, w := range fw {
+			t[0], t[1], t[2] = rel.Int(int(ek.key)), rel.Int(ek.elem), rel.Int(w)
+			if !yield(t) {
+				return
+			}
+		}
+	})
+}
+
+// allReadElems is the relation read_elem(key, elem, txn, mop) over
+// every committed transaction: every element of every known list read,
+// in transaction, program, and list order — the probe side of the
+// relational G1a scan. One relation spans the whole history so the
+// join pipeline is constructed once per analysis, not once per
+// transaction.
+func (a *analyzer) allReadElems() rel.Relation {
+	return rel.NewRelation([]string{"key", "elem", "txn", "mop"}, func(yield func(rel.Tuple) bool) {
+		t := make(rel.Tuple, 4)
+		for oi, o := range a.oks {
+			for pos, m := range o.Mops {
+				if !m.ListKnown() {
+					continue
+				}
+				k := rel.Int(int(a.kid(m.Key)))
+				for _, e := range m.List {
+					t[0], t[1], t[2], t[3] = k, rel.Int(e), rel.Int(oi), rel.Int(pos)
+					if !yield(t) {
+						return
+					}
+				}
+			}
+		}
+	})
+}
+
+// abortedReadAnomalies finds G1a — reads of versions containing
+// elements written by aborted transactions — in one relational pass
+// over the whole history: read_elem(key, elem, txn, mop) ⋈ the
+// prebuilt failed_append(key, elem, writer) index, each joined row one
+// aborted read. The lookup join streams reads in
+// transaction-then-program-and-list order, exactly the order the old
+// per-transaction scans merged to, so the report is unchanged;
+// evaluating the pipeline once instead of per transaction keeps its
+// setup cost off the hot path.
+func (a *analyzer) abortedReadAnomalies() []anomaly.Anomaly {
+	if a.failedIx.Len() == 0 {
+		// A lookup join against an empty failed_append index is empty
+		// by definition.
+		return nil
+	}
+	var out []anomaly.Anomaly
+	a.allReadElems().LookupJoin(a.failedIx).Each(func(t rel.Tuple) bool {
+		o := a.oks[t[2].Num()]
+		m := o.Mops[t[3].Num()]
+		out = append(out, g1aAnomaly(o, m.Key, m.List, int(t[1].Num()), a.ops[int(t[4].Num())]))
+		return true
+	})
+	return out
+}
+
+// intermediateReadAnomalies finds G1b (reads whose final element was
+// an intermediate write) for one committed transaction. Its sibling
+// G1a scan runs once for the whole history in abortedReadAnomalies;
+// the final report survives the split because classification
+// stable-sorts by (severity, type), separating the two types however
+// they interleave in the raw list.
+func (a *analyzer) intermediateReadAnomalies(o op.Op) []anomaly.Anomaly {
 	var out []anomaly.Anomaly
 	for _, m := range o.Mops {
 		if !m.ListKnown() {
 			continue
 		}
 		k := a.kid(m.Key)
-		for _, e := range m.List {
-			if w, ok := a.failedWriter[elemKey{k, e}]; ok {
-				out = append(out, g1aAnomaly(o, m.Key, m.List, e, a.ops[w]))
-			}
-		}
 		if n := len(m.List); n > 0 {
 			last := m.List[n-1]
 			if w, ok := a.writer[elemKey{k, last}]; ok && w != o.Index {
@@ -548,7 +623,11 @@ func (a *analyzer) dirtyUpdateAnomalies(k history.KeyID, elems []int) []anomaly.
 }
 
 // checkLostUpdates reports committed appends that are absent from a
-// longest read invoked strictly after the append's transaction completed.
+// longest read invoked strictly after the append's transaction
+// completed. The per-key scan is relational: the key's committed
+// appends, σ-filtered to those that completed before the long read was
+// invoked, anti-joined (▷) against the elements the read observed —
+// every surviving append is a lost update.
 func (a *analyzer) checkLostUpdates(orders [][]int) {
 	// Locate the longest read op per key (the one whose value is the
 	// version order) and its invocation index. Both indices are dense
@@ -557,7 +636,7 @@ func (a *analyzer) checkLostUpdates(orders [][]int) {
 	type longRead struct {
 		o      op.Op
 		invoke int
-		set    map[int]bool
+		elems  []int
 		ok     bool
 	}
 	longReads := make([]longRead, a.in.Len())
@@ -574,11 +653,7 @@ func (a *analyzer) checkLostUpdates(orders [][]int) {
 			if longReads[k].ok {
 				continue
 			}
-			set := make(map[int]bool, len(elems))
-			for _, e := range elems {
-				set[e] = true
-			}
-			longReads[k] = longRead{o: o, invoke: a.spanOf[o.Index][0], set: set, ok: true}
+			longReads[k] = longRead{o: o, invoke: a.spanOf[o.Index][0], elems: elems, ok: true}
 		}
 	}
 	// Index committed appends by key once; scanning all transactions per
@@ -609,20 +684,50 @@ func (a *analyzer) checkLostUpdates(orders [][]int) {
 		k := keys[i]
 		kname := a.in.Key(k)
 		lr := longReads[k]
-		var out []anomaly.Anomaly
-		for _, ka := range appendsByKey[k] {
-			if ka.o.Index == lr.o.Index || ka.completed >= lr.invoke || lr.set[ka.elem] {
-				continue
-			}
-			out = append(out, anomaly.Anomaly{
-				Type: anomaly.LostUpdate,
-				Ops:  []op.Op{ka.o, lr.o},
-				Key:  kname,
-				Explanation: fmt.Sprintf(
-					"%s committed an append of %d to key %s before %s began, yet %s read %s without it: the update was lost",
-					ka.o.Name(), ka.elem, kname, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, kname)].List)),
+		kas := appendsByKey[k]
+
+		// observed(elem): the elements of the long read's value.
+		observedIx := rel.BuildIndex(rel.NewRelation([]string{"elem"},
+			func(yield func(rel.Tuple) bool) {
+				t := make(rel.Tuple, 1)
+				for _, e := range lr.elems {
+					t[0] = rel.Int(e)
+					if !yield(t) {
+						return
+					}
+				}
+			}), "elem")
+		// committed_append(pos, elem, completed, txn) for this key, in
+		// completion order.
+		appends := rel.NewRelation([]string{"pos", "elem", "completed", "txn"},
+			func(yield func(rel.Tuple) bool) {
+				t := make(rel.Tuple, 4)
+				for pos, ka := range kas {
+					t[0], t[1], t[2], t[3] = rel.Int(pos), rel.Int(ka.elem), rel.Int(ka.completed), rel.Int(ka.o.Index)
+					if !yield(t) {
+						return
+					}
+				}
 			})
-		}
+
+		var out []anomaly.Anomaly
+		appends.
+			Select(func(t rel.Tuple) bool {
+				return int(t[3].Num()) != lr.o.Index && int(t[2].Num()) < lr.invoke
+			}).
+			AntiJoin(observedIx).
+			Each(func(t rel.Tuple) bool {
+				ka := kas[t[0].Num()]
+				out = append(out, anomaly.Anomaly{
+					Type: anomaly.LostUpdate,
+					Ops:  []op.Op{ka.o, lr.o},
+					Key:  kname,
+					Explanation: fmt.Sprintf(
+						"%s committed an append of %d to key %s before %s began, yet %s read %s without it: the update was lost",
+						ka.o.Name(), ka.elem, kname, lr.o.Name(), lr.o.Name(), op.FormatList(lr.o.Mops[readPos(lr.o, kname)].List)),
+				})
+				return true
+			})
 		return out
 	}))
 }

@@ -1,0 +1,84 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzQueryParse pins the satellite guarantee of docs/QUERY.md: no
+// query string — however malformed — panics the parser or the
+// evaluator; every rejection is a *ParseError with a position inside
+// (or just past) the input; and accepted queries evaluate
+// deterministically against a populated catalog.
+func FuzzQueryParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"(dep ?a ?b ww)",
+		"(dep ?a ?b ww) (cycle ?c _ ?a _)",
+		`(mop ?t "key 1" append ?v)`,
+		"(txn ?id ?p ?i ok)",
+		"(anomaly ?a G-single _ _ ?t) (cycle ?a ?pos ?t ?k)",
+		"(dep ?a ?a _)",
+		"(dep 0 2 wr)",
+		"(version_order x ?pos ?e)",
+		"((",
+		"(dep",
+		`(dep ?a ?b ")`,
+		"(dep ? _)",
+		"(dep -9999999999999999999999 _ _)",
+		"(\x00)",
+		strings.Repeat("(dep ?a ?b ww) ", 20),
+	} {
+		f.Add(seed)
+	}
+	cat := MapCatalog{
+		"dep": FromRows([]string{"from", "to", "kind"}, []Tuple{
+			{Int(0), Int(2), Str("wr")},
+			{Int(2), Int(0), Str("rw")},
+		}),
+		"txn": FromRows([]string{"id", "process", "index", "ok"}, []Tuple{
+			{Int(0), Int(0), Int(0), Str("ok")},
+			{Int(2), Int(0), Int(1), Str("ok")},
+		}),
+		"mop": FromRows([]string{"txn", "key", "fun", "value"}, []Tuple{
+			{Int(0), Str("key 1"), Str("append"), Int(1)},
+		}),
+		"cycle": FromRows([]string{"id", "pos", "txn", "kind"}, []Tuple{
+			{Int(0), Int(0), Int(0), Str("wr")},
+			{Int(0), Int(1), Int(2), Str("rw")},
+		}),
+		"anomaly": FromRows([]string{"id", "code", "severity", "key", "txn"}, []Tuple{
+			{Int(0), Str("G-single"), Int(0), Str("x"), Int(0)},
+		}),
+		"version_order": FromRows([]string{"key", "pos", "value"}, []Tuple{
+			{Str("x"), Int(0), Int(1)},
+		}),
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		res, err := Eval(cat, q)
+		if err != nil {
+			pe, ok := err.(*ParseError)
+			if !ok {
+				t.Fatalf("Eval(%q): error %T (%v), want *ParseError", q, err, err)
+			}
+			if pe.Pos < 1 || pe.Pos > len(q)+1 {
+				t.Fatalf("Eval(%q): position %d outside 1..%d", q, pe.Pos, len(q)+1)
+			}
+			return
+		}
+		var a, b strings.Builder
+		if _, err := res.WriteTo(&a); err != nil {
+			t.Fatal(err)
+		}
+		res2, err := Eval(cat, q)
+		if err != nil {
+			t.Fatalf("Eval(%q): accepted then rejected: %v", q, err)
+		}
+		if _, err := res2.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("Eval(%q) nondeterministic:\n%q\n%q", q, a.String(), b.String())
+		}
+	})
+}

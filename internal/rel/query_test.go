@@ -1,0 +1,200 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/anomaly"
+	"repro/internal/graph"
+	"repro/internal/history"
+	"repro/internal/op"
+)
+
+// queryCatalog builds a catalog with a G1a anomaly and a fake cycle
+// anomaly so every relation is populated.
+func queryCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	h := testHistory(t)
+	g := graph.New()
+	g.AddEdge(0, 2, graph.WR)
+	g.AddEdge(2, 0, graph.RW)
+	keys := history.NewInterner()
+	keys.Intern("x")
+	cyc := graph.Cycle{Steps: []graph.Step{
+		{From: 0, To: 2, Label: graph.WR.Mask(), Via: graph.WR},
+		{From: 2, To: 0, Label: graph.RW.Mask(), Via: graph.RW},
+	}}
+	return NewCatalog(Source{
+		History: h,
+		Graph:   g,
+		Keys:    keys,
+		Anomalies: []anomaly.Anomaly{
+			{Type: anomaly.G1a, Key: "x", Ops: []op.Op{
+				op.Txn(2, 0, op.OK), op.Txn(1, 1, op.Fail),
+			}},
+			{Type: anomaly.GSingle, Cycle: cyc},
+		},
+		ListOrders: [][]int{{1, 2}},
+	})
+}
+
+func evalString(t *testing.T, cat Relations, q string) string {
+	t.Helper()
+	res, err := Eval(cat, q)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", q, err)
+	}
+	var b strings.Builder
+	if _, err := res.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestEvalSingleClause(t *testing.T) {
+	cat := queryCatalog(t)
+	got := evalString(t, cat, `(txn ?id ?p _ ok)`)
+	want := "?id\t?p\n0\t0\n2\t0\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	// Quoted and bareword string constants are the same.
+	if evalString(t, cat, `(txn ?id ?p _ "ok")`) != want {
+		t.Fatal("quoted constant differs from bareword")
+	}
+}
+
+func TestEvalJoin(t *testing.T) {
+	cat := queryCatalog(t)
+	// Transactions on a G-single cycle and the kind of their outgoing step.
+	got := evalString(t, cat, `(anomaly ?a G-single _ _ ?t) (cycle ?a _ ?t ?k)`)
+	want := "?a\t?t\t?k\n1\t0\twr\n1\t2\trw\n"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+	// Same rows whatever the clause order (canonical Sort).
+	if got2 := evalString(t, cat, `(cycle ?a _ ?t ?k) (anomaly ?a G-single _ _ ?t)`); got2 != want {
+		t.Fatalf("clause order changed output: %q vs %q", got2, want)
+	}
+}
+
+func TestEvalRepeatedVarAndWildcard(t *testing.T) {
+	cat := queryCatalog(t)
+	// Self-loop pattern: no dep edge has from == to.
+	if got := evalString(t, cat, `(dep ?a ?a _)`); got != "?a\n" {
+		t.Fatalf("repeated var: %q", got)
+	}
+}
+
+func TestEvalBoolean(t *testing.T) {
+	cat := queryCatalog(t)
+	if got := evalString(t, cat, `(dep 0 2 wr)`); got != "true\n" {
+		t.Fatalf("exists: %q", got)
+	}
+	if got := evalString(t, cat, `(dep 0 2 ww)`); got != "false\n" {
+		t.Fatalf("not exists: %q", got)
+	}
+	// A failed existence clause empties the whole query.
+	if got := evalString(t, cat, `(dep 0 2 ww) (txn ?id _ _ _)`); got != "?id\n" {
+		t.Fatalf("existence filter: %q", got)
+	}
+}
+
+func TestEvalTypedValues(t *testing.T) {
+	cat := queryCatalog(t)
+	// Keys are strings: a bareword integer never matches a key column.
+	if got := evalString(t, cat, `(mop ?t x append ?v)`); got != "?t\t?v\n0\t1\n1\t2\n" {
+		t.Fatalf("mop by key: %q", got)
+	}
+	if got := evalString(t, cat, `(version_order x ?pos ?e)`); got != "?pos\t?e\n0\t1\n1\t2\n" {
+		t.Fatalf("version_order: %q", got)
+	}
+}
+
+func TestEvalAnomalyVars(t *testing.T) {
+	cat := queryCatalog(t)
+	res, err := Eval(cat, `(cycle ?c _ ?t _) (txn ?t 0 _ _)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AnomalyVars) != 1 || res.AnomalyVars[0] != "?c" {
+		t.Fatalf("AnomalyVars = %v", res.AnomalyVars)
+	}
+	if ids := res.AnomalyIDs(); len(ids) != 1 || ids[0] != 1 {
+		t.Fatalf("AnomalyIDs = %v", ids)
+	}
+	if a, ok := cat.AnomalyAt(1); !ok || a.Type != anomaly.GSingle {
+		t.Fatalf("AnomalyAt(1) = %v, %v", a, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := queryCatalog(t)
+	cases := []struct {
+		q    string
+		want string // substring of the error
+	}{
+		{"", "empty query"},
+		{"   ", "empty query"},
+		{"dep ?a", "expected '('"},
+		{"(dep ?a ?b ww", "unterminated clause"},
+		{"(", "unterminated clause"},
+		{"()", "empty clause"},
+		{"(?a ?b)", "expected a relation name"},
+		{"(_ x)", "expected a relation name"},
+		{"(dep (dep))", "nested '('"},
+		{`(dep ?a ?b "ww)`, "unterminated string"},
+		{`(dep ?a ?b "w\x")`, `bad escape`},
+		{"(dep ? ?b ww)", "empty variable name"},
+		{"(dep 99999999999999999999 ?b ww)", "bad integer"},
+		{"(nope ?a)", "unknown relation"},
+		{"(dep ?a ?b)", "3 columns"},
+		{"(dep ?a ?b ww extra)", "3 columns"},
+	}
+	for _, tc := range cases {
+		_, err := Eval(cat, tc.q)
+		if err == nil {
+			t.Errorf("Eval(%q): no error, want %q", tc.q, tc.want)
+			continue
+		}
+		pe, ok := err.(*ParseError)
+		if !ok {
+			t.Errorf("Eval(%q): error %T, want *ParseError", tc.q, err)
+			continue
+		}
+		if pe.Pos < 1 || pe.Pos > len(tc.q)+1 {
+			t.Errorf("Eval(%q): position %d out of range", tc.q, pe.Pos)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Eval(%q) = %q, want substring %q", tc.q, err.Error(), tc.want)
+		}
+		if !strings.HasPrefix(err.Error(), "query:") {
+			t.Errorf("Eval(%q) = %q, want query:<pos>: prefix", tc.q, err.Error())
+		}
+	}
+}
+
+func TestEvalDeterministic(t *testing.T) {
+	cat := queryCatalog(t)
+	q := `(dep ?a ?b ?k) (txn ?a ?p _ _) (mop ?b x _ _)`
+	first := evalString(t, cat, q)
+	for i := 0; i < 10; i++ {
+		if got := evalString(t, cat, q); got != first {
+			t.Fatalf("run %d differs:\n%q\n%q", i, got, first)
+		}
+	}
+}
+
+func TestMapCatalog(t *testing.T) {
+	cat := MapCatalog{
+		"edge": FromRows([]string{"a", "b"}, []Tuple{
+			{Int(1), Int(2)}, {Int(2), Int(3)},
+		}),
+	}
+	if got := evalString(t, cat, `(edge ?x ?y) (edge ?y ?z)`); got != "?x\t?y\t?z\n1\t2\t3\n" {
+		t.Fatalf("transitive join: %q", got)
+	}
+	if got := cat.Names(); len(got) != 1 || got[0] != "edge" {
+		t.Fatalf("Names: %v", got)
+	}
+}

@@ -1,0 +1,75 @@
+package rel
+
+import "repro/internal/graph"
+
+// DepsOf is the dependency relation restricted to a node set:
+// σ_{from ∈ nodes ∧ to ∈ nodes}(dep), with the selection pushed into
+// the graph's adjacency index — rows stream by probing each requested
+// node's out-edges instead of scanning every edge, so the cost is
+// O(edges incident to nodes), not O(graph). Rows follow the node list
+// order, targets ascending, kinds in declaration order. Nodes absent
+// from the graph contribute nothing.
+func DepsOf(g *graph.Graph, nodes []int) Relation {
+	return NewRelation([]string{"from", "to", "kind"}, func(yield func(Tuple) bool) {
+		if g == nil {
+			return
+		}
+		in := make(map[int]bool, len(nodes))
+		for _, n := range nodes {
+			if g.HasNode(n) {
+				in[n] = true
+			}
+		}
+		t := make(Tuple, 3)
+		stop := false
+		for _, a := range nodes {
+			if stop {
+				return
+			}
+			if !in[a] {
+				continue
+			}
+			g.OutSorted(a, allKinds, func(b int, label graph.KindSet) {
+				if stop || !in[b] {
+					return
+				}
+				for _, k := range label.Kinds() {
+					t[0], t[1], t[2] = Int(a), Int(b), Str(k.String())
+					if !yield(t) {
+						stop = true
+						return
+					}
+				}
+			})
+		}
+	})
+}
+
+// Subgraph materializes σ_{from ∈ nodes ∧ to ∈ nodes}(dep) back into a
+// graph: the induced subgraph of g on nodes, with every present node
+// ensured (in the given order, fixing dense ids) even if isolated.
+// It replaces the streaming checker's bespoke subgraph walk — the
+// filter is the DepsOf relation, and this function is just its sink.
+func Subgraph(g *graph.Graph, nodes []int) *graph.Graph {
+	out := graph.New()
+	for _, n := range nodes {
+		if g.HasNode(n) {
+			out.Ensure(n)
+		}
+	}
+	kinds := kindsByName()
+	DepsOf(g, nodes).Each(func(t Tuple) bool {
+		out.AddEdge(int(t[0].Num()), int(t[1].Num()), kinds[t[2].Text()])
+		return true
+	})
+	return out
+}
+
+// kindsByName maps the short kind labels back to graph.Kind.
+func kindsByName() map[string]graph.Kind {
+	m := make(map[string]graph.Kind, 8)
+	for _, k := range allKinds.Kinds() {
+		m[k.String()] = k
+	}
+	return m
+}

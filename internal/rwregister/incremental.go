@@ -226,6 +226,8 @@ func (s *session) Finish() (workload.Analysis, error) {
 	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
 		return a.internalAnomalies(a.oks[i])
 	}))
+	a.buildRelIndexes()
+	a.anomalies = append(a.anomalies, a.abortedReadAnomalies()...)
 	a.collect(par.Map(p, len(a.oks), func(i int) []anomaly.Anomaly {
 		return a.readAnomalies(a.oks[i])
 	}))

@@ -50,6 +50,10 @@ const (
 	// CodeBadCursor: the jobs listing's next cursor is not one this
 	// service issued.
 	CodeBadCursor = "bad_cursor"
+	// CodeBadQuery: the query endpoint's q parameter is missing or not a
+	// well-formed docs/QUERY.md pattern; the message carries the 1-based
+	// position of the parse fault.
+	CodeBadQuery = "bad_query"
 	// CodeWALWrite: journaling the job or chunk to the WAL failed (disk
 	// full, permissions). For chunks the job is intact and the chunk was
 	// not ingested — nothing unjournaled ever reaches a session.

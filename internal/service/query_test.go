@@ -1,0 +1,79 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jsonhist"
+)
+
+// TestServiceQuery pins the query endpoint's contract: the body is
+// byte-identical to evaluating the same pattern against a batch check
+// of the same history, asking finalizes an accepting job exactly like
+// /report, and malformed patterns surface the bad_query envelope with
+// a parse position instead of a 500.
+func TestServiceQuery(t *testing.T) {
+	jsonl := faultedHistory(t, "list-append", 31, 150)
+	h, err := jsonhist.DecodeWith(strings.NewReader(jsonl), jsonhist.DecodeOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := core.Check(h, core.OptsFor(core.ListAppend, "serializable"))
+	const q = `(cycle ?c _ ?t _) (dep ?t ?u rw)`
+	want := func(query string) string {
+		r, err := res.Query(h, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	_, srv := newTestServer(t, Config{MaxJobs: 2})
+	id := createJob(t, srv.Client(), srv.URL, `{"workload":"list-append","model":"serializable","parallelism":1}`)
+	feedChunks(t, srv.Client(), srv.URL, id, jsonl, 40)
+
+	code, got := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/query?q="+urlQuery(q), "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d: %s", code, got)
+	}
+	if got != want(q) {
+		t.Fatalf("query body diverges from batch:\n--- batch ---\n%s\n--- service ---\n%s", want(q), got)
+	}
+	// The first query finalized the job; a second asks the done path and
+	// must return the same bytes.
+	if _, again := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/query?q="+urlQuery(q), "", nil); again != got {
+		t.Fatal("query result changed after finalization")
+	}
+	var st jobJSON
+	if code, raw := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id, "", &st); code != http.StatusOK || st.State != stateDone {
+		t.Fatalf("status after query: %d %s", code, raw)
+	}
+
+	var env ErrorEnvelope
+	code, raw := do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/query?q="+urlQuery("(nope ?x"), "", &env)
+	if code != http.StatusBadRequest || env.Err.Code != CodeBadQuery {
+		t.Fatalf("bad query: status %d code %q: %s", code, env.Err.Code, raw)
+	}
+	if !strings.Contains(env.Err.Message, "query:") {
+		t.Fatalf("bad query message lacks parse position: %q", env.Err.Message)
+	}
+	if code, _ = do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/"+id+"/query", "", &env); code != http.StatusBadRequest || env.Err.Code != CodeBadQuery {
+		t.Fatalf("missing q: status %d code %q", code, env.Err.Code)
+	}
+	if code, _ = do(t, srv.Client(), "GET", srv.URL+"/v1/jobs/j999/query?q="+urlQuery(q), "", &env); code != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", code)
+	}
+}
+
+// urlQuery percent-encodes a pattern for the q parameter.
+func urlQuery(q string) string {
+	r := strings.NewReplacer("(", "%28", ")", "%29", " ", "%20", "?", "%3F", `"`, "%22")
+	return r.Replace(q)
+}

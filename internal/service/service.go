@@ -235,6 +235,7 @@ func New(cfg Config) (*Service, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/chunks", s.handleChunk)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -907,30 +908,9 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	defer j.touch()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state == stateFailed {
-		writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
+	if err := j.finalizeLocked(); err != nil {
+		writeErr(w, http.StatusConflict, CodeJobFailed, err.Error())
 		return
-	}
-	if j.state == stateAccepting {
-		// An ellebin job whose uploads stopped mid-record must not report:
-		// the tail of the history never arrived, and a report now would
-		// silently cover a prefix. The framing error names the cut.
-		if j.bin != nil {
-			if err := j.bin.Close(); err != nil {
-				j.fail(err)
-				writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
-				return
-			}
-		}
-		res, err := j.stream.Finish()
-		if err != nil {
-			j.fail(err)
-			writeErr(w, http.StatusConflict, CodeJobFailed, fmt.Sprintf("job failed: %s", j.errMsg))
-			return
-		}
-		j.state = stateDone
-		j.result = res
-		j.fin.Store(time.Now().UnixNano())
 	}
 	w.Header().Set("X-Elle-Valid", fmt.Sprintf("%t", j.result.Valid))
 	if r.URL.Query().Get("format") == "json" {
@@ -945,6 +925,70 @@ func (s *Service) handleReport(w http.ResponseWriter, r *http.Request) {
 	// same report.Prose.
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	report.Prose(w, j.result, report.ProseOpts{})
+}
+
+// finalizeLocked drives an accepting job to its terminal state, shared
+// by the report and query endpoints: close a pending ellebin decode,
+// finish the stream, and store the result. An ellebin job whose
+// uploads stopped mid-record must not finalize — the tail of the
+// history never arrived, and a report or query now would silently
+// cover a prefix; the framing error names the cut and fails the job.
+// Callers hold j.mu. On nil return the job is done and j.result set.
+func (j *job) finalizeLocked() error {
+	if j.state == stateFailed {
+		return fmt.Errorf("job failed: %s", j.errMsg)
+	}
+	if j.state != stateAccepting {
+		return nil
+	}
+	if j.bin != nil {
+		if err := j.bin.Close(); err != nil {
+			j.fail(err)
+			return fmt.Errorf("job failed: %s", j.errMsg)
+		}
+	}
+	res, err := j.stream.Finish()
+	if err != nil {
+		j.fail(err)
+		return fmt.Errorf("job failed: %s", j.errMsg)
+	}
+	j.state = stateDone
+	j.result = res
+	j.fin.Store(time.Now().UnixNano())
+	return nil
+}
+
+// handleQuery evaluates a docs/QUERY.md pattern query against a job's
+// finished analysis: GET /v1/jobs/{id}/query?q=PATTERN. Asking for a
+// query finalizes an accepting job exactly as asking for its report
+// does. The body is the query's canonical tab-separated row set —
+// byte-identical to `elle -query` over the same history and options.
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, CodeJobNotFound, "no such job")
+		return
+	}
+	j.touch()
+	defer j.touch()
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeErr(w, http.StatusBadRequest, CodeBadQuery, "missing query parameter q")
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.finalizeLocked(); err != nil {
+		writeErr(w, http.StatusConflict, CodeJobFailed, err.Error())
+		return
+	}
+	res, err := j.result.Query(j.stream.History(), q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadQuery, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	res.WriteTo(w) //nolint:errcheck // mid-body write; too late for a status code
 }
 
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
